@@ -1,0 +1,80 @@
+"""Ablation: aggregation grouping grid resolution (paper [4] trade-off).
+
+Finer grouping grids preserve member flexibility (better schedules) but
+produce more aggregates (slower scheduling); coarser grids compress harder
+at the cost of flexibility lost to the min-rule.  This bench sweeps the grid
+and reports group counts, retained flexibility and scheduling quality.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+import pytest
+
+from repro.aggregation import GroupingParams, aggregate_all, group_offers
+from repro.evaluation.comparison import collect_offers
+from repro.extraction import FlexOfferParams, PeakBasedExtractor
+from repro.scheduling import greedy_schedule
+from repro.simulation.res import simulate_wind_production
+
+GRIDS = {
+    "fine (30 min / 1 h)": GroupingParams(
+        start_tolerance=timedelta(minutes=30), flexibility_tolerance=timedelta(hours=1)
+    ),
+    "default (2 h / 4 h)": GroupingParams(),
+    "coarse (6 h / 12 h)": GroupingParams(
+        start_tolerance=timedelta(hours=6), flexibility_tolerance=timedelta(hours=12)
+    ),
+    "very coarse (24 h / 24 h)": GroupingParams(
+        start_tolerance=timedelta(hours=24), flexibility_tolerance=timedelta(hours=24)
+    ),
+}
+
+
+def test_grouping_grid_ablation(benchmark, report, bench_fleet):
+    params = FlexOfferParams(flexible_share=0.05)
+    offers = collect_offers(bench_fleet.traces, PeakBasedExtractor(params=params))
+    axis = bench_fleet.metering_axis()
+    wind = simulate_wind_production(axis, np.random.default_rng(2))
+    total_flex = sum(o.profile_energy_max for o in offers)
+    target = wind * (total_flex / wind.total())
+
+    def sweep():
+        out = {}
+        for name, grid in GRIDS.items():
+            aggregates = aggregate_all(group_offers(offers, grid))
+            member_flex = sum(
+                (o.time_flexibility.total_seconds() for o in offers)
+            )
+            retained_flex = sum(
+                a.offer.time_flexibility.total_seconds() * a.size for a in aggregates
+            )
+            cost = greedy_schedule([a.offer for a in aggregates], target).cost
+            out[name] = (len(aggregates), retained_flex / member_flex, cost)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    individual_cost = greedy_schedule(offers, target).cost
+    rows = [
+        {"grid": name,
+         "aggregates": count,
+         "compression": f"{len(offers)}->{count}",
+         "flexibility_retained": round(retained, 3),
+         "sq_imbalance": round(cost, 2),
+         "vs_individual": f"{cost / individual_cost:.2f}x"}
+        for name, (count, retained, cost) in results.items()
+    ]
+    report(
+        f"Ablation — grouping grid ({len(offers)} offers, individual cost "
+        f"{individual_cost:.2f})",
+        rows,
+    )
+
+    counts = [results[name][0] for name in GRIDS]
+    assert counts == sorted(counts, reverse=True)  # coarser => fewer groups
+    retained = [results[name][1] for name in GRIDS]
+    assert retained[0] >= retained[-1] - 1e-9      # finer => more flexibility
+    # Even the coarsest grid must stay within 3x of individual scheduling.
+    assert results["very coarse (24 h / 24 h)"][2] <= individual_cost * 3.0

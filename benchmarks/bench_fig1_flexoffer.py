@@ -1,0 +1,61 @@
+"""E1 / Figure 1: the electric-vehicle flex-offer and its derived attributes.
+
+Regenerates every number printed in the figure — earliest start 22:00,
+latest start 05:00, latest end 07:00, 2-hour profile of eight 15-minute
+slices, 50 kWh total — and benchmarks flex-offer construction, validation
+and schedule materialisation throughput.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.flexoffer.model import figure1_flexoffer
+from repro.flexoffer.schedule import default_schedule
+from repro.flexoffer.validate import PolicyLimits
+from repro.timeseries.axis import axis_for_days
+
+DAY = datetime(2012, 3, 5)
+
+
+def test_figure1_attributes(benchmark, report):
+    offer = benchmark(figure1_flexoffer, DAY)
+    tmin, tmax = offer.effective_total_bounds()
+    rows = [
+        {"attribute": "earliest start", "paper": "10 PM", "measured": offer.earliest_start.strftime("%I %p").lstrip("0")},
+        {"attribute": "latest start", "paper": "5 AM", "measured": offer.latest_start.strftime("%I %p").lstrip("0")},
+        {"attribute": "latest end", "paper": "7 AM", "measured": offer.latest_end.strftime("%I %p").lstrip("0")},
+        {"attribute": "profile duration", "paper": "2 h", "measured": f"{offer.duration.total_seconds() / 3600:.0f} h"},
+        {"attribute": "slices (15 min)", "paper": "8", "measured": str(offer.profile_intervals)},
+        {"attribute": "required energy", "paper": "50 kWh", "measured": f"{0.5 * (tmin + tmax):.0f} kWh"},
+        {"attribute": "start flexibility", "paper": "7 h", "measured": f"{offer.time_flexibility.total_seconds() / 3600:.0f} h"},
+    ]
+    report("Figure 1 — EV charging flex-offer", rows)
+    assert offer.earliest_start == DAY.replace(hour=22)
+    assert offer.latest_start == DAY.replace(hour=5) + timedelta(days=1)
+    assert offer.latest_end == DAY.replace(hour=7) + timedelta(days=1)
+    assert tmin == pytest.approx(50.0)
+
+
+def test_figure1_schedule_materialisation(benchmark):
+    offer = figure1_flexoffer(DAY)
+    axis = axis_for_days(DAY, 2)
+
+    def place():
+        return default_schedule(offer).to_series(axis)
+
+    series = benchmark(place)
+    assert series.total() == pytest.approx(50.0)
+
+
+def test_figure1_policy_validation_throughput(benchmark):
+    offers = [figure1_flexoffer(DAY + timedelta(days=d)) for d in range(100)]
+    limits = PolicyLimits(max_slices=96)
+
+    def validate():
+        return [limits.check(o) for o in offers]
+
+    problems = benchmark(validate)
+    assert all(p == [] for p in problems)

@@ -1,0 +1,75 @@
+"""E2 / Figure 4: flex-offers from the basic extraction approach.
+
+Figure 4 shows four flex-offers over one day, each occupying its own period,
+with light (minimum) and dark (maximum) energy areas, and the text states
+that "the total energy amount (the sum of the average required energy in the
+profile intervals) is equal to the flexible part extracted from the input
+time series" and "all of these attributes are within the required limits".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extraction.basic import BasicExtractor
+from repro.extraction.params import FlexOfferParams
+from repro.flexoffer.validate import PolicyLimits, check_all
+from repro.workloads.paper_day import figure5_day
+
+
+def test_fig4_basic_extraction_day(benchmark, report):
+    day = figure5_day()
+    params = FlexOfferParams(flexible_share=0.05)
+    extractor = BasicExtractor(params=params)
+
+    def extract():
+        return extractor.extract(day.series, np.random.default_rng(4))
+
+    result = benchmark(extract)
+    rows = []
+    for k, offer in enumerate(result.offers, start=1):
+        lo = sum(s.energy_min for s in offer.slices)
+        hi = sum(s.energy_max for s in offer.slices)
+        rows.append(
+            {
+                "offer": k,
+                "earliest_start": offer.earliest_start.strftime("%H:%M"),
+                "slices": len(offer.slices),
+                "min_kwh (light)": round(lo, 3),
+                "max_kwh (dark)": round(hi, 3),
+                "avg_kwh": round(0.5 * (lo + hi), 3),
+                "time_flex_h": round(offer.time_flexibility.total_seconds() / 3600, 2),
+            }
+        )
+    report("Figure 4 — basic extraction, one offer per 6-hour period", rows)
+    report(
+        "Figure 4 — energy accounting",
+        [
+            {"quantity": "offers in the figure", "paper": 4, "measured": len(result.offers)},
+            {"quantity": "sum of average energies == flexible part", "paper": "equal",
+             "measured": f"error {result.energy_conservation_error():.2e} kWh"},
+            {"quantity": "attributes within limits", "paper": "yes",
+             "measured": "yes" if not check_all(result.offers, PolicyLimits(
+                 max_slices=params.slices_max,
+                 max_time_flexibility=params.time_flexibility_max)) else "NO"},
+        ],
+    )
+    assert len(result.offers) == 4
+    assert result.energy_conservation_error() < 1e-9
+
+
+def test_fig4_basic_extraction_fleet_throughput(benchmark, bench_fleet):
+    """Throughput of the basic extractor over a 20-household week."""
+    extractor = BasicExtractor(params=FlexOfferParams(flexible_share=0.05))
+    series = [t.metered() for t in bench_fleet.traces]
+
+    def extract_all():
+        rng = np.random.default_rng(0)
+        return [extractor.extract(s, rng) for s in series]
+
+    results = benchmark(extract_all)
+    total_offers = sum(len(r.offers) for r in results)
+    assert total_offers >= 4 * 7 * len(series) * 0.9  # ~4 per day each
+    for r in results:
+        assert r.energy_conservation_error() < 1e-6

@@ -1,0 +1,113 @@
+"""E3 / Figure 5: the peak-based extraction walkthrough, number for number.
+
+The paper prints: eight peaks sized 0.47, 1.5, 0.48, 0.48, 1.85, 2.22, 5.47,
+0.48 kWh on a 39.02 kWh day; a 5 % flexible share giving the 1.951 kWh filter
+threshold; peaks 6 and 7 surviving with selection probabilities 29 % / 71 %.
+This bench regenerates all of it on the reconstructed day and benchmarks
+each phase (detection, filtering, selection, full extraction).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.extraction.params import FlexOfferParams
+from repro.extraction.peaks import (
+    PeakBasedExtractor,
+    detect_peaks,
+    filter_peaks,
+    select_peak,
+    selection_probabilities,
+)
+from repro.workloads.paper_day import (
+    FIGURE5_FILTER_THRESHOLD,
+    FIGURE5_PEAK_SIZES,
+    figure5_day,
+)
+
+
+def test_fig5_peak_detection(benchmark, report):
+    day = figure5_day()
+    peaks = benchmark(detect_peaks, day.series.values)
+    rows = [
+        {
+            "peak": i + 1,
+            "paper_size_kwh": FIGURE5_PEAK_SIZES[i],
+            "measured_size_kwh": round(p.size, 2),
+            "start_interval": p.first,
+            "width": p.length,
+        }
+        for i, p in enumerate(peaks)
+    ]
+    report(
+        "Figure 5 — peak detection (day total "
+        f"{day.series.total():.2f} kWh, mean threshold {day.mean_threshold:.4f})",
+        rows,
+    )
+    assert [round(p.size, 2) for p in peaks] == list(FIGURE5_PEAK_SIZES)
+
+
+def test_fig5_filtering(benchmark, report):
+    day = figure5_day()
+    peaks = detect_peaks(day.series.values)
+    survivors = benchmark(filter_peaks, peaks, FIGURE5_FILTER_THRESHOLD)
+    probs = selection_probabilities(survivors)
+    rows = [
+        {"quantity": "flexible part (5% x 39.02)", "paper": 1.951,
+         "measured": round(0.05 * day.series.total(), 3)},
+        {"quantity": "surviving peaks", "paper": "6, 7", "measured": "6, 7"},
+        {"quantity": "P(peak 6)", "paper": "29%", "measured": f"{probs[0]:.1%}"},
+        {"quantity": "P(peak 7)", "paper": "71%", "measured": f"{probs[1]:.1%}"},
+    ]
+    report("Figure 5 — filtering and selection probabilities", rows)
+    assert [round(p.size, 2) for p in survivors] == [2.22, 5.47]
+    assert probs[0] == pytest.approx(0.29, abs=0.005)
+    assert probs[1] == pytest.approx(0.71, abs=0.005)
+
+
+def test_fig5_monte_carlo_selection(benchmark, report):
+    day = figure5_day()
+    survivors = filter_peaks(detect_peaks(day.series.values), FIGURE5_FILTER_THRESHOLD)
+
+    def run_selection():
+        rng = np.random.default_rng(42)
+        return Counter(round(select_peak(survivors, rng).size, 2) for _ in range(2000))
+
+    picks = benchmark(run_selection)
+    share_7 = picks[5.47] / 2000
+    report(
+        "Figure 5 — Monte-Carlo peak selection (2000 draws)",
+        [
+            {"peak": 6, "paper_probability": 0.29, "empirical": round(1 - share_7, 3)},
+            {"peak": 7, "paper_probability": 0.71, "empirical": round(share_7, 3)},
+        ],
+    )
+    assert share_7 == pytest.approx(0.71, abs=0.03)
+
+
+def test_fig5_full_extraction(benchmark, report):
+    day = figure5_day()
+    extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+
+    def extract():
+        return extractor.extract(day.series, np.random.default_rng(7))
+
+    result = benchmark(extract)
+    offer = result.offers[0]
+    report(
+        "Figure 5 — end-to-end peak-based extraction",
+        [
+            {"quantity": "offers per day", "paper": 1, "measured": len(result.offers)},
+            {"quantity": "extracted energy (kWh)", "paper": 1.951,
+             "measured": round(result.extracted_energy, 3)},
+            {"quantity": "conservation error (kWh)", "paper": 0.0,
+             "measured": round(result.energy_conservation_error(), 12)},
+            {"quantity": "offer start interval", "paper": "on peak 6 or 7",
+             "measured": day.series.axis.index_of(offer.earliest_start)},
+        ],
+    )
+    assert len(result.offers) == 1
+    assert result.extracted_energy == pytest.approx(1.951, rel=1e-6)

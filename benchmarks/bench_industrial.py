@@ -1,0 +1,118 @@
+"""E13 (extension) / §6: flexibility extraction from industrial consumers.
+
+"Further research directions include flexibility extraction from industrial
+consumers."  The factory simulator produces MWh-scale traces with shiftable
+batch processes; this bench shows the household-level and appliance-level
+extractors running unchanged at industrial scale, plus the production-side
+offers (§6's wind producer and dispatchable plant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extraction import (
+    DispatchableProductionExtractor,
+    FlexOfferParams,
+    FrequencyBasedExtractor,
+    PeakBasedExtractor,
+    WindProductionExtractor,
+)
+from repro.scheduling import greedy_schedule
+from repro.simulation import FactoryConfig, simulate_factory
+from repro.simulation.industrial import industrial_catalogue
+from repro.simulation.res import simulate_wind_production
+from repro.timeseries.series import TimeSeries
+from repro.workloads.scenarios import SCENARIO_START
+
+
+@pytest.fixture(scope="module")
+def factory_trace():
+    return simulate_factory(
+        FactoryConfig(factory_id="plant-1"), SCENARIO_START, 7,
+        np.random.default_rng(0),
+    )
+
+
+def test_industrial_peak_extraction(benchmark, report, factory_trace):
+    metered = factory_trace.metered()
+    extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+
+    def extract():
+        return extractor.extract(metered, np.random.default_rng(1))
+
+    result = benchmark(extract)
+    report(
+        "E13 — peak-based extraction on a factory (household code, MWh scale)",
+        [
+            {"quantity": "weekly consumption (MWh)", "value": round(metered.total() / 1000, 2)},
+            {"quantity": "true flexible share", "value": round(factory_trace.flexible_share, 3)},
+            {"quantity": "offers (one per day)", "value": len(result.offers)},
+            {"quantity": "extracted energy (kWh)", "value": round(result.extracted_energy, 1)},
+            {"quantity": "largest offer (kWh)", "value": round(
+                max(o.profile_energy_max for o in result.offers), 1)},
+            {"quantity": "conservation error (kWh)", "value": round(
+                result.energy_conservation_error(), 9)},
+        ],
+    )
+    assert result.energy_conservation_error() < 1e-6
+    assert max(o.profile_energy_max for o in result.offers) > 50.0
+
+
+def test_industrial_process_detection(benchmark, report, factory_trace):
+    extractor = FrequencyBasedExtractor(database=industrial_catalogue())
+
+    def extract():
+        return extractor.extract(factory_trace.total, np.random.default_rng(1))
+
+    result = benchmark.pedantic(extract, rounds=1, iterations=1)
+    shortlist = result.extras["shortlist"]
+    true_runs = {}
+    for act in factory_trace.activations:
+        true_runs[act.appliance] = true_runs.get(act.appliance, 0) + 1
+    rows = [
+        {"process": e.appliance,
+         "mined_per_week": round(e.frequency.uses_per_week, 1),
+         "true_runs": true_runs.get(e.appliance, 0),
+         "flex_h": round(e.time_flexibility.total_seconds() / 3600, 1),
+         "mean_kwh": round(e.mean_energy_kwh, 1)}
+        for e in shortlist
+    ]
+    report("E13 — industrial process shortlist (frequency-based step 1)", rows)
+    assert {e.appliance for e in shortlist} & set(true_runs)
+
+
+def test_production_offers_close_the_loop(benchmark, report, factory_trace):
+    """§6's full spectrum: consumption + wind + dispatchable production."""
+    metered = factory_trace.metered()
+    axis = metered.axis
+    consumption_offers = PeakBasedExtractor(
+        params=FlexOfferParams(flexible_share=0.05)
+    ).extract(metered, np.random.default_rng(1)).offers
+
+    wind = simulate_wind_production(axis, np.random.default_rng(2))
+    wind = wind * (2.0 * sum(o.profile_energy_max for o in consumption_offers) / wind.total())
+    wind_offers = WindProductionExtractor().extract(wind, np.random.default_rng(0)).offers
+    dispatch_offers = DispatchableProductionExtractor(capacity_kw=100.0).extract(
+        TimeSeries.zeros(axis), np.random.default_rng(0)
+    ).offers
+
+    zero = TimeSeries.zeros(axis)
+
+    def schedule_mixed():
+        return greedy_schedule(consumption_offers + wind_offers + dispatch_offers, zero)
+
+    mixed = benchmark.pedantic(schedule_mixed, rounds=1, iterations=1)
+    production_only = greedy_schedule(wind_offers + dispatch_offers, zero)
+    rows = [
+        {"pool": "production offers only",
+         "offers": len(wind_offers) + len(dispatch_offers),
+         "net_sq_imbalance": round(production_only.cost, 2)},
+        {"pool": "production + flexible consumption",
+         "offers": len(wind_offers) + len(dispatch_offers) + len(consumption_offers),
+         "net_sq_imbalance": round(mixed.cost, 2)},
+    ]
+    report("E13 — mixed consumption/production scheduling (net balance)", rows)
+    # Shiftable consumption soaks production peaks: net imbalance drops.
+    assert mixed.cost < production_only.cost

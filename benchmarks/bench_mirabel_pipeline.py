@@ -1,0 +1,130 @@
+"""E11 / §6: the downstream MIRABEL pipeline.
+
+"Individual flex-offers have to be aggregated from thousands consumers
+before the actual scheduling (and matching with the surplus RES
+production)."  This bench runs the full loop — extract → group → aggregate →
+schedule against wind surplus → disaggregate — and reports the imbalance
+reduction over (a) not exploiting flexibility and (b) the random baseline,
+plus the scheduling speed-up aggregation buys.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.aggregation import aggregate_all, disaggregate_schedule, group_offers
+from repro.evaluation.comparison import collect_offers
+from repro.extraction import FlexOfferParams, PeakBasedExtractor, RandomBaselineExtractor
+from repro.scheduling import greedy_schedule, improve_schedule, naive_schedule
+from repro.simulation.res import simulate_wind_production
+
+
+@pytest.fixture(scope="module")
+def pipeline_inputs(request):
+    fleet = request.getfixturevalue("bench_fleet")
+    params = FlexOfferParams(flexible_share=0.05)
+    offers = collect_offers(fleet.traces, PeakBasedExtractor(params=params))
+    random_offers = collect_offers(fleet.traces, RandomBaselineExtractor())
+    axis = fleet.metering_axis()
+    wind = simulate_wind_production(axis, np.random.default_rng(2))
+    total_flex = sum(o.profile_energy_max for o in offers)
+    target = wind * (total_flex / wind.total())
+    return fleet, offers, random_offers, target
+
+
+def test_mirabel_scheduling_value(benchmark, report, pipeline_inputs):
+    fleet, offers, random_offers, target = pipeline_inputs
+
+    def schedule_extracted():
+        return greedy_schedule(offers, target)
+
+    greedy = benchmark(schedule_extracted)
+    naive = naive_schedule(offers, target)
+    improved = improve_schedule(greedy, np.random.default_rng(3), iterations=400)
+    random_sched = greedy_schedule(random_offers, target)
+
+    rows = [
+        {"plan": "no scheduling (demand at observed time)",
+         "sq_imbalance": round(naive.cost, 2), "vs_naive": "1.00x"},
+        {"plan": "greedy schedule of extracted offers",
+         "sq_imbalance": round(greedy.cost, 2),
+         "vs_naive": f"{naive.cost / greedy.cost:.2f}x better"},
+        {"plan": "greedy + stochastic improvement",
+         "sq_imbalance": round(improved.cost, 2),
+         "vs_naive": f"{naive.cost / improved.cost:.2f}x better"},
+        {"plan": "greedy schedule of random offers (old MIRABEL baseline)",
+         "sq_imbalance": round(random_sched.cost, 2),
+         "vs_naive": "n/a (different offer set)"},
+    ]
+    report("E11 — scheduling flexible demand under RES surplus", rows)
+
+    assert greedy.cost < naive.cost          # flexibility has value
+    assert improved.cost <= greedy.cost + 1e-9
+
+
+def test_mirabel_aggregation_speedup(benchmark, report, pipeline_inputs):
+    _fleet, offers, _random_offers, target = pipeline_inputs
+    aggregates = aggregate_all(group_offers(offers))
+
+    def schedule_aggregated():
+        return greedy_schedule([a.offer for a in aggregates], target)
+
+    agg_result = benchmark(schedule_aggregated)
+
+    t0 = time.perf_counter()
+    individual_result = greedy_schedule(offers, target)
+    t_individual = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    greedy_schedule([a.offer for a in aggregates], target)
+    t_aggregated = time.perf_counter() - t0
+
+    rows = [
+        {"plan": f"individual ({len(offers)} offers)",
+         "sq_imbalance": round(individual_result.cost, 2),
+         "wall_ms": round(t_individual * 1000, 1)},
+        {"plan": f"aggregated ({len(aggregates)} offers)",
+         "sq_imbalance": round(agg_result.cost, 2),
+         "wall_ms": round(t_aggregated * 1000, 1)},
+    ]
+    report("E11 — aggregation trades a little imbalance for scheduling speed", rows)
+
+    assert len(aggregates) < len(offers)
+    # Aggregation loses some flexibility: cost may rise, but bounded.
+    assert agg_result.cost <= individual_result.cost * 2.0
+
+
+def test_mirabel_disaggregation_roundtrip(benchmark, report, pipeline_inputs):
+    _fleet, offers, _random, target = pipeline_inputs
+    aggregates = aggregate_all(group_offers(offers))
+    result = greedy_schedule([a.offer for a in aggregates], target)
+    by_id = {a.offer.offer_id: a for a in aggregates}
+
+    def disaggregate_all():
+        return [
+            disaggregate_schedule(by_id[s.offer.offer_id], s)
+            for s in result.schedules
+        ]
+
+    benchmark.pedantic(disaggregate_all, rounds=1, iterations=1)
+
+    total_members = 0
+    for sched in result.schedules:
+        parts = disaggregate_schedule(by_id[sched.offer.offer_id], sched)
+        total_members += len(parts)
+        assert sum(p.total_energy for p in parts) == pytest.approx(
+            sched.total_energy, abs=1e-6
+        )
+    report(
+        "E11 — schedule disaggregation back to households",
+        [
+            {"aggregates_scheduled": len(result.schedules),
+             "member_schedules": total_members,
+             "energy_roundtrip": "exact (per-aggregate, 1e-6 kWh)"},
+        ],
+    )
+    assert total_members == sum(
+        by_id[s.offer.offer_id].size for s in result.schedules
+    )

@@ -1,0 +1,144 @@
+"""E12 (extension) / §6: real-time flex-offer generation.
+
+The paper's closing direction — "generating flex-offers on the fly" — as a
+measurable pipeline: train on two weeks of history, then (a) emit day-ahead
+offers from mined habits and (b) detect appliance onsets in a live stream,
+reporting detection latency against ground truth.
+"""
+
+from __future__ import annotations
+
+from datetime import date, datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.extraction.online import OnlineFlexOfferGenerator
+from repro.scheduling import greedy_schedule
+from repro.simulation import HouseholdConfig, simulate_household
+from repro.simulation.res import simulate_wind_production
+from repro.timeseries.axis import axis_for_days
+from repro.workloads.scenarios import SCENARIO_START, nilm_household
+
+
+@pytest.fixture(scope="module")
+def trained_generator():
+    history = nilm_household(days=14, seed=3)
+    return OnlineFlexOfferGenerator.train(history.total), history
+
+
+def test_online_training(benchmark, report, trained_generator):
+    _, history = trained_generator
+
+    def train():
+        return OnlineFlexOfferGenerator.train(history.total)
+
+    generator = benchmark.pedantic(train, rounds=1, iterations=1)
+    rows = [
+        {"appliance": e.appliance,
+         "uses_per_week": round(e.frequency.uses_per_week, 1),
+         "flex_h": round(e.time_flexibility.total_seconds() / 3600, 1)}
+        for e in generator.table.flexible_entries()
+    ]
+    report("E12 — online generator: learned flexible-appliance model", rows)
+    assert generator.table.flexible_entries()
+
+
+def test_anticipatory_day_ahead(benchmark, report, trained_generator):
+    generator, _ = trained_generator
+    target_day = date(2012, 3, 19)  # the Monday after training
+
+    offers = benchmark(generator.anticipate, target_day)
+    rows = [
+        {"appliance": o.appliance,
+         "window": f"{o.earliest_start:%H:%M}-{o.latest_start:%H:%M}",
+         "energy_range_kwh": f"[{o.profile_energy_min:.2f}, {o.profile_energy_max:.2f}]",
+         "created": f"{o.creation_time:%m-%d %H:%M}"}
+        for o in offers
+    ]
+    report("E12 — day-ahead offers emitted before the day starts", rows)
+    assert offers
+    midnight = datetime(2012, 3, 19)
+    for offer in offers:
+        assert offer.creation_time < midnight
+
+    # Day-ahead offers must flow into the MIRABEL scheduler unchanged.
+    axis = axis_for_days(midnight, 2)
+    wind = simulate_wind_production(axis, np.random.default_rng(5))
+    target = wind * (sum(o.profile_energy_max for o in offers) / wind.total())
+    plan = greedy_schedule(offers, target)
+    assert len(plan.schedules) == len(offers)
+
+
+def test_reactive_stream_latency(benchmark, report, trained_generator):
+    generator, _ = trained_generator
+    # A fresh evaluation day the generator has never seen.
+    config = HouseholdConfig(
+        household_id="stream-eval",
+        appliances=("washing-machine-y", "dishwasher-z", "vacuum-robot-x"),
+        noise_std_kw=0.0,
+    )
+    eval_trace = simulate_household(
+        config, SCENARIO_START + timedelta(days=21), 2, np.random.default_rng(77)
+    )
+    truth = [a for a in eval_trace.activations if a.flexible]
+
+    def stream():
+        generator.reset_stream()
+        emitted = []
+        start = eval_trace.axis.start
+        for minute, value in enumerate(eval_trace.total.values):
+            when = start + timedelta(minutes=minute)
+            for offer in generator.observe(when, float(value)):
+                emitted.append((when, offer))
+        return emitted
+
+    emitted = benchmark.pedantic(stream, rounds=1, iterations=1)
+
+    # Two-level scoring: *onset detection* (was any flexible appliance
+    # genuinely running when we emitted?) per emission, and *per-run
+    # latency* (how fast was each true run first flagged?).  Attribution
+    # between wet appliances with near-identical heat-led onsets is
+    # ambiguous from a 20-minute head — the same ambiguity the paper's §4
+    # anticipates for NILM generally, so it is reported, not asserted.
+    onset_hits = sum(
+        1 for when, _ in emitted if any(a.start <= when <= a.end for a in truth)
+    )
+    rows = []
+    detected_runs = 0
+    for run in truth:
+        inside = [
+            (when, offer) for when, offer in emitted if run.start <= when <= run.end
+        ]
+        if inside:
+            first_when, first_offer = inside[0]
+            detected_runs += 1
+            rows.append(
+                {"true_run": f"{run.appliance} @ {run.start:%a %H:%M}",
+                 "first_emission": f"{first_when:%H:%M}",
+                 "claimed": first_offer.appliance,
+                 "attribution": "ok" if first_offer.appliance == run.appliance else "confused",
+                 "latency_min": round((first_when - run.start).total_seconds() / 60.0, 1)}
+            )
+        else:
+            rows.append(
+                {"true_run": f"{run.appliance} @ {run.start:%a %H:%M}",
+                 "first_emission": "-", "claimed": "-", "attribution": "missed",
+                 "latency_min": ""}
+            )
+    report(
+        f"E12 — reactive detection ({len(truth)} true flexible runs, "
+        f"{len(emitted)} emissions, {onset_hits} during live runs, "
+        f"{detected_runs} runs detected)",
+        rows,
+    )
+    assert emitted
+    # Emissions overwhelmingly coincide with a genuinely running flexible
+    # appliance (real-time flexibility detection — the §6 goal).
+    assert onset_hits >= 0.7 * len(emitted)
+    # Most true runs are flagged, and first flags arrive promptly.
+    assert detected_runs >= 0.6 * len(truth)
+    first_latencies = [r["latency_min"] for r in rows if r["latency_min"] != ""]
+    # A run's first flag can be inherited from an overlapping earlier run;
+    # the median latency is the robust promptness measure.
+    assert float(np.median(first_latencies)) <= 25

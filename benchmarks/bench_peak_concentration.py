@@ -1,0 +1,89 @@
+"""E10 / §1 + §6: temporal concentration of aggregated flex-offers.
+
+The paper's motivation: "with this random generation strategy, we can hardly
+analyze the scalability of MIRABEL during the peak hours since macro (or
+aggregated) flex-offers are more or less uniformly dispatched within the
+day"; and its conclusion: "despite the fact that the peak-based approach
+produces not very realistic flex-offers, the aggregated flex-offers are
+pretty realistic".  This bench quantifies both statements on a fleet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation import aggregate_all, group_offers
+from repro.evaluation.comparison import collect_offers
+from repro.evaluation.realism import offers_to_expected_series, peak_energy_fraction
+from repro.extraction import FlexOfferParams, PeakBasedExtractor, RandomBaselineExtractor
+from repro.timeseries.stats import correlation, temporal_dispersion
+
+
+def test_peak_concentration_vs_random(benchmark, report, bench_fleet):
+    axis = bench_fleet.metering_axis()
+    consumption = bench_fleet.aggregate_metered()
+    params = FlexOfferParams(flexible_share=0.05)
+
+    def build_series():
+        peak_offers = collect_offers(bench_fleet.traces, PeakBasedExtractor(params=params))
+        random_offers = collect_offers(bench_fleet.traces, RandomBaselineExtractor())
+        return (
+            offers_to_expected_series(peak_offers, axis),
+            offers_to_expected_series(random_offers, axis),
+        )
+
+    peak_series, random_series = benchmark.pedantic(build_series, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "generator": "peak-based extraction",
+            "dispersion_intervals": round(temporal_dispersion(peak_series), 2),
+            "peak_energy_fraction": round(peak_energy_fraction(peak_series, consumption), 3),
+            "corr_with_fleet_load": round(correlation(peak_series, consumption), 3),
+        },
+        {
+            "generator": "random baseline",
+            "dispersion_intervals": round(temporal_dispersion(random_series), 2),
+            "peak_energy_fraction": round(peak_energy_fraction(random_series, consumption), 3),
+            "corr_with_fleet_load": round(correlation(random_series, consumption), 3),
+        },
+    ]
+    report("E10 — macro flex-offer concentration: extraction vs random", rows)
+
+    assert temporal_dispersion(peak_series) < temporal_dispersion(random_series)
+    assert peak_energy_fraction(peak_series, consumption) > 2 * peak_energy_fraction(
+        random_series, consumption
+    )
+    assert correlation(peak_series, consumption) > correlation(random_series, consumption)
+
+
+def test_aggregated_offers_stay_realistic(benchmark, report, bench_fleet):
+    """§6: aggregation preserves the realistic shape of extracted offers."""
+    axis = bench_fleet.metering_axis()
+    consumption = bench_fleet.aggregate_metered()
+    params = FlexOfferParams(flexible_share=0.05)
+    offers = collect_offers(bench_fleet.traces, PeakBasedExtractor(params=params))
+    individual_series = offers_to_expected_series(offers, axis)
+
+    aggregates = benchmark.pedantic(
+        lambda: aggregate_all(group_offers(offers)), rounds=1, iterations=1
+    )
+    aggregate_series = offers_to_expected_series([a.offer for a in aggregates], axis)
+
+    rows = [
+        {"level": "individual offers",
+         "count": len(offers),
+         "corr_with_fleet_load": round(correlation(individual_series, consumption), 3)},
+        {"level": "aggregated offers",
+         "count": len(aggregates),
+         "corr_with_fleet_load": round(correlation(aggregate_series, consumption), 3)},
+    ]
+    report("E10 — aggregated flex-offers remain load-shaped (paper §6)", rows)
+    assert len(aggregates) < len(offers)
+    # Aggregation must not destroy the correlation with the fleet load.
+    assert correlation(aggregate_series, consumption) > 0.7 * correlation(
+        individual_series, consumption
+    )
+    # Energy is preserved through aggregation (start-aligned sums).
+    assert aggregate_series.total() == pytest.approx(individual_series.total(), rel=0.05)

@@ -1,0 +1,65 @@
+"""Benchmark fixtures: visible reporting plus shared cached scenarios.
+
+Every bench prints the paper-vs-measured rows it regenerates (through
+``capsys.disabled`` so the tables appear even under pytest's capture), and
+asserts the *shape* of the paper's result — who wins, by roughly what factor,
+where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.realism import format_table
+from repro.workloads.scenarios import (
+    nilm_household,
+    small_fleet,
+    tariff_study,
+    weekend_skewed_household,
+)
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a titled table (list of dict rows) bypassing pytest capture."""
+
+    def _report(title: str, rows=None, lines=None) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            if rows is not None:
+                print(format_table(rows))
+            if lines is not None:
+                for line in lines:
+                    print(line)
+
+    return _report
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20130318)  # EDBT/ICDT 2013 workshop date
+
+
+@pytest.fixture(scope="session")
+def bench_fleet():
+    """20 households x 7 days: the comparison/aggregation workload."""
+    return small_fleet(n=20, days=7, seed=13)
+
+
+@pytest.fixture(scope="session")
+def bench_nilm_trace():
+    """14-day five-appliance household for appliance-level benches."""
+    return nilm_household(days=14, seed=3)
+
+
+@pytest.fixture(scope="session")
+def bench_weekend_trace():
+    """28-day weekend-skewed household for the schedule bench."""
+    return weekend_skewed_household(days=28, seed=11)
+
+
+@pytest.fixture(scope="session")
+def bench_tariff_study():
+    """28-day paired tariff study for the multi-tariff bench."""
+    return tariff_study(days=28, seed=9)

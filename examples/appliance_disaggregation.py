@@ -1,0 +1,80 @@
+"""Appliance-level extraction (paper §4): NILM → shortlist → flex-offers.
+
+Simulates a household at 1-minute granularity (the sub-15-minute data §4
+requires), disaggregates the total into appliance runs by template matching
+against the Table 1 catalogue, derives the §4.1 shortlist (appliance, usage
+frequency, time flexibility), mines the §4.2 usage schedules, and emits
+per-activation flex-offers — then scores everything against the simulator's
+ground truth, which is the evaluation the paper could not run.
+
+Usage::
+
+    python examples/appliance_disaggregation.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from datetime import timedelta
+
+import numpy as np
+
+from repro import FrequencyBasedExtractor, ScheduleBasedExtractor
+from repro.evaluation.groundtruth import match_activations
+from repro.timeseries.calendar import DayType
+from repro.workloads.scenarios import nilm_household
+
+
+def main() -> None:
+    print("Simulating a 5-appliance household, 14 days at 1-minute resolution ...")
+    trace = nilm_household(days=14, seed=3)
+    true_counts = Counter(a.appliance for a in trace.activations)
+    print(f"  ground truth: {len(trace.activations)} appliance runs "
+          f"({dict(true_counts)})")
+
+    print("\n[§4.1 frequency-based extraction]")
+    result = FrequencyBasedExtractor().extract(trace.total, np.random.default_rng(0))
+    print("  step 1 — appliance shortlist with usage frequencies:")
+    for entry in result.extras["shortlist"]:
+        print(f"    {entry.describe()}")
+    detections = result.extras["detection"].detections
+    flex_match = match_activations(
+        [d for d in detections if d.flexible],
+        [a for a in trace.activations if a.flexible],
+        start_tolerance=timedelta(minutes=30),
+    )
+    print(f"  detection quality (flexible appliances): "
+          f"precision {flex_match.precision:.2f}, recall {flex_match.recall:.2f}, "
+          f"F1 {flex_match.f1:.2f}")
+    print(f"  step 2 — {len(result.offers)} flex-offers, "
+          f"{result.extracted_energy:.1f} kWh "
+          f"(true flexible energy "
+          f"{sum(a.energy_kwh for a in trace.activations if a.flexible):.1f} kWh)")
+    for offer in result.offers[:5]:
+        print(f"    {offer.appliance:>18s} @ {offer.earliest_start:%a %H:%M}  "
+              f"flex {offer.time_flexibility}  "
+              f"[{sum(s.energy_min for s in offer.slices):.2f}, "
+              f"{sum(s.energy_max for s in offer.slices):.2f}] kWh")
+
+    print("\n[§4.2 schedule-based extraction]")
+    result = ScheduleBasedExtractor().extract(trace.total, np.random.default_rng(0))
+    print("  mined usage schedules (habit windows):")
+    for appliance, mined in result.extras["schedules"].items():
+        for dtype in DayType:
+            windows = mined.windows[dtype]
+            if windows:
+                spans = ", ".join(
+                    f"{w.start:%H:%M}-{w.end:%H:%M}" for w in windows
+                )
+                print(f"    {appliance:>18s} {dtype.value:<8s} {spans} "
+                      f"(~{mined.expected_starts(dtype):.1f} starts/day)")
+    mean_flex = np.mean(
+        [o.time_flexibility.total_seconds() / 3600 for o in result.offers]
+    ) if result.offers else 0.0
+    print(f"  {len(result.offers)} habit-confined flex-offers, "
+          f"mean time flexibility {mean_flex:.1f} h "
+          f"(manufacturer limits would allow more — habits tighten)")
+
+
+if __name__ == "__main__":
+    main()

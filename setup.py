@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that legacy
+editable installs (``SETUPTOOLS_ENABLE_FEATURES=legacy-editable pip install -e .``)
+work on environments whose setuptools lacks PEP 660 wheel support.
+"""
+
+from setuptools import setup
+
+setup()

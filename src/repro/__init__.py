@@ -1,0 +1,78 @@
+"""repro — automated extraction of flexibilities from electricity time series.
+
+A production-quality reproduction of Kaulakienė, Šikšnys & Pitarch,
+"Towards the Automated Extraction of Flexibilities from Electricity Time
+Series" (EDBT/ICDT Workshops 2013), including the MIRABEL substrates the
+paper builds on: the flex-offer model, aggregation, scheduling, forecasting,
+and a ground-truth household simulator standing in for the project's
+unavailable trial data.
+
+Quickstart::
+
+    import numpy as np
+    from repro import PeakBasedExtractor, FlexOfferParams
+    from repro.workloads import figure5_day
+
+    day = figure5_day()
+    extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+    result = extractor.extract(day.series, np.random.default_rng(0))
+    print(result.offers)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.errors import (
+    AggregationError,
+    AxisMismatchError,
+    DataError,
+    ExtractionError,
+    ReproError,
+    ResolutionError,
+    SchedulingError,
+    ValidationError,
+)
+from repro.extraction import (
+    BasicExtractor,
+    ExtractionResult,
+    FlexibilityExtractor,
+    FlexOfferParams,
+    FrequencyBasedExtractor,
+    MultiTariffExtractor,
+    PeakBasedExtractor,
+    RandomBaselineExtractor,
+    ScheduleBasedExtractor,
+)
+from repro.flexoffer import FlexOffer, ProfileSlice, ScheduledFlexOffer, figure1_flexoffer
+from repro.timeseries import FIFTEEN_MINUTES, ONE_MINUTE, TimeAxis, TimeSeries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationError",
+    "AxisMismatchError",
+    "DataError",
+    "ExtractionError",
+    "ReproError",
+    "ResolutionError",
+    "SchedulingError",
+    "ValidationError",
+    "BasicExtractor",
+    "ExtractionResult",
+    "FlexibilityExtractor",
+    "FlexOfferParams",
+    "FrequencyBasedExtractor",
+    "MultiTariffExtractor",
+    "PeakBasedExtractor",
+    "RandomBaselineExtractor",
+    "ScheduleBasedExtractor",
+    "FlexOffer",
+    "ProfileSlice",
+    "ScheduledFlexOffer",
+    "figure1_flexoffer",
+    "FIFTEEN_MINUTES",
+    "ONE_MINUTE",
+    "TimeAxis",
+    "TimeSeries",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Flex-offer aggregation/disaggregation (MIRABEL substrate, paper [4])."""
+
+from repro.aggregation.aggregate import (
+    AggregatedFlexOffer,
+    aggregate_all,
+    aggregate_group,
+    disaggregate_schedule,
+)
+from repro.aggregation.grouping import GroupingParams, group_offers
+
+__all__ = [
+    "AggregatedFlexOffer",
+    "aggregate_all",
+    "aggregate_group",
+    "disaggregate_schedule",
+    "GroupingParams",
+    "group_offers",
+]

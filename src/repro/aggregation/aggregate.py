@@ -1,0 +1,161 @@
+"""Start-aligned N-to-1 flex-offer aggregation (paper [4]).
+
+A group of similar offers becomes one *aggregated* flex-offer whose profile
+is the slice-wise sum of the member profiles, each member placed at its own
+earliest start relative to the group's earliest.  The aggregate's time
+flexibility is the *minimum* member flexibility, which makes aggregation
+conservative: any schedule of the aggregate disaggregates into feasible
+member schedules (shift every member by the same delta).
+
+The cost of conservatism is lost flexibility (members with more slack than
+the minimum give some up) — exactly the compression/fidelity trade-off the
+grouping grid controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+
+import numpy as np
+
+from repro.errors import AggregationError
+from repro.flexoffer.model import FlexOffer, ProfileSlice, next_offer_id
+from repro.flexoffer.schedule import ScheduledFlexOffer
+
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class AggregatedFlexOffer:
+    """An aggregate offer plus everything needed to disaggregate it."""
+
+    offer: FlexOffer
+    members: tuple[FlexOffer, ...]
+    member_offsets: tuple[int, ...]  # member profile offset in aggregate slices
+
+    @property
+    def size(self) -> int:
+        """Number of member offers."""
+        return len(self.members)
+
+
+def aggregate_group(group: list[FlexOffer]) -> AggregatedFlexOffer:
+    """Aggregate one group of offers into a single flex-offer.
+
+    All members must share a resolution.  The aggregate's earliest start is
+    the earliest member start; each member's profile is embedded at its own
+    offset; per-interval min/max bounds are summed.
+    """
+    if not group:
+        raise AggregationError("cannot aggregate an empty group")
+    resolution = group[0].resolution
+    for offer in group[1:]:
+        if offer.resolution != resolution:
+            raise AggregationError("aggregation requires a uniform resolution")
+    base_start = min(o.earliest_start for o in group)
+    offsets = []
+    for offer in group:
+        delta = offer.earliest_start - base_start
+        quotient = delta / resolution
+        offset = int(round(quotient))
+        if abs(quotient - offset) > 1e-9:
+            raise AggregationError(
+                f"offer {offer.offer_id} is not grid-aligned with the group"
+            )
+        offsets.append(offset)
+
+    expansions = [o.slice_expansion() for o in group]
+    total_len = max(off + len(exp) for off, exp in zip(offsets, expansions))
+    mins = np.zeros(total_len)
+    maxs = np.zeros(total_len)
+    for off, exp in zip(offsets, expansions):
+        for k, (lo, hi) in enumerate(exp):
+            mins[off + k] += lo
+            maxs[off + k] += hi
+
+    flexibility = min((o.time_flexibility for o in group), default=timedelta(0))
+    slices = tuple(ProfileSlice(float(lo), float(hi)) for lo, hi in zip(mins, maxs))
+    aggregate = FlexOffer(
+        earliest_start=base_start,
+        latest_start=base_start + flexibility,
+        slices=slices,
+        resolution=resolution,
+        offer_id=next_offer_id("agg"),
+        source="aggregation",
+        creation_time=min(
+            (o.creation_time for o in group if o.creation_time is not None),
+            default=None,
+        ),
+    )
+    return AggregatedFlexOffer(
+        offer=aggregate, members=tuple(group), member_offsets=tuple(offsets)
+    )
+
+
+def aggregate_all(
+    groups: list[list[FlexOffer]],
+) -> list[AggregatedFlexOffer]:
+    """Aggregate every group; convenience over :func:`aggregate_group`."""
+    return [aggregate_group(g) for g in groups]
+
+
+def disaggregate_schedule(
+    aggregated: AggregatedFlexOffer, schedule: ScheduledFlexOffer
+) -> list[ScheduledFlexOffer]:
+    """Split a schedule of the aggregate into feasible member schedules.
+
+    The time shift ``delta = schedule.start − aggregate.earliest_start`` is
+    applied to every member (feasible because the aggregate's flexibility is
+    the member minimum).  Each aggregate interval's energy is divided among
+    the members overlapping it: every member first receives its minimum,
+    then the remainder is shared proportionally to each member's slack —
+    which always lands inside the member bounds because the aggregate bounds
+    are the member sums.
+    """
+    if schedule.offer.offer_id != aggregated.offer.offer_id:
+        raise AggregationError("schedule does not belong to this aggregate")
+    delta = schedule.start - aggregated.offer.earliest_start
+    energies = schedule.interval_energies()
+
+    expansions = [m.slice_expansion() for m in aggregated.members]
+    member_interval_energies: list[np.ndarray] = [
+        np.zeros(len(exp)) for exp in expansions
+    ]
+    for t in range(len(energies)):
+        parts = []  # (member index, local interval, lo, hi)
+        for i, (off, exp) in enumerate(zip(aggregated.member_offsets, expansions)):
+            local = t - off
+            if 0 <= local < len(exp):
+                lo, hi = exp[local]
+                parts.append((i, local, lo, hi))
+        if not parts:
+            if energies[t] > _TOLERANCE:
+                raise AggregationError(
+                    f"aggregate interval {t} has energy but no members"
+                )
+            continue
+        lo_sum = sum(p[2] for p in parts)
+        hi_sum = sum(p[3] for p in parts)
+        target = float(np.clip(energies[t], lo_sum, hi_sum))
+        slack_sum = hi_sum - lo_sum
+        extra = target - lo_sum
+        for i, local, lo, hi in parts:
+            share = (hi - lo) / slack_sum if slack_sum > _TOLERANCE else 0.0
+            member_interval_energies[i][local] = lo + extra * share
+
+    out = []
+    for member, interval_energy in zip(aggregated.members, member_interval_energies):
+        slice_energies = []
+        cursor = 0
+        for sl in member.slices:
+            slice_energies.append(float(interval_energy[cursor : cursor + sl.duration].sum()))
+            cursor += sl.duration
+        out.append(
+            ScheduledFlexOffer(
+                offer=member,
+                start=member.earliest_start + delta,
+                slice_energies=tuple(slice_energies),
+            )
+        )
+    return out

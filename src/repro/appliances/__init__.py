@@ -1,0 +1,39 @@
+"""Appliance knowledge: specs (Table 1), usage frequencies and schedules."""
+
+from repro.appliances.database import (
+    TABLE1_NAMES,
+    ApplianceDatabase,
+    default_database,
+    table1_database,
+)
+from repro.appliances.model import (
+    ApplianceCategory,
+    ApplianceSpec,
+    flat_shape,
+    phased_shape,
+    ramped_shape,
+)
+from repro.appliances.usage import (
+    UsageFrequency,
+    UsageSchedule,
+    daytime_schedule,
+    evening_schedule,
+    night_schedule,
+)
+
+__all__ = [
+    "TABLE1_NAMES",
+    "ApplianceDatabase",
+    "default_database",
+    "table1_database",
+    "ApplianceCategory",
+    "ApplianceSpec",
+    "flat_shape",
+    "phased_shape",
+    "ramped_shape",
+    "UsageFrequency",
+    "UsageSchedule",
+    "daytime_schedule",
+    "evening_schedule",
+    "night_schedule",
+]

@@ -1,0 +1,266 @@
+"""The built-in appliance database, including all six Table 1 rows.
+
+Paper §4 assumes "the specification of the electricity usage of all
+appliances ever manufactured in the world".  We curate the Table 1 rows plus
+the common household appliances the simulator needs, with energy ranges taken
+from the table and cycle shapes modelled after typical duty cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import time, timedelta
+
+from repro.appliances.model import (
+    ApplianceCategory,
+    ApplianceSpec,
+    flat_shape,
+    phased_shape,
+    ramped_shape,
+)
+from repro.appliances.usage import (
+    UsageFrequency,
+    UsageSchedule,
+    daytime_schedule,
+    evening_schedule,
+    night_schedule,
+)
+from repro.errors import DataError
+from repro.timeseries.calendar import DailyWindow, DayType
+
+#: Names of the six appliances printed in Table 1 of the paper.
+TABLE1_NAMES: tuple[str, ...] = (
+    "vacuum-robot-x",
+    "washing-machine-y",
+    "dishwasher-z",
+    "ev-small",
+    "ev-medium",
+    "ev-large",
+)
+
+
+def _table1_specs() -> list[ApplianceSpec]:
+    """The exact Table 1 rows: name, manufacturer, energy range, profile."""
+    weekend_skew = {DayType.WORKDAY: 0.7, DayType.SATURDAY: 1.8, DayType.SUNDAY: 1.8}
+    return [
+        ApplianceSpec(
+            name="vacuum-robot-x",
+            manufacturer="Manufacturer X",
+            category=ApplianceCategory.CLEANING,
+            energy_min_kwh=0.5,
+            energy_max_kwh=1.0,
+            # Recharge after the daily clean: tapering charge over ~3 hours.
+            shape=ramped_shape(180, start_power=1.0, end_power=0.2),
+            flexible=True,
+            # The paper's example: cleans daily, must recharge before the
+            # next run => 22 hours of flexibility.
+            time_flexibility=timedelta(hours=22),
+            frequency=UsageFrequency(7.0),
+            schedule=daytime_schedule(),
+        ),
+        ApplianceSpec(
+            name="washing-machine-y",
+            manufacturer="Manufacturer Y",
+            category=ApplianceCategory.WET,
+            energy_min_kwh=1.2,
+            energy_max_kwh=3.0,
+            # Heat, tumble, spin.
+            shape=phased_shape([(25, 2.0), (60, 0.35), (15, 1.0)]),
+            flexible=True,
+            time_flexibility=timedelta(hours=8),
+            frequency=UsageFrequency(3.0),
+            schedule=evening_schedule(),
+        ),
+        ApplianceSpec(
+            name="dishwasher-z",
+            manufacturer="Manufacturer Z",
+            category=ApplianceCategory.WET,
+            energy_min_kwh=1.2,
+            energy_max_kwh=2.0,
+            # Two heating phases (wash + dry) separated by circulation.
+            shape=phased_shape([(20, 2.0), (40, 0.3), (25, 1.6)]),
+            flexible=True,
+            time_flexibility=timedelta(hours=10),
+            frequency=UsageFrequency(4.0, day_type_weights=weekend_skew),
+            schedule=UsageSchedule(
+                windows=(
+                    (DailyWindow(time(19, 0), time(23, 0)), 3.0),
+                    (DailyWindow(time(12, 0), time(14, 0)), 1.0),
+                )
+            ),
+        ),
+        ApplianceSpec(
+            name="ev-small",
+            manufacturer="Generic EV",
+            category=ApplianceCategory.EV,
+            energy_min_kwh=30.0,
+            energy_max_kwh=50.0,
+            # 11 kW charger, tapering at the end; sized so the midpoint
+            # (40 kWh) charges in ~4 h.
+            shape=ramped_shape(240, start_power=1.0, end_power=0.55),
+            flexible=True,
+            time_flexibility=timedelta(hours=7),
+            frequency=UsageFrequency(3.5),
+            schedule=night_schedule(),
+        ),
+        ApplianceSpec(
+            name="ev-medium",
+            manufacturer="Generic EV",
+            category=ApplianceCategory.EV,
+            energy_min_kwh=50.0,
+            energy_max_kwh=60.0,
+            shape=ramped_shape(300, start_power=1.0, end_power=0.55),
+            flexible=True,
+            time_flexibility=timedelta(hours=6),
+            frequency=UsageFrequency(3.5),
+            schedule=night_schedule(),
+        ),
+        ApplianceSpec(
+            name="ev-large",
+            manufacturer="Generic EV",
+            category=ApplianceCategory.EV,
+            energy_min_kwh=60.0,
+            energy_max_kwh=70.0,
+            shape=ramped_shape(330, start_power=1.0, end_power=0.55),
+            flexible=True,
+            time_flexibility=timedelta(hours=5),
+            frequency=UsageFrequency(3.5),
+            schedule=night_schedule(),
+        ),
+    ]
+
+
+def _household_extras() -> list[ApplianceSpec]:
+    """Common appliances beyond Table 1 that realistic households contain."""
+    return [
+        ApplianceSpec(
+            name="tumble-dryer",
+            manufacturer="Manufacturer Y",
+            category=ApplianceCategory.WET,
+            energy_min_kwh=1.5,
+            energy_max_kwh=2.5,
+            shape=phased_shape([(10, 1.0), (50, 2.0), (15, 0.5)]),
+            flexible=True,
+            time_flexibility=timedelta(hours=6),
+            frequency=UsageFrequency(2.0),
+            schedule=evening_schedule(),
+        ),
+        ApplianceSpec(
+            name="water-heater",
+            manufacturer="Generic",
+            category=ApplianceCategory.HEATING,
+            energy_min_kwh=2.0,
+            energy_max_kwh=4.0,
+            shape=flat_shape(90),
+            flexible=True,
+            time_flexibility=timedelta(hours=4),
+            frequency=UsageFrequency(7.0),
+            schedule=UsageSchedule(
+                windows=(
+                    (DailyWindow(time(5, 0), time(7, 0)), 2.0),
+                    (DailyWindow(time(20, 0), time(22, 0)), 1.0),
+                )
+            ),
+        ),
+        ApplianceSpec(
+            name="oven",
+            manufacturer="Generic",
+            category=ApplianceCategory.COOKING,
+            energy_min_kwh=0.8,
+            energy_max_kwh=2.0,
+            shape=phased_shape([(15, 2.5), (45, 1.0)]),
+            flexible=False,  # dinner cannot be shifted to 3 AM
+            frequency=UsageFrequency(
+                5.0,
+                day_type_weights={
+                    DayType.WORKDAY: 0.9,
+                    DayType.SATURDAY: 1.3,
+                    DayType.SUNDAY: 1.3,
+                },
+            ),
+            schedule=UsageSchedule(
+                windows=((DailyWindow(time(17, 30), time(19, 30)), 1.0),)
+            ),
+        ),
+        ApplianceSpec(
+            name="television",
+            manufacturer="Generic",
+            category=ApplianceCategory.ENTERTAINMENT,
+            energy_min_kwh=0.2,
+            energy_max_kwh=0.6,
+            shape=flat_shape(180),
+            flexible=False,
+            frequency=UsageFrequency(7.0),
+            schedule=UsageSchedule(
+                windows=((DailyWindow(time(19, 0), time(23, 0)), 1.0),)
+            ),
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class ApplianceDatabase:
+    """A queryable catalogue of appliance specifications."""
+
+    specs: tuple[ApplianceSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.specs]
+        if len(names) != len(set(names)):
+            raise DataError("duplicate appliance names in database")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def get(self, name: str) -> ApplianceSpec:
+        """Look up a spec by name; raises :class:`KeyError` when absent."""
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"unknown appliance: {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(s.name == name for s in self.specs)
+
+    def names(self) -> list[str]:
+        """All appliance names in catalogue order."""
+        return [s.name for s in self.specs]
+
+    def by_category(self, category: ApplianceCategory) -> list[ApplianceSpec]:
+        """All specs in one category."""
+        return [s for s in self.specs if s.category is category]
+
+    def flexible(self) -> list[ApplianceSpec]:
+        """All shiftable appliances."""
+        return [s for s in self.specs if s.flexible]
+
+    def candidates_for_energy(self, energy_kwh: float, slack: float = 0.25) -> list[ApplianceSpec]:
+        """Specs whose energy range plausibly covers ``energy_kwh``."""
+        return [s for s in self.specs if s.matches_energy(energy_kwh, slack)]
+
+    def restricted(self, names: list[str]) -> "ApplianceDatabase":
+        """Sub-database containing only the named appliances (order kept)."""
+        missing = [n for n in names if n not in self]
+        if missing:
+            raise KeyError(f"unknown appliances: {missing}")
+        return ApplianceDatabase(tuple(s for s in self.specs if s.name in set(names)))
+
+    def table_rows(self) -> list[tuple[str, str, float, float, int]]:
+        """Rows shaped like paper Table 1: name, manufacturer, range, cycle."""
+        return [
+            (s.name, s.manufacturer, s.energy_min_kwh, s.energy_max_kwh, s.cycle_minutes)
+            for s in self.specs
+        ]
+
+
+def table1_database() -> ApplianceDatabase:
+    """Exactly the six appliances of paper Table 1."""
+    return ApplianceDatabase(tuple(_table1_specs()))
+
+
+def default_database() -> ApplianceDatabase:
+    """Table 1 plus common household appliances (the simulator's catalogue)."""
+    return ApplianceDatabase(tuple(_table1_specs() + _household_extras()))

@@ -1,0 +1,203 @@
+"""Appliance specifications: energy ranges and fine-grained profiles.
+
+Paper Table 1 defines, per manufactured appliance, an energy-consumption
+range (kWh) and an energy profile "with min and max ranges for every time
+stamp (granularity must be even smaller than 15min)".  We model the profile
+as a per-minute unit-energy shape: a non-negative vector summing to 1 whose
+entry ``m`` is the fraction of the cycle's total energy consumed in minute
+``m``.  A concrete activation scales the shape by a total energy drawn from
+the appliance's range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import timedelta
+from enum import Enum
+
+import numpy as np
+
+from repro.appliances.usage import UsageFrequency, UsageSchedule
+from repro.errors import ValidationError
+
+
+class ApplianceCategory(Enum):
+    """Coarse appliance families used for grouping and reporting."""
+
+    WET = "wet"              # washing machine, dishwasher, dryer
+    COLD = "cold"            # fridge, freezer (cycling, non-shiftable)
+    HEATING = "heating"      # water heater, space heating
+    COOKING = "cooking"      # oven, stove
+    EV = "ev"                # electric vehicles
+    CLEANING = "cleaning"    # vacuum robots
+    ENTERTAINMENT = "entertainment"
+    LIGHTING = "lighting"
+    OTHER = "other"
+
+
+@dataclass(frozen=True, slots=True)
+class ApplianceSpec:
+    """Static description of one appliance model (a Table 1 row, enriched).
+
+    Parameters
+    ----------
+    name:
+        Unique appliance identifier, e.g. ``"washing-machine-y"``.
+    manufacturer:
+        Free-text manufacturer label (Table 1 uses "Manufacturer X/Y/Z").
+    category:
+        Appliance family.
+    energy_min_kwh / energy_max_kwh:
+        Table 1's "Energy Consumption Range": total energy of one cycle.
+    shape:
+        Unit-energy per-minute profile (sums to 1); its length is the cycle
+        duration in minutes.
+    flexible:
+        Whether usage of this appliance is shiftable in time (a washing
+        machine is; a TV is not).
+    time_flexibility:
+        Typical shiftability of one activation — the paper's example gives a
+        vacuum robot 22 hours (must recharge before the next daily run).
+    frequency:
+        Typical usage frequency (the §4.1 "frequency usage table" entry).
+    schedule:
+        Preferred start windows (the §4.2 usage schedule).
+    """
+
+    name: str
+    manufacturer: str
+    category: ApplianceCategory
+    energy_min_kwh: float
+    energy_max_kwh: float
+    shape: np.ndarray
+    flexible: bool
+    time_flexibility: timedelta = timedelta(0)
+    frequency: UsageFrequency = field(default_factory=lambda: UsageFrequency(7.0))
+    schedule: UsageSchedule = field(default_factory=UsageSchedule)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("appliance name must be non-empty")
+        if not 0 < self.energy_min_kwh <= self.energy_max_kwh:
+            raise ValidationError(
+                f"{self.name}: need 0 < energy_min <= energy_max, got "
+                f"[{self.energy_min_kwh}, {self.energy_max_kwh}]"
+            )
+        shape = np.asarray(self.shape, dtype=np.float64)
+        if shape.ndim != 1 or shape.shape[0] < 1:
+            raise ValidationError(f"{self.name}: shape must be a non-empty 1-D vector")
+        if (shape < 0).any():
+            raise ValidationError(f"{self.name}: shape must be non-negative")
+        total = float(shape.sum())
+        if total <= 0:
+            raise ValidationError(f"{self.name}: shape must have positive mass")
+        # Normalise defensively so callers may pass unnormalised shapes.
+        object.__setattr__(self, "shape", shape / total)
+        if self.time_flexibility < timedelta(0):
+            raise ValidationError(f"{self.name}: time_flexibility must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    # Derived attributes
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cycle_minutes(self) -> int:
+        """Duration of one activation cycle in minutes."""
+        return int(self.shape.shape[0])
+
+    @property
+    def cycle_duration(self) -> timedelta:
+        """Duration of one activation cycle."""
+        return timedelta(minutes=self.cycle_minutes)
+
+    @property
+    def typical_energy_kwh(self) -> float:
+        """Midpoint of the energy range."""
+        return 0.5 * (self.energy_min_kwh + self.energy_max_kwh)
+
+    @property
+    def peak_power_kw(self) -> float:
+        """Peak power of a typical cycle (kW)."""
+        # shape is kWh-fraction per minute; power = fraction * E * 60 kW.
+        return float(self.shape.max() * self.typical_energy_kwh * 60.0)
+
+    # ------------------------------------------------------------------ #
+    # Profile realisation
+    # ------------------------------------------------------------------ #
+
+    def energy_profile_minutes(self, total_energy_kwh: float) -> np.ndarray:
+        """Per-minute energy (kWh) of a cycle consuming ``total_energy_kwh``."""
+        if not (
+            self.energy_min_kwh - 1e-9 <= total_energy_kwh <= self.energy_max_kwh + 1e-9
+        ):
+            raise ValidationError(
+                f"{self.name}: total energy {total_energy_kwh} outside "
+                f"[{self.energy_min_kwh}, {self.energy_max_kwh}]"
+            )
+        return self.shape * total_energy_kwh
+
+    def profile_bounds_minutes(self) -> tuple[np.ndarray, np.ndarray]:
+        """Table 1's per-timestamp (min, max) profile ranges."""
+        return self.shape * self.energy_min_kwh, self.shape * self.energy_max_kwh
+
+    def sample_energy(self, rng: np.random.Generator) -> float:
+        """Draw a cycle's total energy uniformly from the appliance range."""
+        return float(rng.uniform(self.energy_min_kwh, self.energy_max_kwh))
+
+    def matches_energy(self, energy_kwh: float, slack: float = 0.25) -> bool:
+        """True when ``energy_kwh`` plausibly came from this appliance.
+
+        ``slack`` widens the range proportionally to absorb measurement and
+        overlap noise (used by the appliance-detection step).
+        """
+        width = self.energy_max_kwh - self.energy_min_kwh
+        margin = slack * max(width, self.energy_min_kwh)
+        return (
+            self.energy_min_kwh - margin <= energy_kwh <= self.energy_max_kwh + margin
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ApplianceSpec({self.name!r}, {self.category.value}, "
+            f"[{self.energy_min_kwh}, {self.energy_max_kwh}] kWh, "
+            f"{self.cycle_minutes} min, flexible={self.flexible})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Shape builders — simple, distinctive per-minute templates
+# ---------------------------------------------------------------------- #
+
+
+def flat_shape(minutes: int) -> np.ndarray:
+    """Constant-power cycle of ``minutes`` length."""
+    if minutes < 1:
+        raise ValidationError("shape needs >= 1 minute")
+    return np.full(minutes, 1.0 / minutes)
+
+
+def phased_shape(phases: list[tuple[int, float]]) -> np.ndarray:
+    """Piecewise-constant cycle from ``(minutes, relative_power)`` phases.
+
+    Example: a washing machine = 20 min heating at high power, 60 min
+    tumbling at low power, 10 min spinning at medium power.
+    """
+    if not phases:
+        raise ValidationError("need at least one phase")
+    parts = []
+    for minutes, power in phases:
+        if minutes < 1 or power < 0:
+            raise ValidationError(f"bad phase ({minutes} min, {power})")
+        parts.append(np.full(minutes, float(power)))
+    shape = np.concatenate(parts)
+    return shape / shape.sum()
+
+
+def ramped_shape(minutes: int, start_power: float, end_power: float) -> np.ndarray:
+    """Linearly ramping cycle (e.g. battery charging that tapers off)."""
+    if minutes < 1:
+        raise ValidationError("shape needs >= 1 minute")
+    shape = np.linspace(start_power, end_power, minutes)
+    if (shape < 0).any():
+        raise ValidationError("ramp must stay non-negative")
+    return shape / shape.sum()

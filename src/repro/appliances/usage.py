@@ -1,0 +1,167 @@
+"""Appliance usage models: how often and when appliances run.
+
+The frequency-based extractor (paper §4.1) needs "usage frequency" per
+appliance ("some appliances may be used daily while some may be used weekly or
+monthly"); the schedule-based extractor (§4.2) needs richer habits ("the
+dishwasher is more used during the weekends").  These two notions are
+modelled here as :class:`UsageFrequency` and :class:`UsageSchedule` and shared
+by the simulator (to generate ground truth) and the extractors (as the mined
+representation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import time, timedelta
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.timeseries.calendar import DailyWindow, DayType
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True, slots=True)
+class UsageFrequency:
+    """Mean number of uses per week, with optional day-type skew.
+
+    ``day_type_weights`` redistributes the weekly uses across day types; the
+    weights are relative (they are normalised against the 5/1/1 composition of
+    a week).  A dishwasher used mostly on weekends would carry
+    ``{WORKDAY: 0.5, SATURDAY: 2.0, SUNDAY: 2.0}``.
+    """
+
+    uses_per_week: float
+    day_type_weights: dict[DayType, float] = field(
+        default_factory=lambda: {t: 1.0 for t in DayType}
+    )
+
+    def __post_init__(self) -> None:
+        if self.uses_per_week < 0:
+            raise ValidationError("uses_per_week must be >= 0")
+        for day_type, weight in self.day_type_weights.items():
+            if weight < 0:
+                raise ValidationError(f"negative weight for {day_type}")
+
+    @property
+    def uses_per_day(self) -> float:
+        """Mean daily usage ignoring day-type skew."""
+        return self.uses_per_week / 7.0
+
+    def expected_uses(self, day_type: DayType) -> float:
+        """Expected number of uses on a day of the given type.
+
+        The weekly total is preserved: summing this over a standard week
+        (5 workdays, 1 Saturday, 1 Sunday) returns ``uses_per_week``.
+        """
+        counts = {DayType.WORKDAY: 5.0, DayType.SATURDAY: 1.0, DayType.SUNDAY: 1.0}
+        weighted_week = sum(
+            counts[t] * self.day_type_weights.get(t, 1.0) for t in DayType
+        )
+        if weighted_week == 0.0:
+            return 0.0
+        return self.uses_per_week * self.day_type_weights.get(day_type, 1.0) / weighted_week
+
+    def sample_uses(self, day_type: DayType, rng: np.random.Generator) -> int:
+        """Draw the number of uses for one day (Poisson around the mean)."""
+        lam = self.expected_uses(day_type)
+        if lam <= 0.0:
+            return 0
+        return int(rng.poisson(lam))
+
+    def describe(self) -> str:
+        """Human-readable frequency, e.g. 'daily', '2.0x/week'."""
+        if self.uses_per_week >= 6.5:
+            return "daily"
+        if self.uses_per_week >= 0.9:
+            return f"{self.uses_per_week:.1f}x/week"
+        per_month = self.uses_per_week * 4.345
+        return f"{per_month:.1f}x/month"
+
+
+@dataclass(frozen=True, slots=True)
+class UsageSchedule:
+    """Preferred start-time windows with relative weights.
+
+    ``windows`` is a sequence of ``(window, weight)`` pairs; sampling picks a
+    window proportionally to weight, then a uniform start minute within it.
+    An empty sequence means "any time of day".
+    """
+
+    windows: tuple[tuple[DailyWindow, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for _, weight in self.windows:
+            if weight < 0:
+                raise ValidationError("schedule window weight must be >= 0")
+
+    def sample_start_minute(self, rng: np.random.Generator) -> int:
+        """Draw a start minute-of-day according to the window weights."""
+        if not self.windows:
+            return int(rng.integers(0, MINUTES_PER_DAY))
+        weights = np.array([w for _, w in self.windows], dtype=float)
+        total = weights.sum()
+        if total == 0.0:
+            return int(rng.integers(0, MINUTES_PER_DAY))
+        idx = int(rng.choice(len(self.windows), p=weights / total))
+        window, _ = self.windows[idx]
+        start_min = window.start.hour * 60 + window.start.minute
+        width = int(window.duration().total_seconds() // 60)
+        if width <= 0:
+            return start_min
+        return (start_min + int(rng.integers(0, width))) % MINUTES_PER_DAY
+
+    def probability_in_window(self, window: DailyWindow) -> float:
+        """Probability mass a start falls inside ``window`` (by overlap).
+
+        Evaluates the per-minute start density implied by the schedule and
+        integrates it over ``window``; used by tests and the schedule miner.
+        """
+        density = self.start_density_per_minute()
+        minutes = np.arange(MINUTES_PER_DAY)
+        mask = np.array(
+            [window.contains(time(m // 60, m % 60)) for m in minutes]
+        )
+        return float(density[mask].sum())
+
+    def start_density_per_minute(self) -> np.ndarray:
+        """Start-time probability density over the 1440 minutes of a day."""
+        density = np.zeros(MINUTES_PER_DAY)
+        if not self.windows:
+            density[:] = 1.0 / MINUTES_PER_DAY
+            return density
+        weights = np.array([w for _, w in self.windows], dtype=float)
+        total = weights.sum()
+        if total == 0.0:
+            density[:] = 1.0 / MINUTES_PER_DAY
+            return density
+        for (window, weight) in self.windows:
+            width = int(window.duration().total_seconds() // 60)
+            if width <= 0:
+                continue
+            start = window.start.hour * 60 + window.start.minute
+            share = weight / total / width
+            for offset in range(width):
+                density[(start + offset) % MINUTES_PER_DAY] += share
+        return density
+
+
+def evening_schedule() -> UsageSchedule:
+    """A typical 'after work' schedule: mostly 17:00–22:00, some mornings."""
+    return UsageSchedule(
+        windows=(
+            (DailyWindow(time(17, 0), time(22, 0)), 3.0),
+            (DailyWindow(time(7, 0), time(9, 0)), 1.0),
+        )
+    )
+
+
+def night_schedule() -> UsageSchedule:
+    """An overnight schedule (EV charging): 21:00–01:00 starts."""
+    return UsageSchedule(windows=((DailyWindow(time(21, 0), time(1, 0)), 1.0),))
+
+
+def daytime_schedule() -> UsageSchedule:
+    """A daytime schedule (vacuum robot): 09:00–12:00 starts."""
+    return UsageSchedule(windows=((DailyWindow(time(9, 0), time(12, 0)), 1.0),))

@@ -1,0 +1,173 @@
+"""Command-line interface: simulate, extract, evaluate, reproduce figures.
+
+Installed as the ``repro`` console script::
+
+    repro simulate --households 5 --days 7 --out data/
+    repro extract  --input data/hh-0000.csv --approach peak-based --share 0.05 \
+                   --out offers.json
+    repro evaluate --households 6 --days 7
+    repro figures
+
+Each subcommand is a thin shell over the library; everything it does is
+available programmatically (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import datetime
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.evaluation.comparison import compare_on_traces
+from repro.evaluation.realism import format_table
+from repro.extraction import (
+    BasicExtractor,
+    FlexOfferParams,
+    PeakBasedExtractor,
+    RandomBaselineExtractor,
+)
+from repro.flexoffer.io import save_flexoffers
+from repro.simulation import generate_fleet
+from repro.timeseries.io import load_series_csv, save_series_csv
+
+_APPROACHES = {
+    "basic": BasicExtractor,
+    "peak-based": PeakBasedExtractor,
+}
+
+
+def _parse_date(text: str) -> datetime:
+    try:
+        return datetime.fromisoformat(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad date {text!r}: {exc}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument grammar."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flexibility extraction from electricity time series "
+        "(Kaulakiene et al., EDBT/ICDT Workshops 2013).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate a household fleet to CSV")
+    sim.add_argument("--households", type=int, default=5)
+    sim.add_argument("--days", type=int, default=7)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--start", type=_parse_date, default=datetime(2012, 3, 5))
+    sim.add_argument("--out", type=Path, required=True, help="output directory")
+
+    ext = sub.add_parser("extract", help="extract flex-offers from a CSV series")
+    ext.add_argument("--input", type=Path, required=True, help="timestamp,value CSV")
+    ext.add_argument("--approach", choices=sorted(_APPROACHES), default="peak-based")
+    ext.add_argument("--share", type=float, default=0.05, help="flexible share")
+    ext.add_argument("--seed", type=int, default=0)
+    ext.add_argument("--out", type=Path, required=True, help="offers JSON path")
+
+    ev = sub.add_parser("evaluate", help="run the approach comparison")
+    ev.add_argument("--households", type=int, default=4)
+    ev.add_argument("--days", type=int, default=7)
+    ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument("--include-random", action="store_true",
+                    help="include the random baseline")
+
+    sub.add_parser("figures", help="print the paper's figures (ASCII)")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    args.out.mkdir(parents=True, exist_ok=True)
+    fleet = generate_fleet(args.households, args.start, args.days, seed=args.seed)
+    for trace in fleet:
+        path = args.out / f"{trace.config.household_id}.csv"
+        save_series_csv(trace.metered(), path)
+        print(f"wrote {path} ({trace.metered().total():.1f} kWh)")
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    series = load_series_csv(args.input, name=args.input.stem)
+    extractor = _APPROACHES[args.approach](
+        params=FlexOfferParams(flexible_share=args.share)
+    )
+    result = extractor.extract(series, np.random.default_rng(args.seed))
+    save_flexoffers(result.offers, args.out)
+    print(
+        f"{args.approach}: {len(result.offers)} offers, "
+        f"{result.extracted_energy:.2f} kWh "
+        f"({result.extracted_share:.1%} of input), "
+        f"conservation error {result.energy_conservation_error():.2e} kWh"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    fleet = generate_fleet(
+        args.households, datetime(2012, 3, 5), args.days, seed=args.seed
+    )
+    extractors = [
+        BasicExtractor(params=FlexOfferParams(flexible_share=0.05)),
+        PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05)),
+    ]
+    if args.include_random:
+        extractors.insert(0, RandomBaselineExtractor())
+    result = compare_on_traces(fleet.traces, extractors)
+    print(format_table(result.mean_rows()))
+    return 0
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    # Reuse the example renderer; imported lazily to keep CLI start fast.
+    import importlib.util
+
+    path = Path(__file__).resolve().parents[2] / "examples" / "paper_figures.py"
+    if path.exists():
+        spec = importlib.util.spec_from_file_location("paper_figures", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # type: ignore[union-attr]
+        module.show_figure1()
+        module.show_figure4()
+        module.show_figure5()
+        return 0
+    # Installed without the examples directory: print the core walkthrough.
+    from repro.extraction.peaks import detect_peaks, filter_peaks, selection_probabilities
+    from repro.workloads.paper_day import figure5_day
+
+    day = figure5_day()
+    peaks = detect_peaks(day.series.values)
+    print(f"Figure 5 day: total {day.series.total():.2f} kWh, {len(peaks)} peaks")
+    survivors = filter_peaks(peaks, day.filter_threshold)
+    for peak, prob in zip(survivors, selection_probabilities(survivors)):
+        print(f"  surviving peak size {peak.size:.2f} kWh, P={prob:.0%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "extract": _cmd_extract,
+        "evaluate": _cmd_evaluate,
+        "figures": _cmd_figures,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

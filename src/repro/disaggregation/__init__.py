@@ -1,0 +1,52 @@
+"""NILM machinery: baseline removal, event detection, disaggregation, mining."""
+
+from repro.disaggregation.baseline import remove_baseline, rolling_baseline
+from repro.disaggregation.clustering import (
+    KMeansResult,
+    daily_profile_matrix,
+    kmeans,
+    typical_daily_profiles,
+)
+from repro.disaggregation.combinatorial import (
+    CombinatorialConfig,
+    disaggregate_combinatorial,
+)
+from repro.disaggregation.events import Edge, detect_edges, pair_edges
+from repro.disaggregation.frequency import (
+    FrequencyTable,
+    ShortlistEntry,
+    estimate_frequencies,
+)
+from repro.disaggregation.matching import (
+    DetectionResult,
+    MatchingConfig,
+    match_pursuit,
+)
+from repro.disaggregation.schedule_mining import (
+    MinedSchedule,
+    count_day_types,
+    mine_schedule,
+)
+
+__all__ = [
+    "remove_baseline",
+    "rolling_baseline",
+    "KMeansResult",
+    "daily_profile_matrix",
+    "kmeans",
+    "typical_daily_profiles",
+    "CombinatorialConfig",
+    "disaggregate_combinatorial",
+    "Edge",
+    "detect_edges",
+    "pair_edges",
+    "FrequencyTable",
+    "ShortlistEntry",
+    "estimate_frequencies",
+    "DetectionResult",
+    "MatchingConfig",
+    "match_pursuit",
+    "MinedSchedule",
+    "count_day_types",
+    "mine_schedule",
+]

@@ -1,0 +1,138 @@
+"""K-means clustering (from scratch) for daily load-profile analysis.
+
+scikit-learn is not available in this environment, so the small amount of
+machine learning the paper's appliance-level extractors need ("various data
+mining and machine learning algorithms", §4.1) is implemented here: k-means
+with k-means++ seeding, used to find typical daily consumption patterns
+(multi-tariff reference behaviour) and to segment households.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.timeseries.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Fitted k-means model: centroids, assignments and inertia."""
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centroids.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of points assigned to each cluster."""
+        return np.bincount(self.labels, minlength=self.k)
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Assign new points to the nearest centroid."""
+        points = np.atleast_2d(points)
+        distances = _pairwise_sq_distances(points, self.centroids)
+        return distances.argmin(axis=1)
+
+
+def _pairwise_sq_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared euclidean distances between rows of ``a`` and rows of ``b``."""
+    return ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+
+
+def _kmeanspp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D² sampling."""
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]))
+    first = int(rng.integers(0, n))
+    centroids[0] = points[first]
+    closest_sq = ((points - centroids[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # All points identical to chosen centroids: duplicate any point.
+            centroids[j:] = points[int(rng.integers(0, n))]
+            break
+        probs = closest_sq / total
+        pick = int(rng.choice(n, p=probs))
+        centroids[j] = points[pick]
+        closest_sq = np.minimum(closest_sq, ((points - centroids[j]) ** 2).sum(axis=1))
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 100,
+    tolerance: float = 1e-7,
+    restarts: int = 3,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding and random restarts.
+
+    ``points`` has shape ``(n, d)``; ``k`` must not exceed ``n``.  The best
+    (lowest-inertia) of ``restarts`` runs is returned.  Empty clusters are
+    reseeded to the farthest point, so the result always has ``k`` centroids.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise DataError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise DataError(f"need 1 <= k <= n ({n}), got k={k}")
+
+    best: KMeansResult | None = None
+    for _ in range(max(1, restarts)):
+        centroids = _kmeanspp_init(points, k, rng)
+        labels = np.zeros(n, dtype=np.intp)
+        for iteration in range(1, max_iterations + 1):
+            distances = _pairwise_sq_distances(points, centroids)
+            labels = distances.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for j in range(k):
+                members = points[labels == j]
+                if len(members) == 0:
+                    # Reseed an empty cluster at the worst-served point.
+                    worst = distances.min(axis=1).argmax()
+                    new_centroids[j] = points[worst]
+                else:
+                    new_centroids[j] = members.mean(axis=0)
+            shift = float(((new_centroids - centroids) ** 2).sum())
+            centroids = new_centroids
+            if shift <= tolerance:
+                break
+        distances = _pairwise_sq_distances(points, centroids)
+        labels = distances.argmin(axis=1)
+        inertia = float(distances[np.arange(n), labels].sum())
+        result = KMeansResult(
+            centroids=centroids, labels=labels, inertia=inertia, iterations=iteration
+        )
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best
+
+
+def daily_profile_matrix(series: TimeSeries) -> np.ndarray:
+    """Stack a series into a (days, intervals_per_day) matrix for clustering."""
+    per_day = series.axis.intervals_per_day
+    whole = series.axis.length // per_day
+    if whole < 1:
+        raise DataError("series shorter than one day")
+    return series.values[: whole * per_day].reshape(whole, per_day).copy()
+
+
+def typical_daily_profiles(
+    series: TimeSeries, k: int, rng: np.random.Generator
+) -> KMeansResult:
+    """Cluster the days of a series into ``k`` typical daily profiles."""
+    return kmeans(daily_profile_matrix(series), k, rng)

@@ -1,0 +1,104 @@
+"""Step-edge detection on fine-grained consumption series.
+
+The classic first stage of event-based NILM (paper [9], [10] context): find
+the moments where load steps up or down by more than a threshold — appliance
+switch-on/off edges.  Operates on 1-minute series; the paper's point that
+15-minute data is too coarse for this is demonstrated in the tests by running
+the same detector at both resolutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.timeseries.series import TimeSeries
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A detected load step: when, how large (kW), and its direction."""
+
+    when: datetime
+    delta_kw: float
+
+    @property
+    def rising(self) -> bool:
+        """True for a switch-on (load increase) edge."""
+        return self.delta_kw > 0
+
+
+def detect_edges(
+    series: TimeSeries,
+    threshold_kw: float = 0.25,
+    smoothing: int = 1,
+) -> list[Edge]:
+    """Detect load steps larger than ``threshold_kw``.
+
+    Parameters
+    ----------
+    series:
+        Energy-per-interval series (kWh); internally converted to kW.
+    threshold_kw:
+        Minimum absolute power step to report.
+    smoothing:
+        Width (intervals) of a moving-average pre-filter; 1 disables it.
+
+    Consecutive same-sign super-threshold differences are merged into a
+    single edge at the first interval (a ramp counts once).
+    """
+    if threshold_kw <= 0:
+        raise DataError("threshold_kw must be positive")
+    if smoothing < 1:
+        raise DataError("smoothing must be >= 1")
+    power = series.values / series.axis.hours_per_interval
+    if smoothing > 1:
+        kernel = np.full(smoothing, 1.0 / smoothing)
+        power = np.convolve(power, kernel, mode="same")
+    diffs = np.diff(power)
+    edges: list[Edge] = []
+    i = 0
+    while i < len(diffs):
+        d = diffs[i]
+        if abs(d) < threshold_kw:
+            i += 1
+            continue
+        # Merge a run of same-sign steps (slow ramps spanning intervals).
+        total = d
+        j = i + 1
+        while j < len(diffs) and np.sign(diffs[j]) == np.sign(d) and abs(diffs[j]) >= threshold_kw:
+            total += diffs[j]
+            j += 1
+        edges.append(Edge(when=series.axis.time_at(i + 1), delta_kw=float(total)))
+        i = j
+    return edges
+
+
+def pair_edges(edges: list[Edge], max_gap_minutes: int = 360) -> list[tuple[Edge, Edge]]:
+    """Pair rising edges with the closest later falling edge of similar size.
+
+    A simple matching heuristic: scan rising edges in time order; for each,
+    take the earliest unconsumed falling edge within ``max_gap_minutes`` whose
+    magnitude is within 50 % of the rise.  Returns (on, off) pairs — candidate
+    appliance runs.
+    """
+    rising = [e for e in edges if e.rising]
+    falling = [e for e in edges if not e.rising]
+    used: set[int] = set()
+    pairs: list[tuple[Edge, Edge]] = []
+    for on in rising:
+        for idx, off in enumerate(falling):
+            if idx in used or off.when <= on.when:
+                continue
+            gap_min = (off.when - on.when).total_seconds() / 60.0
+            if gap_min > max_gap_minutes:
+                break
+            size_ratio = abs(off.delta_kw) / max(abs(on.delta_kw), 1e-9)
+            if 0.5 <= size_ratio <= 2.0:
+                pairs.append((on, off))
+                used.add(idx)
+                break
+    return pairs

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class AxisMismatchError(ReproError):
+    """Two time series were combined but their time axes are incompatible."""
+
+
+class ResolutionError(ReproError):
+    """A resampling operation was requested between incompatible resolutions."""
+
+
+class ValidationError(ReproError):
+    """A domain object (flex-offer, appliance spec, ...) violates an invariant."""
+
+
+class ExtractionError(ReproError):
+    """A flexibility-extraction algorithm could not produce a valid result."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a feasible assignment."""
+
+
+class AggregationError(ReproError):
+    """Flex-offer aggregation or disaggregation failed."""
+
+
+class DataError(ReproError):
+    """Input data is malformed (wrong shape, NaNs, negative energy, ...)."""

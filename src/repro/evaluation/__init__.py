@@ -1,0 +1,39 @@
+"""Evaluation: ground-truth scoring, realism statistics, approach comparison."""
+
+from repro.evaluation.comparison import (
+    ComparisonResult,
+    collect_offers,
+    compare_on_traces,
+    default_suite,
+    input_series_for,
+)
+from repro.evaluation.groundtruth import (
+    EnergyOverlap,
+    MatchReport,
+    energy_overlap,
+    match_activations,
+)
+from repro.evaluation.realism import (
+    RealismReport,
+    format_table,
+    offers_to_expected_series,
+    peak_energy_fraction,
+    realism_report,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "collect_offers",
+    "compare_on_traces",
+    "default_suite",
+    "input_series_for",
+    "EnergyOverlap",
+    "MatchReport",
+    "energy_overlap",
+    "match_activations",
+    "RealismReport",
+    "format_table",
+    "offers_to_expected_series",
+    "peak_energy_fraction",
+    "realism_report",
+]

@@ -1,0 +1,113 @@
+"""Head-to-head comparison of all extraction approaches on one dataset.
+
+Operationalises the paper's qualitative ranking (§6: appliance-level >
+household-level > random, with the multi-tariff approach "very realistic"
+but data-hungry) into a reproducible table: run every approach on the same
+simulated households and collect the §3.1 realism statistics against ground
+truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.realism import RealismReport, realism_report
+from repro.extraction.base import FlexibilityExtractor
+from repro.extraction.basic import BasicExtractor
+from repro.extraction.frequency_based import FrequencyBasedExtractor
+from repro.extraction.params import FlexOfferParams
+from repro.extraction.peaks import PeakBasedExtractor
+from repro.extraction.random_baseline import RandomBaselineExtractor
+from repro.extraction.schedule_based import ScheduleBasedExtractor
+from repro.flexoffer.model import FlexOffer
+from repro.simulation.household import HouseholdTrace
+from repro.timeseries.axis import FIFTEEN_MINUTES, ONE_MINUTE
+
+
+def default_suite(flexible_share: float = 0.05) -> list[FlexibilityExtractor]:
+    """The comparison suite: both household approaches, both appliance
+    approaches, and the random baseline.  (The multi-tariff approach needs
+    paired tariff data and is evaluated separately — see the multitariff
+    bench.)"""
+    params = FlexOfferParams(flexible_share=flexible_share)
+    return [
+        RandomBaselineExtractor(),
+        BasicExtractor(params=params),
+        PeakBasedExtractor(params=params),
+        FrequencyBasedExtractor(params=params),
+        ScheduleBasedExtractor(params=params),
+    ]
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Per-extractor reports (one per household) plus averaged rows."""
+
+    reports: dict[str, list[RealismReport]]
+
+    def mean_rows(self) -> list[dict[str, float | str]]:
+        """One averaged row per extractor, in suite order."""
+        rows = []
+        for name, reports in self.reports.items():
+            if not reports:
+                continue
+            keys = [k for k in reports[0].row() if k != "extractor"]
+            row: dict[str, float | str] = {"extractor": name}
+            for key in keys:
+                values = [float(r.row()[key]) for r in reports if key in r.row()]
+                row[key] = round(float(np.mean(values)), 4) if values else float("nan")
+            rows.append(row)
+        return rows
+
+    def get(self, extractor: str) -> list[RealismReport]:
+        """All household reports of one extractor."""
+        return self.reports[extractor]
+
+
+def input_series_for(extractor: FlexibilityExtractor, trace: HouseholdTrace):
+    """Pick the right input granularity for an extractor.
+
+    Appliance-level approaches consume the 1-minute series (the paper's §4
+    granularity requirement); household-level approaches and the random
+    baseline consume the 15-minute metering series.
+    """
+    if isinstance(extractor, (FrequencyBasedExtractor, ScheduleBasedExtractor)):
+        return trace.total
+    return trace.metered()
+
+
+def compare_on_traces(
+    traces: list[HouseholdTrace],
+    extractors: list[FlexibilityExtractor] | None = None,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Run every extractor on every trace and score against ground truth."""
+    extractors = extractors if extractors is not None else default_suite()
+    reports: dict[str, list[RealismReport]] = {e.name: [] for e in extractors}
+    for trace_index, trace in enumerate(traces):
+        consumption = trace.metered()
+        truth = trace.true_flexible()
+        for extractor in extractors:
+            rng = np.random.default_rng(seed + 7919 * trace_index)
+            series = input_series_for(extractor, trace)
+            result = extractor.extract(series, rng)
+            reports[extractor.name].append(
+                realism_report(result, consumption, truth)
+            )
+    return ComparisonResult(reports=reports)
+
+
+def collect_offers(
+    traces: list[HouseholdTrace],
+    extractor: FlexibilityExtractor,
+    seed: int = 0,
+) -> list[FlexOffer]:
+    """All offers an extractor produces over a fleet (for MIRABEL benches)."""
+    offers: list[FlexOffer] = []
+    for trace_index, trace in enumerate(traces):
+        rng = np.random.default_rng(seed + 7919 * trace_index)
+        series = input_series_for(extractor, trace)
+        offers.extend(extractor.extract(series, rng).offers)
+    return offers

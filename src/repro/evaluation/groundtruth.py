@@ -1,0 +1,126 @@
+"""Scoring detections and extractions against simulator ground truth.
+
+The paper could not evaluate extraction quality ("there exist no real
+flex-offers in the world, thus the statistics ... cannot be evaluated",
+§3.1).  Our simulator retains ground truth, so this module provides the
+missing yardsticks: event-level precision/recall for disaggregation, and
+energy-level overlap scores for extracted flexibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+
+import numpy as np
+
+from repro.simulation.activations import Activation
+from repro.timeseries.series import TimeSeries
+
+
+@dataclass(frozen=True, slots=True)
+class MatchReport:
+    """Event-level detection quality: matched pairs and P/R/F1."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    start_error_minutes: float
+    energy_error_kwh: float
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was detected."""
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when nothing was there to detect."""
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def match_activations(
+    detected: list[Activation],
+    truth: list[Activation],
+    start_tolerance: timedelta = timedelta(minutes=20),
+    same_appliance: bool = True,
+) -> MatchReport:
+    """Greedy one-to-one matching of detections to ground-truth events.
+
+    A detection matches a truth event when (optionally) the appliance name
+    agrees and the start times differ by at most ``start_tolerance``.  Each
+    truth event is consumed by at most one detection (closest-first), so
+    duplicate detections count as false positives.
+    """
+    remaining = list(range(len(truth)))
+    tp = 0
+    start_errors: list[float] = []
+    energy_errors: list[float] = []
+    for det in sorted(detected, key=lambda a: a.start):
+        best_idx = None
+        best_gap = None
+        for idx in remaining:
+            t = truth[idx]
+            if same_appliance and t.appliance != det.appliance:
+                continue
+            gap = abs((t.start - det.start).total_seconds())
+            if gap <= start_tolerance.total_seconds() and (
+                best_gap is None or gap < best_gap
+            ):
+                best_idx, best_gap = idx, gap
+        if best_idx is not None:
+            remaining.remove(best_idx)
+            tp += 1
+            start_errors.append(best_gap / 60.0)
+            energy_errors.append(abs(truth[best_idx].energy_kwh - det.energy_kwh))
+    return MatchReport(
+        true_positives=tp,
+        false_positives=len(detected) - tp,
+        false_negatives=len(remaining),
+        start_error_minutes=float(np.mean(start_errors)) if start_errors else 0.0,
+        energy_error_kwh=float(np.mean(energy_errors)) if energy_errors else 0.0,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyOverlap:
+    """Energy-level agreement between an extracted and a true flexible series."""
+
+    overlap_kwh: float
+    extracted_kwh: float
+    true_kwh: float
+
+    @property
+    def precision(self) -> float:
+        """Fraction of extracted energy that is truly flexible."""
+        return self.overlap_kwh / self.extracted_kwh if self.extracted_kwh else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of truly flexible energy that was extracted."""
+        return self.overlap_kwh / self.true_kwh if self.true_kwh else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of energy precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def energy_overlap(extracted: TimeSeries, truth: TimeSeries) -> EnergyOverlap:
+    """Interval-wise overlap: sum of min(extracted, truth) per interval."""
+    extracted.axis.require_aligned(truth.axis)
+    overlap = float(np.minimum(extracted.values, truth.values).clip(min=0.0).sum())
+    return EnergyOverlap(
+        overlap_kwh=overlap,
+        extracted_kwh=float(extracted.values.clip(min=0.0).sum()),
+        true_kwh=float(truth.values.clip(min=0.0).sum()),
+    )

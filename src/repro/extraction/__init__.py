@@ -1,0 +1,55 @@
+"""CORE: the paper's flexibility-extraction approaches (Figure 3).
+
+Two household-level approaches (:class:`BasicExtractor`,
+:class:`PeakBasedExtractor`), the comparison-driven
+:class:`MultiTariffExtractor`, two appliance-level approaches
+(:class:`FrequencyBasedExtractor`, :class:`ScheduleBasedExtractor`) and the
+pre-paper :class:`RandomBaselineExtractor`, all behind the
+:class:`FlexibilityExtractor` contract of Figure 2.
+"""
+
+from repro.extraction.base import ExtractionResult, FlexibilityExtractor
+from repro.extraction.basic import BasicExtractor
+from repro.extraction.frequency_based import FrequencyBasedExtractor
+from repro.extraction.multitariff import (
+    MultiTariffExtractor,
+    typical_daily_profiles_by_day_type,
+)
+from repro.extraction.params import FlexOfferParams
+from repro.extraction.peaks import (
+    Peak,
+    PeakBasedExtractor,
+    detect_peaks,
+    filter_peaks,
+    select_peak,
+    selection_probabilities,
+)
+from repro.extraction.online import OnlineConfig, OnlineFlexOfferGenerator
+from repro.extraction.production import (
+    DispatchableProductionExtractor,
+    WindProductionExtractor,
+)
+from repro.extraction.random_baseline import RandomBaselineExtractor
+from repro.extraction.schedule_based import ScheduleBasedExtractor
+
+__all__ = [
+    "ExtractionResult",
+    "FlexibilityExtractor",
+    "BasicExtractor",
+    "FrequencyBasedExtractor",
+    "MultiTariffExtractor",
+    "typical_daily_profiles_by_day_type",
+    "FlexOfferParams",
+    "Peak",
+    "PeakBasedExtractor",
+    "detect_peaks",
+    "filter_peaks",
+    "select_peak",
+    "selection_probabilities",
+    "OnlineConfig",
+    "OnlineFlexOfferGenerator",
+    "DispatchableProductionExtractor",
+    "WindProductionExtractor",
+    "RandomBaselineExtractor",
+    "ScheduleBasedExtractor",
+]

@@ -1,0 +1,187 @@
+"""The Frequency-based appliance-level extraction approach (paper §4.1).
+
+Step 1 "applies various data mining and machine learning algorithms to
+derive which appliance and how frequently was used", producing "a shortlist
+of the possibly used appliances, their usage frequency, and the time
+flexibility".  Step 2 "takes the original historical time series and the
+shortlist, and it distributes possible 'activations' of the appliances
+respecting the usage frequencies", emitting one flex-offer per appliance use
+and subtracting the flexible energy from the series.
+
+The paper left the implementation as future work because its data was
+15-minute; the simulator provides the sub-15-minute granularity §4 requires,
+so the approach is implemented end to end here: baseline removal → matching-
+pursuit disaggregation → frequency table → per-activation flex-offers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import timedelta
+
+import numpy as np
+
+from repro.appliances.database import ApplianceDatabase, default_database
+from repro.disaggregation.baseline import remove_baseline
+from repro.disaggregation.frequency import FrequencyTable, estimate_frequencies
+from repro.disaggregation.matching import DetectionResult, MatchingConfig, match_pursuit
+from repro.errors import ExtractionError
+from repro.extraction.base import ExtractionResult, FlexibilityExtractor
+from repro.extraction.params import FlexOfferParams
+from repro.flexoffer.model import FlexOffer
+from repro.simulation.activations import Activation
+from repro.timeseries.axis import ONE_MINUTE, TimeAxis
+from repro.timeseries.series import TimeSeries
+
+
+def slice_energies_on_grid(
+    removal_minutes: np.ndarray, start_minute_index: int, minutes_per_slice: int = 15
+) -> tuple[int, np.ndarray]:
+    """Bucket a per-minute removal vector onto the metering grid.
+
+    Returns ``(grid_index, slice_energies)`` where ``grid_index`` is the
+    index of the first 15-minute interval the profile touches and
+    ``slice_energies[k]`` the energy in grid interval ``grid_index + k``.
+    """
+    grid_index = start_minute_index // minutes_per_slice
+    lead = start_minute_index % minutes_per_slice
+    padded = np.concatenate([np.zeros(lead), removal_minutes])
+    n_slices = int(np.ceil(len(padded) / minutes_per_slice))
+    padded = np.concatenate([padded, np.zeros(n_slices * minutes_per_slice - len(padded))])
+    return grid_index, padded.reshape(n_slices, minutes_per_slice).sum(axis=1)
+
+
+@dataclass(frozen=True)
+class FrequencyBasedExtractor(FlexibilityExtractor):
+    """Two-step appliance-level extraction: detect appliances, emit offers.
+
+    Parameters
+    ----------
+    database:
+        Appliance specifications (the "context information" of §4.1: the
+        manufacturer catalogue).
+    params:
+        Flex-offer attribute limits (deadline draws; energy bands come from
+        the appliance's own Table 1 range).
+    matching:
+        Disaggregation configuration.
+    min_detections:
+        Appliances detected fewer times are dropped from the shortlist.
+    baseline_window_minutes / baseline_quantile:
+        Base-load removal knobs (see :mod:`repro.disaggregation.baseline`).
+    """
+
+    database: ApplianceDatabase = field(default_factory=default_database)
+    params: FlexOfferParams = field(default_factory=FlexOfferParams)
+    matching: MatchingConfig = field(default_factory=MatchingConfig)
+    min_detections: int = 2
+    baseline_window_minutes: int = 150
+    baseline_quantile: float = 0.15
+
+    name: str = "frequency-based"
+
+    def extract(self, series: TimeSeries, rng: np.random.Generator) -> ExtractionResult:
+        """Extract appliance-level offers from a 1-minute series."""
+        if series.axis.resolution != ONE_MINUTE:
+            raise ExtractionError(
+                "appliance-level extraction requires 1-minute data "
+                "(the paper's §4 granularity requirement)"
+            )
+        appliance_series, _base = remove_baseline(
+            series, self.baseline_window_minutes, self.baseline_quantile
+        )
+        detection = match_pursuit(appliance_series, self.database, self.matching)
+        observation_days = max(
+            1, series.axis.length // series.axis.intervals_per_day
+        )
+        table = estimate_frequencies(
+            detection.detections, self.database, observation_days, self.min_detections
+        )
+        offers, modified = self._step2(series, detection, table, rng)
+        return ExtractionResult(
+            offers=offers,
+            modified=modified,
+            original=series,
+            extractor=self.name,
+            extras={"shortlist": table, "detection": detection},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Step 2: flex-offer formulation per detected activation
+    # ------------------------------------------------------------------ #
+
+    def _step2(
+        self,
+        series: TimeSeries,
+        detection: DetectionResult,
+        table: FrequencyTable,
+        rng: np.random.Generator,
+    ) -> tuple[list[FlexOffer], TimeSeries]:
+        modified = series.values.copy()
+        offers: list[FlexOffer] = []
+        for act in detection.detections:
+            if act.appliance not in table:
+                continue
+            entry = table.get(act.appliance)
+            if not entry.flexible:
+                continue
+            offer = self._formulate(series.axis, modified, act, rng)
+            if offer is not None:
+                offers.append(offer)
+        return offers, series.with_values(modified).with_name(f"{series.name}.modified")
+
+    def _formulate(
+        self,
+        axis: TimeAxis,
+        modified: np.ndarray,
+        act: Activation,
+        rng: np.random.Generator,
+    ) -> FlexOffer | None:
+        """One offer for one detected appliance run; subtracts its energy.
+
+        The removal is capped at the energy actually present per minute, and
+        the offer's profile is built from the *removed* energy bucketed onto
+        the 15-minute grid — so extraction is exactly conservative even when
+        the detector slightly over-estimated the run.
+        """
+        spec = self.database.get(act.appliance)
+        start_minute = axis.index_of(act.start)
+        template = spec.energy_profile_minutes(
+            float(np.clip(act.energy_kwh, spec.energy_min_kwh, spec.energy_max_kwh))
+        )
+        n = min(len(template), axis.length - start_minute)
+        window = modified[start_minute : start_minute + n]
+        removal = np.minimum(template[:n], np.clip(window, 0.0, None))
+        removed_energy = float(removal.sum())
+        if removed_energy <= 1e-9:
+            return None
+        grid_index, energies = slice_energies_on_grid(removal, start_minute)
+        energies = np.trim_zeros(energies, trim="b")
+        if energies.size == 0:
+            return None
+        window -= removal
+        # Earliest start: the grid interval containing the observed start;
+        # latest start: earliest + the appliance's known time flexibility
+        # (the §4.1 example: the vacuum robot's 22 hours).
+        earliest = axis.start + self.params.resolution * grid_index
+        flexibility = _snap(spec.time_flexibility, self.params.resolution)
+        band = (
+            spec.energy_min_kwh / removed_energy,
+            spec.energy_max_kwh / removed_energy,
+        )
+        band = (min(band[0], 1.0), max(band[1], 1.0))
+        return self.params.build_offer(
+            earliest_start=earliest,
+            slice_energies=energies,
+            rng=rng,
+            source=self.name,
+            consumer_id=act.household_id,
+            appliance=act.appliance,
+            time_flexibility=flexibility,
+            energy_band=band,
+        )
+
+
+def _snap(delta: timedelta, resolution: timedelta) -> timedelta:
+    """Round a duration down to the metering grid."""
+    return resolution * int(delta // resolution)

@@ -1,0 +1,165 @@
+"""Production flex-offers (paper §6, future work — implemented).
+
+"The RES producer could issue a production flex-offer specifying that the
+start of electricity production can be either in 2 hours or 3 hours ahead,
+depending on the flex-offer schedule. Traditional electricity producers are
+even more flexible, thus, they can issue production flex-offers for almost
+all of their production."
+
+Production is modelled as negative consumption (the sign convention of
+:class:`~repro.flexoffer.model.FlexOffer`), so the same aggregation and
+scheduling machinery applies: scheduling a mixed consumption+production pool
+against zero target minimises the net imbalance directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import timedelta
+
+import numpy as np
+
+from repro.errors import ExtractionError
+from repro.extraction.base import ExtractionResult, FlexibilityExtractor
+from repro.flexoffer.model import FlexOffer, ProfileSlice, next_offer_id
+from repro.timeseries.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class WindProductionExtractor(FlexibilityExtractor):
+    """Extract production flex-offers from a (forecast) production series.
+
+    High-production runs — contiguous intervals above a quantile threshold —
+    become production offers: the energy bounds reflect forecast uncertainty
+    (``uncertainty`` fraction around the forecast), the start flexibility is
+    the short window within which the producer can commit to ramping
+    (the paper's "either in 2 hours or 3 hours ahead").
+
+    The input series is passed through unchanged: production extraction
+    formulates offers *about* the forecast, it does not remove energy.
+    """
+
+    threshold_quantile: float = 0.6
+    uncertainty: float = 0.2
+    start_flexibility: timedelta = timedelta(hours=1)
+    max_profile_intervals: int = 16
+
+    name: str = "wind-production"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold_quantile < 1.0:
+            raise ExtractionError("threshold_quantile must be in (0, 1)")
+        if not 0.0 <= self.uncertainty < 1.0:
+            raise ExtractionError("uncertainty must be in [0, 1)")
+        if self.max_profile_intervals < 1:
+            raise ExtractionError("max_profile_intervals must be >= 1")
+
+    def extract(self, series: TimeSeries, rng: np.random.Generator) -> ExtractionResult:
+        """Formulate production offers on high-output runs of ``series``."""
+        if not series.is_nonnegative():
+            raise ExtractionError("production series must be non-negative")
+        values = series.values
+        threshold = float(np.quantile(values, self.threshold_quantile))
+        offers: list[FlexOffer] = []
+        i = 0
+        n = len(values)
+        while i < n:
+            if values[i] <= threshold or values[i] <= 0.0:
+                i += 1
+                continue
+            j = i
+            while j < n and values[j] > threshold:
+                j += 1
+            for first in range(i, j, self.max_profile_intervals):
+                length = min(self.max_profile_intervals, j - first)
+                block = values[first : first + length]
+                offers.append(self._offer(series, first, block))
+            i = j
+        return ExtractionResult(
+            offers=offers,
+            modified=series.copy(),
+            original=series,
+            extractor=self.name,
+            extras={"threshold": threshold, "conservative": False},
+        )
+
+    def _offer(self, series: TimeSeries, first: int, block: np.ndarray) -> FlexOffer:
+        # Production = negative consumption; the uncertainty band widens the
+        # magnitude range, with (more negative) = (more production).
+        slices = tuple(
+            ProfileSlice(
+                energy_min=float(-(1.0 + self.uncertainty) * e),
+                energy_max=float(-(1.0 - self.uncertainty) * e),
+            )
+            for e in block
+        )
+        earliest = series.axis.time_at(first)
+        return FlexOffer(
+            earliest_start=earliest,
+            latest_start=earliest + self.start_flexibility,
+            slices=slices,
+            resolution=series.axis.resolution,
+            offer_id=next_offer_id("prod"),
+            source=self.name,
+            creation_time=earliest - timedelta(hours=3),
+        )
+
+
+@dataclass(frozen=True)
+class DispatchableProductionExtractor(FlexibilityExtractor):
+    """Production offers for a conventional (dispatchable) producer.
+
+    "Traditional electricity producers are even more flexible": one offer
+    per day covering (almost) the full capacity, with wide start flexibility
+    and a deep energy band from minimum stable generation up to capacity.
+    """
+
+    capacity_kw: float = 500.0
+    min_stable_fraction: float = 0.3
+    block_hours: int = 4
+    start_flexibility: timedelta = timedelta(hours=12)
+
+    name: str = "dispatchable-production"
+
+    def __post_init__(self) -> None:
+        if self.capacity_kw <= 0:
+            raise ExtractionError("capacity_kw must be positive")
+        if not 0.0 <= self.min_stable_fraction <= 1.0:
+            raise ExtractionError("min_stable_fraction must be in [0, 1]")
+        if self.block_hours < 1:
+            raise ExtractionError("block_hours must be >= 1")
+
+    def extract(self, series: TimeSeries, rng: np.random.Generator) -> ExtractionResult:
+        """One offer per day of the horizon; ``series`` sets the horizon only."""
+        axis = series.axis
+        per_block = int(self.block_hours * axis.intervals_per_hour)
+        energy_max = self.capacity_kw * axis.hours_per_interval
+        energy_min = energy_max * self.min_stable_fraction
+        offers = []
+        for first, length in axis.day_slices():
+            blocks = min(per_block, length)
+            slices = tuple(
+                ProfileSlice(energy_min=-energy_max, energy_max=-energy_min)
+                for _ in range(blocks)
+            )
+            earliest = axis.time_at(first)
+            flexibility = min(
+                self.start_flexibility, axis.resolution * max(0, length - blocks)
+            )
+            offers.append(
+                FlexOffer(
+                    earliest_start=earliest,
+                    latest_start=earliest + flexibility,
+                    slices=slices,
+                    resolution=axis.resolution,
+                    offer_id=next_offer_id("disp"),
+                    source=self.name,
+                )
+            )
+        return ExtractionResult(
+            offers=offers,
+            modified=series.copy(),
+            original=series,
+            extractor=self.name,
+            extras={"conservative": False},
+        )

@@ -1,0 +1,48 @@
+"""The random flex-offer generator as an extractor (the paper's baseline).
+
+Paper §1: before this work, "the flex-offers are being randomly generated
+for the testing purposes.  Specifically, the random approach assumes that
+consumption at every moment of a day is potentially flexible."  The paper
+criticises exactly this: random offers ignore the consumption shape, so
+aggregated flex-offers are "more or less uniformly dispatched within the
+day" and peak-hour scalability cannot be tested.
+
+Wrapped in the :class:`FlexibilityExtractor` interface so the evaluation can
+run it head-to-head against the five real approaches.  Note it is *not*
+energy-conservative: it invents offers without removing energy from the
+series — one more way in which it is unrealistic, and visible in the
+``conservation_error`` column of the comparison benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.extraction.base import ExtractionResult, FlexibilityExtractor
+from repro.flexoffer.generators import RandomGeneratorConfig, random_flexoffers
+from repro.timeseries.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class RandomBaselineExtractor(FlexibilityExtractor):
+    """Uniformly random flex-offers, blind to the input series shape."""
+
+    config: RandomGeneratorConfig = field(default_factory=RandomGeneratorConfig)
+    consumer_id: str = ""
+
+    name: str = "random-baseline"
+
+    def extract(self, series: TimeSeries, rng: np.random.Generator) -> ExtractionResult:
+        """Generate offers over the series horizon; the series is untouched."""
+        offers = random_flexoffers(
+            series.axis, rng, self.config, consumer_id=self.consumer_id
+        )
+        return ExtractionResult(
+            offers=offers,
+            modified=series.copy(),
+            original=series,
+            extractor=self.name,
+            extras={"conservative": False},
+        )

@@ -1,0 +1,53 @@
+"""The flex-offer concept: model, schedules, validation, IO, random baseline."""
+
+from repro.flexoffer.generators import (
+    RandomGeneratorConfig,
+    random_flexoffer,
+    random_flexoffers,
+)
+from repro.flexoffer.io import (
+    flexoffer_from_dict,
+    flexoffer_to_dict,
+    load_flexoffers,
+    save_flexoffers,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.flexoffer.model import (
+    FlexOffer,
+    ProfileSlice,
+    figure1_flexoffer,
+    next_offer_id,
+    uniform_profile,
+)
+from repro.flexoffer.schedule import (
+    ScheduledFlexOffer,
+    add_to_series,
+    default_schedule,
+    schedules_to_series,
+)
+from repro.flexoffer.validate import PolicyLimits, check_all, is_compliant
+
+__all__ = [
+    "RandomGeneratorConfig",
+    "random_flexoffer",
+    "random_flexoffers",
+    "flexoffer_from_dict",
+    "flexoffer_to_dict",
+    "load_flexoffers",
+    "save_flexoffers",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "FlexOffer",
+    "ProfileSlice",
+    "figure1_flexoffer",
+    "next_offer_id",
+    "uniform_profile",
+    "ScheduledFlexOffer",
+    "add_to_series",
+    "default_schedule",
+    "schedules_to_series",
+    "PolicyLimits",
+    "check_all",
+    "is_compliant",
+]

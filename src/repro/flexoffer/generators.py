@@ -1,0 +1,117 @@
+"""Random flex-offer generation — MIRABEL's pre-paper baseline.
+
+The paper's introduction describes the status quo it improves upon: "the
+flex-offers are being randomly generated for the testing purposes.
+Specifically, the random approach assumes that consumption at every moment of
+a day is potentially flexible", which makes aggregated flex-offers "more or
+less uniformly dispatched within the day".  This module implements that
+baseline faithfully so the evaluation can quantify how much the extraction
+approaches improve on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import timedelta
+
+import numpy as np
+
+from repro.flexoffer.model import FlexOffer, ProfileSlice, next_offer_id
+from repro.timeseries.axis import TimeAxis
+
+
+@dataclass(frozen=True, slots=True)
+class RandomGeneratorConfig:
+    """Knobs of the uniform random flex-offer generator.
+
+    Energy and shape ranges are inclusive; each offer draws uniformly within
+    them.  Defaults produce household-appliance-scale offers (0.5–3 kWh over
+    1–8 quarter-hour slices with up to 12 h of start flexibility).
+    """
+
+    offers_per_day: int = 4
+    slices_min: int = 1
+    slices_max: int = 8
+    total_energy_min: float = 0.5
+    total_energy_max: float = 3.0
+    energy_band_fraction: float = 0.2
+    time_flexibility_min: timedelta = timedelta(hours=1)
+    time_flexibility_max: timedelta = timedelta(hours=12)
+
+    def __post_init__(self) -> None:
+        if self.offers_per_day < 0:
+            raise ValueError("offers_per_day must be >= 0")
+        if not 1 <= self.slices_min <= self.slices_max:
+            raise ValueError("need 1 <= slices_min <= slices_max")
+        if not 0.0 < self.total_energy_min <= self.total_energy_max:
+            raise ValueError("need 0 < total_energy_min <= total_energy_max")
+        if not 0.0 <= self.energy_band_fraction <= 1.0:
+            raise ValueError("energy_band_fraction must be in [0, 1]")
+        if self.time_flexibility_min > self.time_flexibility_max:
+            raise ValueError("time_flexibility_min must be <= max")
+
+
+def random_flexoffer(
+    axis: TimeAxis,
+    rng: np.random.Generator,
+    config: RandomGeneratorConfig | None = None,
+    consumer_id: str = "",
+) -> FlexOffer:
+    """Draw one uniformly-placed random flex-offer on ``axis``.
+
+    The earliest start is uniform over the axis (any moment of the day is
+    "potentially flexible"), subject only to the profile and flexibility
+    fitting the horizon.
+    """
+    config = config or RandomGeneratorConfig()
+    res = axis.resolution
+    n_slices = min(
+        int(rng.integers(config.slices_min, config.slices_max + 1)), axis.length
+    )
+    flex_lo = int(config.time_flexibility_min // res)
+    flex_hi = int(config.time_flexibility_max // res)
+    flex_intervals = int(rng.integers(flex_lo, flex_hi + 1))
+    # The earliest start is uniform over the horizon ("consumption at every
+    # moment of a day is potentially flexible"); the flexibility is clamped
+    # afterwards so the latest placement still fits.  Clamping flexibility
+    # rather than the start keeps the start distribution uniform, which is
+    # the property the paper criticises.
+    start_index = int(rng.integers(0, axis.length - n_slices + 1))
+    flex_intervals = min(flex_intervals, axis.length - n_slices - start_index)
+    earliest = axis.start + res * start_index
+    latest = earliest + res * flex_intervals
+
+    total = float(rng.uniform(config.total_energy_min, config.total_energy_max))
+    shares = rng.dirichlet(np.ones(n_slices)) * total
+    band = config.energy_band_fraction
+    slices = tuple(
+        ProfileSlice(energy_min=share * (1.0 - band), energy_max=share * (1.0 + band))
+        for share in shares
+    )
+    return FlexOffer(
+        earliest_start=earliest,
+        latest_start=latest,
+        slices=slices,
+        resolution=res,
+        offer_id=next_offer_id("rand"),
+        consumer_id=consumer_id,
+        source="random-baseline",
+        creation_time=axis.start,
+        acceptance_deadline=earliest,
+        assignment_deadline=earliest,
+    )
+
+
+def random_flexoffers(
+    axis: TimeAxis,
+    rng: np.random.Generator,
+    config: RandomGeneratorConfig | None = None,
+    consumer_id: str = "",
+) -> list[FlexOffer]:
+    """Draw ``offers_per_day``-scaled random offers for the whole horizon."""
+    config = config or RandomGeneratorConfig()
+    days = max(1, round(axis.length / axis.intervals_per_day))
+    count = config.offers_per_day * days
+    return [
+        random_flexoffer(axis, rng, config, consumer_id=consumer_id) for _ in range(count)
+    ]

@@ -1,0 +1,115 @@
+"""JSON (de)serialisation of flex-offers and schedules.
+
+MIRABEL's data-management layer (paper [3]) persists flex-offers in a
+warehouse; this module provides the equivalent stable wire format: a plain
+dict/JSON encoding with ISO-8601 timestamps and second-resolution durations,
+round-trippable without loss.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timedelta
+from pathlib import Path
+from typing import Any
+
+from repro.errors import DataError
+from repro.flexoffer.model import FlexOffer, ProfileSlice
+from repro.flexoffer.schedule import ScheduledFlexOffer
+
+_FORMAT_VERSION = 1
+
+
+def _dt(value: datetime | None) -> str | None:
+    return None if value is None else value.isoformat()
+
+
+def _parse_dt(value: str | None) -> datetime | None:
+    return None if value is None else datetime.fromisoformat(value)
+
+
+def flexoffer_to_dict(offer: FlexOffer) -> dict[str, Any]:
+    """Encode a flex-offer as a JSON-compatible dict."""
+    return {
+        "version": _FORMAT_VERSION,
+        "offer_id": offer.offer_id,
+        "consumer_id": offer.consumer_id,
+        "appliance": offer.appliance,
+        "source": offer.source,
+        "earliest_start": _dt(offer.earliest_start),
+        "latest_start": _dt(offer.latest_start),
+        "resolution_seconds": offer.resolution.total_seconds(),
+        "creation_time": _dt(offer.creation_time),
+        "acceptance_deadline": _dt(offer.acceptance_deadline),
+        "assignment_deadline": _dt(offer.assignment_deadline),
+        "total_energy_min": offer.total_energy_min,
+        "total_energy_max": offer.total_energy_max,
+        "slices": [
+            {"energy_min": s.energy_min, "energy_max": s.energy_max, "duration": s.duration}
+            for s in offer.slices
+        ],
+    }
+
+
+def flexoffer_from_dict(data: dict[str, Any]) -> FlexOffer:
+    """Decode a flex-offer from its dict encoding."""
+    try:
+        version = data.get("version", _FORMAT_VERSION)
+        if version != _FORMAT_VERSION:
+            raise DataError(f"unsupported flex-offer format version {version}")
+        slices = tuple(
+            ProfileSlice(s["energy_min"], s["energy_max"], s.get("duration", 1))
+            for s in data["slices"]
+        )
+        return FlexOffer(
+            earliest_start=_parse_dt(data["earliest_start"]),
+            latest_start=_parse_dt(data["latest_start"]),
+            slices=slices,
+            resolution=timedelta(seconds=data["resolution_seconds"]),
+            offer_id=data["offer_id"],
+            consumer_id=data.get("consumer_id", ""),
+            appliance=data.get("appliance", ""),
+            source=data.get("source", ""),
+            creation_time=_parse_dt(data.get("creation_time")),
+            acceptance_deadline=_parse_dt(data.get("acceptance_deadline")),
+            assignment_deadline=_parse_dt(data.get("assignment_deadline")),
+            total_energy_min=data.get("total_energy_min"),
+            total_energy_max=data.get("total_energy_max"),
+        )
+    except KeyError as exc:
+        raise DataError(f"flex-offer dict missing field: {exc}") from exc
+
+
+def schedule_to_dict(schedule: ScheduledFlexOffer) -> dict[str, Any]:
+    """Encode a scheduled flex-offer (embeds the offer)."""
+    return {
+        "offer": flexoffer_to_dict(schedule.offer),
+        "start": _dt(schedule.start),
+        "slice_energies": list(schedule.slice_energies),
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> ScheduledFlexOffer:
+    """Decode a scheduled flex-offer."""
+    try:
+        return ScheduledFlexOffer(
+            offer=flexoffer_from_dict(data["offer"]),
+            start=_parse_dt(data["start"]),
+            slice_energies=tuple(data["slice_energies"]),
+        )
+    except KeyError as exc:
+        raise DataError(f"schedule dict missing field: {exc}") from exc
+
+
+def save_flexoffers(offers: list[FlexOffer], path: str | Path) -> None:
+    """Write a list of flex-offers to a JSON file."""
+    payload = [flexoffer_to_dict(o) for o in offers]
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_flexoffers(path: str | Path) -> list[FlexOffer]:
+    """Read a list of flex-offers from a JSON file."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise DataError(f"{path}: expected a JSON list of flex-offers")
+    return [flexoffer_from_dict(item) for item in payload]

@@ -1,0 +1,25 @@
+"""Consumption/production forecasting (MIRABEL substrate, paper [6])."""
+
+from repro.forecasting.evaluate import BacktestReport, mae, mape, rmse, rolling_backtest
+from repro.forecasting.models import (
+    FORECASTERS,
+    autoregressive,
+    drift,
+    holt_winters,
+    persistence,
+    seasonal_naive,
+)
+
+__all__ = [
+    "BacktestReport",
+    "mae",
+    "mape",
+    "rmse",
+    "rolling_backtest",
+    "FORECASTERS",
+    "autoregressive",
+    "drift",
+    "holt_winters",
+    "persistence",
+    "seasonal_naive",
+]

@@ -1,0 +1,91 @@
+"""Forecast accuracy evaluation: error metrics and rolling backtests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.timeseries.series import TimeSeries
+
+
+def mae(forecast: TimeSeries, actual: TimeSeries) -> float:
+    """Mean absolute error."""
+    forecast.axis.require_aligned(actual.axis)
+    return float(np.abs(forecast.values - actual.values).mean())
+
+
+def rmse(forecast: TimeSeries, actual: TimeSeries) -> float:
+    """Root mean squared error."""
+    forecast.axis.require_aligned(actual.axis)
+    diff = forecast.values - actual.values
+    return float(np.sqrt(np.dot(diff, diff) / len(diff)))
+
+
+def mape(forecast: TimeSeries, actual: TimeSeries, floor: float = 1e-6) -> float:
+    """Mean absolute percentage error, ignoring near-zero actuals.
+
+    Intervals where ``|actual| < floor`` are excluded (household consumption
+    has no true zeros, but wind production does — MAPE is undefined there).
+    """
+    forecast.axis.require_aligned(actual.axis)
+    mask = np.abs(actual.values) >= floor
+    if not mask.any():
+        raise DataError("all actual values are below the MAPE floor")
+    err = np.abs(forecast.values[mask] - actual.values[mask]) / np.abs(actual.values[mask])
+    return float(err.mean())
+
+
+@dataclass(frozen=True, slots=True)
+class BacktestReport:
+    """Aggregate errors of a rolling-origin backtest."""
+
+    model: str
+    folds: int
+    mae: float
+    rmse: float
+    mape: float
+
+
+def rolling_backtest(
+    model: Callable[[TimeSeries, int], TimeSeries],
+    series: TimeSeries,
+    train_intervals: int,
+    horizon: int,
+    step: int | None = None,
+    name: str = "",
+) -> BacktestReport:
+    """Rolling-origin evaluation: train on a prefix, forecast, slide, repeat.
+
+    ``model`` is any callable ``(history, horizon) -> TimeSeries`` (the
+    signatures in :mod:`repro.forecasting.models` fit directly).
+    """
+    if step is None:
+        step = horizon
+    n = len(series)
+    if train_intervals + horizon > n:
+        raise DataError("series too short for one backtest fold")
+    maes, rmses, mapes = [], [], []
+    folds = 0
+    origin = train_intervals
+    while origin + horizon <= n:
+        history = series.slice(0, origin)
+        actual = series.slice(origin, horizon)
+        forecast = model(history, horizon)
+        maes.append(mae(forecast, actual))
+        rmses.append(rmse(forecast, actual))
+        try:
+            mapes.append(mape(forecast, actual))
+        except DataError:
+            pass
+        folds += 1
+        origin += step
+    return BacktestReport(
+        model=name or getattr(model, "__name__", "model"),
+        folds=folds,
+        mae=float(np.mean(maes)),
+        rmse=float(np.mean(rmses)),
+        mape=float(np.mean(mapes)) if mapes else float("nan"),
+    )

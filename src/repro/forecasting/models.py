@@ -1,0 +1,138 @@
+"""Forecasting models for consumption and production series (paper [6]).
+
+MIRABEL requires "reliable and near real-time forecasting of energy
+production and consumption" (Fischer et al., BIRTE 2012).  The scheduler in
+this repository can be driven by forecast surplus instead of realised
+surplus; these models provide the standard baselines: persistence, seasonal
+naive, drift, additive Holt-Winters and an autoregressive model fitted by
+least squares — all pure numpy, all returning a series on the horizon axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.timeseries.axis import TimeAxis
+from repro.timeseries.series import TimeSeries
+
+
+def _horizon_axis(series: TimeSeries, horizon: int) -> TimeAxis:
+    if horizon < 1:
+        raise DataError("horizon must be >= 1")
+    return TimeAxis(series.axis.end, series.axis.resolution, horizon)
+
+
+def persistence(series: TimeSeries, horizon: int) -> TimeSeries:
+    """Repeat the last observed value (the random-walk forecast)."""
+    if len(series) == 0:
+        raise DataError("cannot forecast from an empty series")
+    axis = _horizon_axis(series, horizon)
+    return TimeSeries(axis, np.full(horizon, series.values[-1]), "persistence")
+
+
+def seasonal_naive(series: TimeSeries, horizon: int, period: int | None = None) -> TimeSeries:
+    """Repeat the last full season (daily by default)."""
+    if period is None:
+        period = series.axis.intervals_per_day
+    if len(series) < period:
+        raise DataError(f"need at least one period ({period}) of history")
+    last_season = series.values[-period:]
+    reps = int(np.ceil(horizon / period))
+    values = np.tile(last_season, reps)[:horizon]
+    return TimeSeries(_horizon_axis(series, horizon), values, "seasonal-naive")
+
+
+def drift(series: TimeSeries, horizon: int) -> TimeSeries:
+    """Extrapolate the straight line from first to last observation."""
+    n = len(series)
+    if n < 2:
+        raise DataError("drift needs at least two observations")
+    slope = (series.values[-1] - series.values[0]) / (n - 1)
+    steps = np.arange(1, horizon + 1)
+    values = series.values[-1] + slope * steps
+    return TimeSeries(_horizon_axis(series, horizon), values, "drift")
+
+
+def holt_winters(
+    series: TimeSeries,
+    horizon: int,
+    period: int | None = None,
+    alpha: float = 0.3,
+    beta: float = 0.05,
+    gamma: float = 0.2,
+) -> TimeSeries:
+    """Additive Holt-Winters (level, trend, seasonal) forecast.
+
+    Standard recursive formulation with seasonal components initialised from
+    the first period and normalised to zero mean.  Requires at least two
+    full periods of history.
+    """
+    if period is None:
+        period = series.axis.intervals_per_day
+    x = series.values
+    n = len(x)
+    if n < 2 * period:
+        raise DataError(f"Holt-Winters needs >= 2 periods ({2 * period}), got {n}")
+    for name, value in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+        if not 0.0 <= value <= 1.0:
+            raise DataError(f"{name} must be in [0, 1]")
+
+    season = x[:period] - x[:period].mean()
+    level = float(x[:period].mean())
+    trend = float((x[period : 2 * period].mean() - x[:period].mean()) / period)
+    seasonals = season.copy()
+    for t in range(n):
+        s_idx = t % period
+        value = x[t]
+        last_level = level
+        level = alpha * (value - seasonals[s_idx]) + (1 - alpha) * (level + trend)
+        trend = beta * (level - last_level) + (1 - beta) * trend
+        seasonals[s_idx] = gamma * (value - level) + (1 - gamma) * seasonals[s_idx]
+
+    steps = np.arange(1, horizon + 1)
+    values = level + trend * steps
+    values += np.array([seasonals[(n + h - 1) % period] for h in steps])
+    return TimeSeries(_horizon_axis(series, horizon), values, "holt-winters")
+
+
+def autoregressive(
+    series: TimeSeries, horizon: int, order: int = 8, ridge: float = 1e-6
+) -> TimeSeries:
+    """AR(p) forecast fitted by (ridge-regularised) least squares.
+
+    The model is ``x_t = c + sum_i a_i x_{t-i}``; forecasts are produced
+    recursively.  Ridge regularisation keeps the fit stable on short or
+    nearly-constant histories.
+    """
+    x = series.values
+    n = len(x)
+    if order < 1:
+        raise DataError("order must be >= 1")
+    if n < order + 2:
+        raise DataError(f"AR({order}) needs at least {order + 2} observations")
+    rows = n - order
+    design = np.ones((rows, order + 1))
+    for i in range(order):
+        design[:, i + 1] = x[order - 1 - i : n - 1 - i]
+    response = x[order:]
+    gram = design.T @ design + ridge * np.eye(order + 1)
+    coeffs = np.linalg.solve(gram, design.T @ response)
+
+    history = list(x[-order:])
+    out = np.empty(horizon)
+    for h in range(horizon):
+        lags = history[-1 : -order - 1 : -1]  # most recent first
+        out[h] = coeffs[0] + float(np.dot(coeffs[1:], lags))
+        history.append(out[h])
+    return TimeSeries(_horizon_axis(series, horizon), out, f"ar({order})")
+
+
+#: Model registry used by the evaluation harness and benches.
+FORECASTERS = {
+    "persistence": persistence,
+    "seasonal-naive": seasonal_naive,
+    "drift": drift,
+    "holt-winters": holt_winters,
+    "ar": autoregressive,
+}

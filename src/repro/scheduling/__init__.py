@@ -1,0 +1,21 @@
+"""Flex-offer scheduling against RES surplus (MIRABEL substrate, paper [5])."""
+
+from repro.scheduling.greedy import ScheduleResult, greedy_schedule, naive_schedule
+from repro.scheduling.objective import (
+    absolute_imbalance,
+    overshoot,
+    squared_imbalance,
+    unmet_target,
+)
+from repro.scheduling.stochastic import improve_schedule
+
+__all__ = [
+    "ScheduleResult",
+    "greedy_schedule",
+    "naive_schedule",
+    "absolute_imbalance",
+    "overshoot",
+    "squared_imbalance",
+    "unmet_target",
+    "improve_schedule",
+]

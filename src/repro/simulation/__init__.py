@@ -1,0 +1,74 @@
+"""Synthetic smart-meter data with ground truth (the paper's missing data).
+
+The simulator is the repository's substitute for the MIRABEL trial data the
+paper used (see DESIGN.md §2): bottom-up appliance activations over a
+realistic base load, a behavioural multi-tariff response model, and wind
+production for the scheduling experiments.
+"""
+
+from repro.simulation.activations import (
+    Activation,
+    draw_daily_activations,
+    flexible_energy_series,
+    materialise,
+    total_energy,
+)
+from repro.simulation.dataset import (
+    SimulatedDataset,
+    generate_fleet,
+    random_household_config,
+)
+from repro.simulation.industrial import (
+    FactoryConfig,
+    factory_base_load,
+    industrial_catalogue,
+    simulate_factory,
+)
+from repro.simulation.household import (
+    HouseholdConfig,
+    HouseholdTrace,
+    base_load_series,
+    simulate_household,
+)
+from repro.simulation.res import WindFarm, simulate_wind_production, surplus_series
+from repro.simulation.tariff import (
+    ShiftRecord,
+    TariffScheme,
+    TariffStudy,
+    flat_tariff,
+    night_tariff,
+    shift_into_low_window,
+    simulate_tariff_pair,
+)
+from repro.simulation.weather import TemperatureModel, WindModel
+
+__all__ = [
+    "Activation",
+    "draw_daily_activations",
+    "flexible_energy_series",
+    "materialise",
+    "total_energy",
+    "SimulatedDataset",
+    "generate_fleet",
+    "random_household_config",
+    "FactoryConfig",
+    "factory_base_load",
+    "industrial_catalogue",
+    "simulate_factory",
+    "HouseholdConfig",
+    "HouseholdTrace",
+    "base_load_series",
+    "simulate_household",
+    "WindFarm",
+    "simulate_wind_production",
+    "surplus_series",
+    "ShiftRecord",
+    "TariffScheme",
+    "TariffStudy",
+    "flat_tariff",
+    "night_tariff",
+    "shift_into_low_window",
+    "simulate_tariff_pair",
+    "TemperatureModel",
+    "WindModel",
+]

@@ -1,0 +1,246 @@
+"""Bottom-up household consumption simulation.
+
+A household is a base load (always-on electronics, fridge cycling, occupancy-
+and season-modulated activity) plus discrete appliance activations drawn from
+the appliance database.  The simulator runs natively at 1-minute resolution —
+finer than the paper's 15-minute metering, as §4 requires ("granularity must
+be even smaller than 15 min") — and is downsampled to the metering grid for
+the household-level extractors.
+
+Every simulated trace retains its ground truth: the activation log, the
+per-appliance series and the true flexible-energy series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+
+import numpy as np
+
+from repro.appliances.database import ApplianceDatabase, default_database
+from repro.appliances.model import ApplianceSpec
+from repro.errors import ValidationError
+from repro.simulation.activations import (
+    Activation,
+    draw_daily_activations,
+    materialise,
+)
+from repro.timeseries.axis import FIFTEEN_MINUTES, ONE_MINUTE, TimeAxis
+from repro.timeseries.calendar import day_type
+from repro.timeseries.resample import downsample_sum
+from repro.timeseries.series import TimeSeries
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True, slots=True)
+class HouseholdConfig:
+    """Static description of one simulated household.
+
+    Parameters
+    ----------
+    household_id:
+        Unique identifier.
+    appliances:
+        Names of owned appliances (must exist in the database used).
+    occupants:
+        Number of residents; scales activity load and appliance use.
+    standby_kw:
+        Always-on floor load (routers, clocks, standby electronics).
+    activity_peak_kw:
+        Extra power at the busiest moment of the occupancy pattern.
+    fridge_average_kw:
+        Mean power of the cycling cold appliances.
+    frequency_scale:
+        Per-appliance multipliers on typical usage frequency (default 1.0).
+    noise_std_kw:
+        Standard deviation of multiplicative measurement/behaviour noise.
+    """
+
+    household_id: str
+    appliances: tuple[str, ...] = (
+        "washing-machine-y",
+        "dishwasher-z",
+        "oven",
+        "television",
+    )
+    occupants: int = 2
+    standby_kw: float = 0.06
+    activity_peak_kw: float = 0.35
+    fridge_average_kw: float = 0.045
+    frequency_scale: dict[str, float] = field(default_factory=dict)
+    noise_std_kw: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not self.household_id:
+            raise ValidationError("household_id must be non-empty")
+        if self.occupants < 1:
+            raise ValidationError("occupants must be >= 1")
+        for value in (self.standby_kw, self.activity_peak_kw, self.fridge_average_kw):
+            if value < 0:
+                raise ValidationError("load parameters must be >= 0")
+        if self.noise_std_kw < 0:
+            raise ValidationError("noise_std_kw must be >= 0")
+
+
+@dataclass(frozen=True)
+class HouseholdTrace:
+    """The result of simulating one household: series + ground truth."""
+
+    config: HouseholdConfig
+    axis: TimeAxis
+    total: TimeSeries
+    base_load: TimeSeries
+    per_appliance: dict[str, TimeSeries]
+    activations: list[Activation]
+
+    def metered(self, resolution: timedelta = FIFTEEN_MINUTES) -> TimeSeries:
+        """The series a smart meter would record (kWh per interval)."""
+        return downsample_sum(self.total, resolution).with_name(
+            f"{self.config.household_id}-metered"
+        )
+
+    def true_flexible(self, resolution: timedelta = FIFTEEN_MINUTES) -> TimeSeries:
+        """Ground-truth flexible energy on the metering grid."""
+        flexible_minutely = sum(
+            (
+                self.per_appliance[name]
+                for name in self.per_appliance
+                if self._spec_flexible(name)
+            ),
+            TimeSeries.zeros(self.axis),
+        )
+        return downsample_sum(flexible_minutely, resolution).with_name(
+            f"{self.config.household_id}-true-flexible"
+        )
+
+    def _spec_flexible(self, name: str) -> bool:
+        return any(a.appliance == name and a.flexible for a in self.activations)
+
+    @property
+    def flexible_share(self) -> float:
+        """Fraction of total energy that came from flexible activations."""
+        total = self.total.total()
+        if total == 0.0:
+            return 0.0
+        flexible = sum(a.energy_kwh for a in self.activations if a.flexible)
+        return flexible / total
+
+    def flexible_activations(self) -> list[Activation]:
+        """Ground-truth shiftable runs."""
+        return [a for a in self.activations if a.flexible]
+
+
+def base_load_series(
+    config: HouseholdConfig, axis: TimeAxis, rng: np.random.Generator
+) -> TimeSeries:
+    """Continuous household floor load on a 1-minute axis (kWh per minute).
+
+    Components: standby floor, fridge compressor cycling (45-minute period,
+    1/3 duty), an occupancy activity curve with morning and evening humps
+    (scaled by occupant count and damped on workday middays), and a winter
+    lighting bump in the evening.
+    """
+    if axis.resolution != ONE_MINUTE:
+        raise ValidationError("base load is generated on a 1-minute axis")
+    minute_index = np.arange(axis.length)
+    offset = (axis.start.hour * 60 + axis.start.minute) % MINUTES_PER_DAY
+    minute_of_day = (minute_index + offset) % MINUTES_PER_DAY
+
+    # Occupancy humps: morning 06:00-09:00, evening 17:00-23:00.
+    morning = _hump(minute_of_day, centre=7.5 * 60, width=70.0)
+    evening = _hump(minute_of_day, centre=20.0 * 60, width=120.0)
+    occupancy = 0.55 * morning + 1.0 * evening
+    occupancy *= config.activity_peak_kw * (0.7 + 0.3 * config.occupants)
+
+    # Workday midday damping (house empty) and weekend boost.
+    day_numbers = minute_index // MINUTES_PER_DAY
+    midday = _hump(minute_of_day, centre=13.0 * 60, width=150.0)
+    damping = np.ones(axis.length)
+    for day_no in np.unique(day_numbers):
+        date = (axis.start + timedelta(days=int(day_no))).date()
+        mask = day_numbers == day_no
+        if day_type(date).is_weekend:
+            damping[mask] += 0.25 * midday[mask]
+        else:
+            damping[mask] -= 0.55 * midday[mask]
+    occupancy *= np.clip(damping, 0.0, None)
+
+    # Fridge: square-wave compressor cycling, phase-jittered per household.
+    period = 45
+    duty = 1.0 / 3.0
+    phase = int(rng.integers(0, period))
+    compressor_on = ((minute_index + phase) % period) < duty * period
+    fridge = np.where(compressor_on, config.fridge_average_kw / duty, 0.0)
+
+    # Evening lighting, stronger in winter (proxy: month of the axis start).
+    month = axis.start.month
+    winter_factor = 1.0 + (0.5 if month in (11, 12, 1, 2) else 0.0)
+    lighting = 0.05 * winter_factor * _hump(minute_of_day, centre=20.5 * 60, width=150.0)
+
+    power_kw = config.standby_kw + occupancy + fridge + lighting
+    noise = rng.normal(1.0, config.noise_std_kw / max(config.standby_kw, 1e-6), axis.length)
+    power_kw = np.clip(power_kw * np.clip(noise, 0.5, 1.5), 0.0, None)
+    return TimeSeries(axis, power_kw / 60.0, name=f"{config.household_id}-base")
+
+
+def _hump(minute_of_day: np.ndarray, centre: float, width: float) -> np.ndarray:
+    """A smooth daily bump: gaussian in minute-of-day with wraparound."""
+    delta = np.abs(minute_of_day - centre)
+    delta = np.minimum(delta, MINUTES_PER_DAY - delta)
+    return np.exp(-0.5 * (delta / width) ** 2)
+
+
+def simulate_household(
+    config: HouseholdConfig,
+    start: datetime,
+    days: int,
+    rng: np.random.Generator,
+    database: ApplianceDatabase | None = None,
+) -> HouseholdTrace:
+    """Simulate one household for ``days`` whole days from ``start``.
+
+    Returns the full trace: 1-minute total, base load, per-appliance series
+    and the ground-truth activation log.
+    """
+    if days < 1:
+        raise ValidationError("days must be >= 1")
+    database = database or default_database()
+    axis = TimeAxis(start, ONE_MINUTE, days * MINUTES_PER_DAY)
+    specs: dict[str, ApplianceSpec] = {
+        name: database.get(name) for name in config.appliances
+    }
+
+    activations: list[Activation] = []
+    for day_no in range(days):
+        day_start = start + timedelta(days=day_no)
+        for name, spec in specs.items():
+            scale = config.frequency_scale.get(name, 1.0)
+            activations.extend(
+                draw_daily_activations(
+                    spec, day_start, rng, household_id=config.household_id,
+                    frequency_scale=scale,
+                )
+            )
+    activations.sort(key=lambda a: a.start)
+
+    per_appliance = {
+        name: materialise(
+            [a for a in activations if a.appliance == name], specs, axis
+        ).with_name(f"{config.household_id}-{name}")
+        for name in specs
+    }
+    base = base_load_series(config, axis, rng)
+    total_values = base.values.copy()
+    for series in per_appliance.values():
+        total_values += series.values
+    total = TimeSeries(axis, total_values, name=f"{config.household_id}-total")
+    return HouseholdTrace(
+        config=config,
+        axis=axis,
+        total=total,
+        base_load=base,
+        per_appliance=per_appliance,
+        activations=activations,
+    )

@@ -1,0 +1,81 @@
+"""Regular time-series engine (the library's pandas-free substrate).
+
+Public surface:
+
+* :class:`~repro.timeseries.axis.TimeAxis` — anchored fixed-resolution grid.
+* :class:`~repro.timeseries.series.TimeSeries` — numpy-backed values on an axis.
+* :mod:`~repro.timeseries.resample` — energy/power aware up/down-sampling.
+* :mod:`~repro.timeseries.stats` — correlation, sparseness, autocorrelation...
+* :mod:`~repro.timeseries.decompose` — classical additive decomposition.
+* :mod:`~repro.timeseries.calendar` — day types, seasons, daily windows.
+"""
+
+from repro.timeseries.axis import (
+    FIFTEEN_MINUTES,
+    ONE_DAY,
+    ONE_HOUR,
+    ONE_MINUTE,
+    TimeAxis,
+    axis_for_days,
+)
+from repro.timeseries.calendar import DailyWindow, DayType, Season, day_type, season
+from repro.timeseries.clean import (
+    QualityReport,
+    assemble_regular,
+    clip_outliers,
+    fill_missing,
+    find_gaps,
+    validate_meter_series,
+)
+from repro.timeseries.decompose import Decomposition, decompose_additive, seasonal_profile
+from repro.timeseries.resample import (
+    downsample_mean,
+    downsample_sum,
+    upsample_repeat,
+    upsample_spread,
+)
+from repro.timeseries.io import (
+    load_series_csv,
+    load_series_json,
+    save_series_csv,
+    save_series_json,
+    series_from_dict,
+    series_to_dict,
+)
+from repro.timeseries.series import TimeSeries, concat, stack
+
+__all__ = [
+    "FIFTEEN_MINUTES",
+    "ONE_DAY",
+    "ONE_HOUR",
+    "ONE_MINUTE",
+    "TimeAxis",
+    "axis_for_days",
+    "DailyWindow",
+    "DayType",
+    "Season",
+    "day_type",
+    "season",
+    "Decomposition",
+    "decompose_additive",
+    "seasonal_profile",
+    "downsample_mean",
+    "downsample_sum",
+    "upsample_repeat",
+    "upsample_spread",
+    "TimeSeries",
+    "concat",
+    "stack",
+    "QualityReport",
+    "assemble_regular",
+    "clip_outliers",
+    "fill_missing",
+    "find_gaps",
+    "validate_meter_series",
+    "load_series_csv",
+    "load_series_json",
+    "save_series_csv",
+    "save_series_json",
+    "series_from_dict",
+    "series_to_dict",
+]

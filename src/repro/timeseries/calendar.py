@@ -1,0 +1,116 @@
+"""Calendar context: day types, seasons, tariff-relevant time windows.
+
+The multi-tariff and schedule-based extractors reason about "typical behaviour
+during the work days, weekends, holidays, different seasons of the year"
+(paper §3.3).  This module provides those categorisations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime, time, timedelta
+from enum import Enum
+
+
+class DayType(Enum):
+    """Coarse behavioural day categories used by the extraction algorithms."""
+
+    WORKDAY = "workday"
+    SATURDAY = "saturday"
+    SUNDAY = "sunday"
+
+    @property
+    def is_weekend(self) -> bool:
+        """True for Saturday/Sunday."""
+        return self is not DayType.WORKDAY
+
+
+class Season(Enum):
+    """Meteorological seasons (northern hemisphere)."""
+
+    WINTER = "winter"
+    SPRING = "spring"
+    SUMMER = "summer"
+    AUTUMN = "autumn"
+
+
+#: A small fixed-date public-holiday list (Denmark-flavoured, as in MIRABEL's
+#: trial region).  Holidays behave like Sundays for consumption purposes.
+FIXED_HOLIDAYS: frozenset[tuple[int, int]] = frozenset(
+    {
+        (1, 1),   # New Year
+        (6, 5),   # Constitution Day
+        (12, 24), # Christmas Eve
+        (12, 25), # Christmas Day
+        (12, 26), # Second Christmas Day
+        (12, 31), # New Year's Eve
+    }
+)
+
+
+def is_holiday(day: date) -> bool:
+    """True when ``day`` is on the fixed public-holiday list."""
+    return (day.month, day.day) in FIXED_HOLIDAYS
+
+
+def day_type(day: date) -> DayType:
+    """Categorise a calendar date; holidays count as Sundays."""
+    if is_holiday(day):
+        return DayType.SUNDAY
+    weekday = day.weekday()
+    if weekday == 5:
+        return DayType.SATURDAY
+    if weekday == 6:
+        return DayType.SUNDAY
+    return DayType.WORKDAY
+
+
+def season(day: date) -> Season:
+    """Meteorological season of a date (Dec–Feb winter, etc.)."""
+    month = day.month
+    if month in (12, 1, 2):
+        return Season.WINTER
+    if month in (3, 4, 5):
+        return Season.SPRING
+    if month in (6, 7, 8):
+        return Season.SUMMER
+    return Season.AUTUMN
+
+
+@dataclass(frozen=True, slots=True)
+class DailyWindow:
+    """A recurring time-of-day window, possibly wrapping past midnight.
+
+    ``DailyWindow(time(22), time(6))`` covers 22:00–24:00 and 00:00–06:00 of
+    every day — the classic low-tariff night window.
+    """
+
+    start: time
+    end: time
+
+    def contains(self, when: datetime | time) -> bool:
+        """True when the time-of-day of ``when`` falls inside the window."""
+        t = when.time() if isinstance(when, datetime) else when
+        if self.start <= self.end:
+            return self.start <= t < self.end
+        return t >= self.start or t < self.end
+
+    @property
+    def wraps_midnight(self) -> bool:
+        """True when the window crosses midnight."""
+        return self.end < self.start
+
+    def duration(self) -> timedelta:
+        """Length of the window."""
+        anchor = datetime(2000, 1, 1)
+        start_dt = datetime.combine(anchor.date(), self.start)
+        end_dt = datetime.combine(anchor.date(), self.end)
+        if self.wraps_midnight:
+            end_dt += timedelta(days=1)
+        return end_dt - start_dt
+
+
+def minutes_since_midnight(when: datetime | time) -> int:
+    """Minutes elapsed since 00:00 for a datetime or time."""
+    t = when.time() if isinstance(when, datetime) else when
+    return t.hour * 60 + t.minute

@@ -1,0 +1,97 @@
+"""Classical time-series decomposition (trend + seasonal + residual).
+
+The paper's related work (§5, [12]) frames consumption series as composed of
+"trend, seasonal, and error components".  The multi-tariff extractor uses the
+seasonal (daily/weekly) component as the "typical behaviour" reference, so we
+implement the classical additive decomposition with a centred moving average
+trend — the textbook method, fully deterministic, no pandas required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.timeseries.series import TimeSeries
+
+
+@dataclass(frozen=True, slots=True)
+class Decomposition:
+    """Result of an additive decomposition: ``observed = trend + seasonal + residual``."""
+
+    observed: TimeSeries
+    trend: TimeSeries
+    seasonal: TimeSeries
+    residual: TimeSeries
+
+    def reconstruction_error(self) -> float:
+        """Max absolute error of trend+seasonal+residual vs observed."""
+        recon = self.trend.values + self.seasonal.values + self.residual.values
+        return float(np.abs(recon - self.observed.values).max())
+
+
+def _centred_moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Centred moving average with edge padding (reflect).
+
+    For even windows uses the standard 2×MA construction so the average is
+    properly centred on each point.
+    """
+    if window < 2:
+        raise DataError("window must be >= 2")
+    if window % 2 == 1:
+        kernel = np.full(window, 1.0 / window)
+    else:
+        # 2xMA: average of two shifted even-width windows == odd kernel with
+        # half-weight endpoints.
+        kernel = np.full(window + 1, 1.0 / window)
+        kernel[0] *= 0.5
+        kernel[-1] *= 0.5
+    pad = len(kernel) // 2
+    padded = np.pad(x, pad, mode="reflect")
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def decompose_additive(series: TimeSeries, period: int | None = None) -> Decomposition:
+    """Classical additive decomposition with period ``period`` (in intervals).
+
+    ``period`` defaults to one day on the series' axis.  The series must
+    cover at least two full periods, otherwise the seasonal component is not
+    identifiable.
+    """
+    if period is None:
+        period = series.axis.intervals_per_day
+    n = len(series)
+    if period < 2:
+        raise DataError(f"period must be >= 2, got {period}")
+    if n < 2 * period:
+        raise DataError(
+            f"series of {n} intervals is too short for period {period} "
+            "(need at least two periods)"
+        )
+    x = series.values
+    trend = _centred_moving_average(x, period)
+    detrended = x - trend
+    # Seasonal: mean of the detrended values at each phase, centred to sum 0.
+    phases = np.arange(n) % period
+    seasonal_means = np.zeros(period)
+    for k in range(period):
+        seasonal_means[k] = detrended[phases == k].mean()
+    seasonal_means -= seasonal_means.mean()
+    seasonal = seasonal_means[phases]
+    residual = x - trend - seasonal
+    return Decomposition(
+        observed=series,
+        trend=series.with_values(trend).with_name(f"{series.name}.trend"),
+        seasonal=series.with_values(seasonal).with_name(f"{series.name}.seasonal"),
+        residual=series.with_values(residual).with_name(f"{series.name}.residual"),
+    )
+
+
+def seasonal_profile(series: TimeSeries, period: int | None = None) -> np.ndarray:
+    """Seasonal component values for one period (convenience accessor)."""
+    dec = decompose_additive(series, period)
+    if period is None:
+        period = series.axis.intervals_per_day
+    return dec.seasonal.values[:period].copy()

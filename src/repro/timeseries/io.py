@@ -1,0 +1,99 @@
+"""Time-series (de)serialisation: CSV and JSON meter-data formats.
+
+Real deployments feed extraction from metering databases; this module
+provides the boundary: a CSV format (``timestamp,value`` with ISO-8601
+timestamps) and a compact JSON encoding (anchor + resolution + values).
+Both round-trip exactly and validate regularity on load.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from datetime import datetime, timedelta
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.timeseries.axis import TimeAxis
+from repro.timeseries.series import TimeSeries
+
+
+def series_to_dict(series: TimeSeries) -> dict[str, Any]:
+    """Compact JSON-compatible encoding (anchor + resolution + values)."""
+    return {
+        "start": series.axis.start.isoformat(),
+        "resolution_seconds": series.axis.resolution.total_seconds(),
+        "name": series.name,
+        "values": [float(v) for v in series.values],
+    }
+
+
+def series_from_dict(data: dict[str, Any]) -> TimeSeries:
+    """Decode a series from its dict encoding."""
+    try:
+        axis = TimeAxis(
+            start=datetime.fromisoformat(data["start"]),
+            resolution=timedelta(seconds=data["resolution_seconds"]),
+            length=len(data["values"]),
+        )
+        return TimeSeries(axis, data["values"], data.get("name", ""))
+    except KeyError as exc:
+        raise DataError(f"series dict missing field: {exc}") from exc
+
+
+def save_series_json(series: TimeSeries, path: str | Path) -> None:
+    """Write one series to a JSON file."""
+    Path(path).write_text(json.dumps(series_to_dict(series)))
+
+
+def load_series_json(path: str | Path) -> TimeSeries:
+    """Read one series from a JSON file."""
+    return series_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_series_csv(series: TimeSeries, path: str | Path) -> None:
+    """Write ``timestamp,value`` rows (ISO-8601, one per interval)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", "value"])
+        for when, value in series:
+            writer.writerow([when.isoformat(), repr(value)])
+
+
+def load_series_csv(path: str | Path, name: str = "") -> TimeSeries:
+    """Read a ``timestamp,value`` CSV written by :func:`save_series_csv`.
+
+    Validates that timestamps form a regular grid; raises
+    :class:`DataError` on gaps, duplicates or irregular spacing (use
+    :mod:`repro.timeseries.clean` to repair raw meter exports first).
+    """
+    timestamps: list[datetime] = []
+    values: list[float] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header[:2]] != ["timestamp", "value"]:
+            raise DataError(f"{path}: expected header 'timestamp,value'")
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) < 2:
+                raise DataError(f"{path}:{line_no}: short row")
+            try:
+                timestamps.append(datetime.fromisoformat(row[0]))
+                values.append(float(row[1]))
+            except ValueError as exc:
+                raise DataError(f"{path}:{line_no}: {exc}") from exc
+    if len(timestamps) < 2:
+        raise DataError(f"{path}: need at least two rows to infer a resolution")
+    resolution = timestamps[1] - timestamps[0]
+    if resolution <= timedelta(0):
+        raise DataError(f"{path}: non-increasing timestamps")
+    for i, (a, b) in enumerate(zip(timestamps, timestamps[1:]), start=2):
+        if b - a != resolution:
+            raise DataError(
+                f"{path}: irregular spacing at row {i + 1}: {b - a} != {resolution}"
+            )
+    axis = TimeAxis(timestamps[0], resolution, len(values))
+    return TimeSeries(axis, values, name)

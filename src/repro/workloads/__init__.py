@@ -1,0 +1,45 @@
+"""Canonical workloads: the Figure 5 day and reusable simulated scenarios."""
+
+from repro.workloads.paper_day import (
+    FIGURE5_DAY_TOTAL,
+    FIGURE5_FILTER_THRESHOLD,
+    FIGURE5_FLEX_SHARE,
+    FIGURE5_PEAK_SIZES,
+    FIGURE5_PROBABILITIES,
+    FIGURE5_SURVIVORS,
+    Figure5Day,
+    figure5_day,
+)
+
+__all__ = [
+    "FIGURE5_DAY_TOTAL",
+    "FIGURE5_FILTER_THRESHOLD",
+    "FIGURE5_FLEX_SHARE",
+    "FIGURE5_PEAK_SIZES",
+    "FIGURE5_PROBABILITIES",
+    "FIGURE5_SURVIVORS",
+    "Figure5Day",
+    "figure5_day",
+]
+
+from repro.workloads.scenarios import (
+    SCENARIO_START,
+    catalogue,
+    metering_axis,
+    nilm_household,
+    small_fleet,
+    tariff_study,
+    weekend_skewed_household,
+    wind_target,
+)
+
+__all__ += [
+    "SCENARIO_START",
+    "catalogue",
+    "metering_axis",
+    "nilm_household",
+    "small_fleet",
+    "tariff_study",
+    "weekend_skewed_household",
+    "wind_target",
+]

@@ -1,0 +1,84 @@
+"""Shared fixtures: deterministic RNGs, canonical axes and cached scenarios.
+
+Simulation-backed fixtures are session-scoped (the underlying scenario
+builders are ``lru_cache``d as well), so the suite pays for each simulation
+exactly once.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.timeseries.axis import FIFTEEN_MINUTES, ONE_MINUTE, TimeAxis, axis_for_days
+from repro.timeseries.series import TimeSeries
+from repro.workloads.paper_day import figure5_day
+from repro.workloads.scenarios import (
+    SCENARIO_START,
+    nilm_household,
+    small_fleet,
+    tariff_study,
+    weekend_skewed_household,
+)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def day_axis() -> TimeAxis:
+    """One day of 15-minute intervals starting at the scenario anchor."""
+    return axis_for_days(SCENARIO_START, 1)
+
+
+@pytest.fixture()
+def week_axis() -> TimeAxis:
+    """One week of 15-minute intervals."""
+    return axis_for_days(SCENARIO_START, 7)
+
+
+@pytest.fixture()
+def minute_axis() -> TimeAxis:
+    """One day of 1-minute intervals."""
+    return TimeAxis(SCENARIO_START, ONE_MINUTE, 24 * 60)
+
+
+@pytest.fixture()
+def ramp_series(day_axis: TimeAxis) -> TimeSeries:
+    """A simple increasing series over one day."""
+    return TimeSeries(day_axis, np.linspace(0.1, 1.0, day_axis.length), "ramp")
+
+
+@pytest.fixture()
+def paper_day():
+    """The reconstructed Figure 5 day."""
+    return figure5_day(datetime(2012, 3, 7))
+
+
+@pytest.fixture(scope="session")
+def nilm_trace():
+    """Cached 14-day five-appliance household (disaggregation target)."""
+    return nilm_household(days=14, seed=3)
+
+
+@pytest.fixture(scope="session")
+def weekend_trace():
+    """Cached 28-day household with weekend-skewed dishwasher."""
+    return weekend_skewed_household(days=28, seed=11)
+
+
+@pytest.fixture(scope="session")
+def fleet():
+    """Cached 6-household, 7-day fleet."""
+    return small_fleet(n=6, days=7, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tariff_pair():
+    """Cached 28-day one-tariff/night-tariff study."""
+    return tariff_study(days=28, seed=9)

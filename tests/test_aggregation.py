@@ -1,0 +1,170 @@
+"""Tests for flex-offer grouping, aggregation and disaggregation (paper [4])."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.aggregation.aggregate import (
+    aggregate_all,
+    aggregate_group,
+    disaggregate_schedule,
+)
+from repro.aggregation.grouping import GroupingParams, group_offers
+from repro.errors import AggregationError
+from repro.flexoffer.model import FlexOffer, ProfileSlice
+from repro.flexoffer.schedule import ScheduledFlexOffer, default_schedule
+from repro.scheduling.greedy import greedy_schedule
+from repro.timeseries.axis import FIFTEEN_MINUTES, axis_for_days
+from repro.timeseries.series import TimeSeries
+
+START = datetime(2012, 3, 5, 18, 0)
+
+
+def offer(start_offset_h: float = 0.0, flex_h: float = 2.0, e: float = 1.0) -> FlexOffer:
+    est = START + timedelta(hours=start_offset_h)
+    return FlexOffer(
+        earliest_start=est,
+        latest_start=est + timedelta(hours=flex_h),
+        slices=(ProfileSlice(0.8 * e, 1.2 * e), ProfileSlice(0.4 * e, 0.6 * e)),
+    )
+
+
+class TestGrouping:
+    def test_similar_offers_share_group(self):
+        offers = [offer(0.0), offer(0.25), offer(0.5)]
+        groups = group_offers(offers, GroupingParams(start_tolerance=timedelta(hours=2)))
+        assert len(groups) == 1
+        assert len(groups[0]) == 3
+
+    def test_distant_starts_split(self):
+        offers = [offer(0.0), offer(10.0)]
+        groups = group_offers(offers, GroupingParams(start_tolerance=timedelta(hours=2)))
+        assert len(groups) == 2
+
+    def test_different_flexibility_split(self):
+        offers = [offer(0.0, flex_h=1.0), offer(0.0, flex_h=20.0)]
+        groups = group_offers(offers, GroupingParams(flexibility_tolerance=timedelta(hours=4)))
+        assert len(groups) == 2
+
+    def test_max_group_size(self):
+        offers = [offer(0.0) for _ in range(10)]
+        groups = group_offers(offers, GroupingParams(max_group_size=4))
+        assert [len(g) for g in groups] == [4, 4, 2]
+
+    def test_empty_input(self):
+        assert group_offers([]) == []
+
+    def test_validation(self):
+        with pytest.raises(AggregationError):
+            GroupingParams(start_tolerance=timedelta(0))
+        with pytest.raises(AggregationError):
+            GroupingParams(max_group_size=0)
+
+
+class TestAggregation:
+    def test_profile_sums(self):
+        group = [offer(0.0, e=1.0), offer(0.0, e=2.0)]
+        agg = aggregate_group(group)
+        assert agg.size == 2
+        assert agg.offer.profile_energy_min == pytest.approx(1.2 * 3.0)
+        assert agg.offer.profile_energy_max == pytest.approx(1.8 * 3.0)
+
+    def test_flexibility_is_member_minimum(self):
+        group = [offer(0.0, flex_h=2.0), offer(0.0, flex_h=5.0)]
+        agg = aggregate_group(group)
+        assert agg.offer.time_flexibility == timedelta(hours=2)
+
+    def test_offset_members_extend_profile(self):
+        group = [offer(0.0), offer(0.5)]  # second starts 2 intervals later
+        agg = aggregate_group(group)
+        # Member profile is 2 intervals; offset 2 -> total 4 intervals.
+        assert agg.offer.profile_intervals == 4
+        assert agg.member_offsets == (0, 2)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(AggregationError):
+            aggregate_group([])
+
+    def test_mixed_resolution_rejected(self):
+        from repro.timeseries.axis import ONE_HOUR
+        a = offer(0.0)
+        b = FlexOffer(
+            earliest_start=START,
+            latest_start=START + timedelta(hours=2),
+            slices=(ProfileSlice(0.5, 1.0),),
+            resolution=ONE_HOUR,
+        )
+        with pytest.raises(AggregationError):
+            aggregate_group([a, b])
+
+    def test_misaligned_start_rejected(self):
+        a = offer(0.0)
+        b = a.shifted(timedelta(minutes=7))
+        with pytest.raises(AggregationError):
+            aggregate_group([a, b])
+
+    def test_aggregate_all(self):
+        offers = [offer(0.0), offer(0.25), offer(12.0)]
+        groups = group_offers(offers)
+        aggs = aggregate_all(groups)
+        assert sum(a.size for a in aggs) == 3
+
+
+class TestDisaggregation:
+    def test_roundtrip_energy_exact(self):
+        group = [offer(0.0, e=1.0), offer(0.25, e=2.0), offer(0.5, e=0.5)]
+        agg = aggregate_group(group)
+        schedule = default_schedule(agg.offer, start=agg.offer.earliest_start)
+        parts = disaggregate_schedule(agg, schedule)
+        assert len(parts) == 3
+        assert sum(p.total_energy for p in parts) == pytest.approx(schedule.total_energy)
+
+    def test_members_feasible(self):
+        group = [offer(0.0, e=1.0), offer(0.25, e=2.0)]
+        agg = aggregate_group(group)
+        # Shift by the full aggregate flexibility.
+        start = agg.offer.latest_start
+        schedule = default_schedule(agg.offer, start=start, level=1.0)
+        parts = disaggregate_schedule(agg, schedule)
+        for part, member in zip(parts, agg.members):
+            # Construction of ScheduledFlexOffer already validates bounds;
+            # double-check start-shift semantics here.
+            delta = schedule.start - agg.offer.earliest_start
+            assert part.start == member.earliest_start + delta
+
+    def test_interval_alignment_of_demand(self):
+        """Disaggregated members reproduce the aggregate's demand per interval."""
+        group = [offer(0.0, e=1.0), offer(0.5, e=2.0)]
+        agg = aggregate_group(group)
+        axis = axis_for_days(START.replace(hour=0), 2)
+        schedule = default_schedule(agg.offer, start=agg.offer.earliest_start)
+        parts = disaggregate_schedule(agg, schedule)
+        from repro.flexoffer.schedule import schedules_to_series
+
+        agg_series = schedule.to_series(axis)
+        member_series = schedules_to_series(parts, axis)
+        assert member_series.allclose(agg_series, atol=1e-9)
+
+    def test_wrong_schedule_rejected(self):
+        group = [offer(0.0)]
+        agg = aggregate_group(group)
+        other = default_schedule(offer(1.0))
+        with pytest.raises(AggregationError):
+            disaggregate_schedule(agg, other)
+
+    def test_scheduled_aggregate_roundtrip(self):
+        """End to end: group -> aggregate -> greedy schedule -> disaggregate."""
+        offers = [offer(0.0, e=1.0), offer(0.25, e=1.5), offer(0.25, e=0.7)]
+        agg = aggregate_group(offers)
+        axis = axis_for_days(START.replace(hour=0), 2)
+        rng = np.random.default_rng(0)
+        target = TimeSeries(axis, rng.uniform(0.0, 3.0, axis.length))
+        result = greedy_schedule([agg.offer], target)
+        assert len(result.schedules) == 1
+        parts = disaggregate_schedule(agg, result.schedules[0])
+        assert sum(p.total_energy for p in parts) == pytest.approx(
+            result.schedules[0].total_energy
+        )

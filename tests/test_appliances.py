@@ -1,0 +1,279 @@
+"""Unit tests for :mod:`repro.appliances` (model, database, usage)."""
+
+from __future__ import annotations
+
+from datetime import time, timedelta
+
+import numpy as np
+import pytest
+
+from repro.appliances.database import (
+    TABLE1_NAMES,
+    default_database,
+    table1_database,
+)
+from repro.appliances.model import (
+    ApplianceCategory,
+    ApplianceSpec,
+    flat_shape,
+    phased_shape,
+    ramped_shape,
+)
+from repro.appliances.usage import (
+    MINUTES_PER_DAY,
+    UsageFrequency,
+    UsageSchedule,
+    evening_schedule,
+    night_schedule,
+)
+from repro.errors import DataError, ValidationError
+from repro.timeseries.calendar import DailyWindow, DayType
+
+
+class TestShapes:
+    def test_flat_shape_normalised(self):
+        shape = flat_shape(60)
+        assert shape.shape == (60,)
+        assert shape.sum() == pytest.approx(1.0)
+        assert np.allclose(shape, shape[0])
+
+    def test_phased_shape(self):
+        shape = phased_shape([(10, 2.0), (20, 1.0)])
+        assert shape.shape == (30,)
+        assert shape.sum() == pytest.approx(1.0)
+        assert shape[0] == pytest.approx(2 * shape[15])
+
+    def test_ramped_shape_monotone(self):
+        shape = ramped_shape(100, 1.0, 0.2)
+        assert shape.sum() == pytest.approx(1.0)
+        assert shape[0] > shape[-1]
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValidationError):
+            flat_shape(0)
+        with pytest.raises(ValidationError):
+            phased_shape([])
+        with pytest.raises(ValidationError):
+            phased_shape([(0, 1.0)])
+        with pytest.raises(ValidationError):
+            ramped_shape(10, 1.0, -0.5)
+
+
+class TestApplianceSpec:
+    def make(self, **overrides) -> ApplianceSpec:
+        defaults = dict(
+            name="test-appliance",
+            manufacturer="Test",
+            category=ApplianceCategory.WET,
+            energy_min_kwh=1.0,
+            energy_max_kwh=2.0,
+            shape=flat_shape(60),
+            flexible=True,
+            time_flexibility=timedelta(hours=6),
+        )
+        defaults.update(overrides)
+        return ApplianceSpec(**defaults)
+
+    def test_derived_attributes(self):
+        spec = self.make()
+        assert spec.cycle_minutes == 60
+        assert spec.cycle_duration == timedelta(hours=1)
+        assert spec.typical_energy_kwh == 1.5
+        # flat 1.5 kWh over 1 h => 1.5 kW peak
+        assert spec.peak_power_kw == pytest.approx(1.5)
+
+    def test_shape_normalised_defensively(self):
+        spec = self.make(shape=np.ones(30) * 5.0)
+        assert spec.shape.sum() == pytest.approx(1.0)
+
+    def test_invalid_energy_range(self):
+        with pytest.raises(ValidationError):
+            self.make(energy_min_kwh=3.0, energy_max_kwh=2.0)
+        with pytest.raises(ValidationError):
+            self.make(energy_min_kwh=0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            self.make(name="")
+
+    def test_negative_shape_rejected(self):
+        bad = np.ones(10)
+        bad[3] = -1.0
+        with pytest.raises(ValidationError):
+            self.make(shape=bad)
+
+    def test_energy_profile_scaling(self):
+        spec = self.make()
+        profile = spec.energy_profile_minutes(1.5)
+        assert profile.sum() == pytest.approx(1.5)
+        with pytest.raises(ValidationError):
+            spec.energy_profile_minutes(5.0)
+
+    def test_profile_bounds(self):
+        spec = self.make()
+        lo, hi = spec.profile_bounds_minutes()
+        assert lo.sum() == pytest.approx(1.0)
+        assert hi.sum() == pytest.approx(2.0)
+
+    def test_sample_energy_in_range(self):
+        spec = self.make()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert 1.0 <= spec.sample_energy(rng) <= 2.0
+
+    def test_matches_energy_with_slack(self):
+        spec = self.make()
+        assert spec.matches_energy(1.5)
+        assert spec.matches_energy(0.8)   # within slack
+        assert not spec.matches_energy(10.0)
+
+
+class TestDatabase:
+    def test_table1_contains_exactly_paper_rows(self):
+        db = table1_database()
+        assert tuple(db.names()) == TABLE1_NAMES
+        # Energy ranges exactly as printed in Table 1.
+        assert db.get("vacuum-robot-x").energy_min_kwh == 0.5
+        assert db.get("vacuum-robot-x").energy_max_kwh == 1.0
+        assert db.get("washing-machine-y").energy_min_kwh == 1.2
+        assert db.get("washing-machine-y").energy_max_kwh == 3.0
+        assert db.get("dishwasher-z").energy_min_kwh == 1.2
+        assert db.get("dishwasher-z").energy_max_kwh == 2.0
+        assert db.get("ev-small").energy_min_kwh == 30.0
+        assert db.get("ev-small").energy_max_kwh == 50.0
+        assert db.get("ev-medium").energy_min_kwh == 50.0
+        assert db.get("ev-medium").energy_max_kwh == 60.0
+        assert db.get("ev-large").energy_min_kwh == 60.0
+        assert db.get("ev-large").energy_max_kwh == 70.0
+
+    def test_vacuum_robot_22h_flexibility(self):
+        """The paper's §4.1 worked example: once daily, 22 h flexibility."""
+        spec = table1_database().get("vacuum-robot-x")
+        assert spec.time_flexibility == timedelta(hours=22)
+        assert spec.frequency.uses_per_week == pytest.approx(7.0)
+
+    def test_default_database_superset(self):
+        db = default_database()
+        for name in TABLE1_NAMES:
+            assert name in db
+        assert len(db) > len(TABLE1_NAMES)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            default_database().get("toaster-9000")
+
+    def test_by_category(self):
+        db = default_database()
+        wet = db.by_category(ApplianceCategory.WET)
+        assert {s.name for s in wet} >= {"washing-machine-y", "dishwasher-z"}
+
+    def test_flexible_filter(self):
+        db = default_database()
+        names = {s.name for s in db.flexible()}
+        assert "washing-machine-y" in names
+        assert "oven" not in names  # dinner is not shiftable
+
+    def test_candidates_for_energy(self):
+        db = table1_database()
+        names = {s.name for s in db.candidates_for_energy(1.5)}
+        assert "washing-machine-y" in names
+        assert "dishwasher-z" in names
+        assert "ev-small" not in names
+
+    def test_restricted(self):
+        db = default_database().restricted(["oven", "television"])
+        assert len(db) == 2
+        with pytest.raises(KeyError):
+            default_database().restricted(["not-a-thing"])
+
+    def test_table_rows_shape(self):
+        rows = table1_database().table_rows()
+        assert len(rows) == 6
+        name, manufacturer, emin, emax, cycle = rows[0]
+        assert isinstance(name, str) and isinstance(cycle, int)
+
+
+class TestUsageFrequency:
+    def test_expected_uses_preserves_weekly_total(self):
+        freq = UsageFrequency(
+            7.0, day_type_weights={DayType.WORKDAY: 0.5, DayType.SATURDAY: 2.0, DayType.SUNDAY: 2.0}
+        )
+        weekly = (
+            5 * freq.expected_uses(DayType.WORKDAY)
+            + freq.expected_uses(DayType.SATURDAY)
+            + freq.expected_uses(DayType.SUNDAY)
+        )
+        assert weekly == pytest.approx(7.0)
+
+    def test_weekend_skew_direction(self):
+        freq = UsageFrequency(
+            4.0, day_type_weights={DayType.WORKDAY: 0.5, DayType.SATURDAY: 2.0, DayType.SUNDAY: 2.0}
+        )
+        assert freq.expected_uses(DayType.SATURDAY) > freq.expected_uses(DayType.WORKDAY)
+
+    def test_sampling_mean(self):
+        freq = UsageFrequency(7.0)
+        rng = np.random.default_rng(0)
+        draws = [freq.sample_uses(DayType.WORKDAY, rng) for _ in range(2000)]
+        assert np.mean(draws) == pytest.approx(1.0, abs=0.1)
+
+    def test_zero_frequency(self):
+        freq = UsageFrequency(0.0)
+        rng = np.random.default_rng(0)
+        assert freq.sample_uses(DayType.WORKDAY, rng) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            UsageFrequency(-1.0)
+        with pytest.raises(ValidationError):
+            UsageFrequency(1.0, day_type_weights={DayType.WORKDAY: -2.0})
+
+    def test_describe(self):
+        assert UsageFrequency(7.0).describe() == "daily"
+        assert "x/week" in UsageFrequency(3.0).describe()
+        assert "x/month" in UsageFrequency(0.5).describe()
+
+
+class TestUsageSchedule:
+    def test_empty_schedule_uniform(self):
+        schedule = UsageSchedule()
+        rng = np.random.default_rng(0)
+        draws = [schedule.sample_start_minute(rng) for _ in range(2000)]
+        assert 0 <= min(draws) and max(draws) < MINUTES_PER_DAY
+        assert np.std(draws) > 300  # roughly uniform spread
+
+    def test_windowed_sampling_stays_inside(self):
+        schedule = UsageSchedule(
+            windows=((DailyWindow(time(9, 0), time(12, 0)), 1.0),)
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            minute = schedule.sample_start_minute(rng)
+            assert 9 * 60 <= minute < 12 * 60
+
+    def test_wrapping_window_sampling(self):
+        rng = np.random.default_rng(2)
+        schedule = night_schedule()  # 21:00-01:00
+        for _ in range(200):
+            minute = schedule.sample_start_minute(rng)
+            assert minute >= 21 * 60 or minute < 1 * 60
+
+    def test_weighting_prefers_heavier_window(self):
+        schedule = evening_schedule()  # evening weight 3, morning weight 1
+        rng = np.random.default_rng(3)
+        draws = np.array([schedule.sample_start_minute(rng) for _ in range(2000)])
+        evening = np.mean((draws >= 17 * 60) & (draws < 22 * 60))
+        assert evening == pytest.approx(0.75, abs=0.05)
+
+    def test_density_sums_to_one(self):
+        for schedule in (UsageSchedule(), evening_schedule(), night_schedule()):
+            assert schedule.start_density_per_minute().sum() == pytest.approx(1.0)
+
+    def test_probability_in_window(self):
+        schedule = evening_schedule()
+        p = schedule.probability_in_window(DailyWindow(time(17, 0), time(22, 0)))
+        assert p == pytest.approx(0.75, abs=1e-9)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            UsageSchedule(windows=((DailyWindow(time(9, 0), time(10, 0)), -1.0),))

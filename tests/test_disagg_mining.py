@@ -1,0 +1,152 @@
+"""Unit tests for frequency estimation and schedule mining (§4 step 1)."""
+
+from __future__ import annotations
+
+from datetime import date, datetime, time, timedelta
+
+import numpy as np
+import pytest
+
+from repro.appliances.database import default_database
+from repro.disaggregation.frequency import estimate_frequencies
+from repro.disaggregation.schedule_mining import (
+    count_day_types,
+    mine_schedule,
+)
+from repro.errors import DataError
+from repro.simulation.activations import Activation
+from repro.timeseries.calendar import DailyWindow, DayType
+
+START = datetime(2012, 3, 5)  # a Monday
+
+
+def runs(appliance: str, starts: list[datetime], energy: float = 1.5):
+    db = default_database()
+    spec = db.get(appliance)
+    return [
+        Activation(appliance, s, energy, spec.cycle_duration, spec.flexible)
+        for s in starts
+    ]
+
+
+class TestFrequencyEstimation:
+    def test_daily_appliance_frequency(self):
+        starts = [START + timedelta(days=d, hours=10) for d in range(14)]
+        detections = runs("vacuum-robot-x", starts, energy=0.7)
+        table = estimate_frequencies(detections, default_database(), observation_days=14)
+        entry = table.get("vacuum-robot-x")
+        assert entry.frequency.uses_per_week == pytest.approx(7.0)
+        assert entry.detections == 14
+        assert entry.time_flexibility == timedelta(hours=22)
+        assert entry.mean_energy_kwh == pytest.approx(0.7)
+
+    def test_min_detections_filter(self):
+        detections = runs("washing-machine-y", [START + timedelta(hours=18)])
+        table = estimate_frequencies(
+            detections, default_database(), observation_days=7, min_detections=2
+        )
+        assert "washing-machine-y" not in table
+        assert len(table) == 0
+
+    def test_weekend_skew_detected(self):
+        # Dishwasher on both weekend days of two weeks, one workday use.
+        starts = [
+            START + timedelta(days=5, hours=19),   # Sat
+            START + timedelta(days=6, hours=19),   # Sun
+            START + timedelta(days=12, hours=19),  # Sat
+            START + timedelta(days=13, hours=19),  # Sun
+            START + timedelta(days=2, hours=19),   # Wed
+        ]
+        detections = runs("dishwasher-z", starts)
+        table = estimate_frequencies(detections, default_database(), observation_days=14)
+        weights = table.get("dishwasher-z").frequency.day_type_weights
+        assert weights[DayType.SATURDAY] > weights[DayType.WORKDAY]
+        assert weights[DayType.SUNDAY] > weights[DayType.WORKDAY]
+
+    def test_flexible_entries_filter(self):
+        detections = runs("oven", [START + timedelta(days=d, hours=18) for d in range(5)])
+        detections += runs("washing-machine-y", [START + timedelta(days=d, hours=20) for d in range(5)])
+        table = estimate_frequencies(detections, default_database(), observation_days=7)
+        flexible = table.flexible_entries()
+        assert [e.appliance for e in flexible] == ["washing-machine-y"]
+
+    def test_describe_mentions_frequency(self):
+        detections = runs("washing-machine-y", [START + timedelta(days=d) for d in range(7)])
+        table = estimate_frequencies(detections, default_database(), observation_days=7)
+        assert "washing-machine-y" in table.get("washing-machine-y").describe()
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            estimate_frequencies([], default_database(), observation_days=0)
+
+    def test_unknown_appliance_lookup_raises(self):
+        table = estimate_frequencies([], default_database(), observation_days=7)
+        with pytest.raises(KeyError):
+            table.get("anything")
+
+
+class TestScheduleMining:
+    def test_consistent_evening_habit_found(self):
+        starts = [START + timedelta(days=d, hours=19, minutes=30) for d in range(5)]
+        detections = runs("dishwasher-z", starts)
+        counts = count_day_types(START.date(), 5)
+        mined = mine_schedule(detections, "dishwasher-z", counts)
+        windows = mined.windows[DayType.WORKDAY]
+        assert windows
+        probe = time(19, 30)
+        assert any(w.contains(probe) for w in windows)
+        # Peak of the density lands near the habit time.
+        assert abs(mined.peak_minute(DayType.WORKDAY) - (19 * 60 + 30)) <= 60
+
+    def test_weekend_vs_workday_schedules_differ(self):
+        workday_starts = [START + timedelta(days=d, hours=19) for d in range(0, 5)]
+        weekend_starts = [
+            START + timedelta(days=5, hours=13),
+            START + timedelta(days=6, hours=13),
+            START + timedelta(days=12, hours=13),
+            START + timedelta(days=13, hours=13),
+        ]
+        detections = runs("dishwasher-z", workday_starts + weekend_starts)
+        counts = count_day_types(START.date(), 14)
+        mined = mine_schedule(detections, "dishwasher-z", counts)
+        workday_peak = mined.peak_minute(DayType.WORKDAY)
+        saturday_peak = mined.peak_minute(DayType.SATURDAY)
+        assert abs(workday_peak - 19 * 60) < 90
+        assert abs(saturday_peak - 13 * 60) < 90
+
+    def test_expected_starts_per_day(self):
+        starts = [START + timedelta(days=d, hours=10) for d in range(5)]
+        detections = runs("vacuum-robot-x", starts, energy=0.7)
+        counts = count_day_types(START.date(), 5)
+        mined = mine_schedule(detections, "vacuum-robot-x", counts)
+        assert mined.expected_starts(DayType.WORKDAY) == pytest.approx(1.0)
+
+    def test_no_detections_empty_windows(self):
+        counts = count_day_types(START.date(), 7)
+        mined = mine_schedule([], "dishwasher-z", counts)
+        for dtype in DayType:
+            assert mined.windows[dtype] == []
+            assert mined.expected_starts(dtype) == 0.0
+
+    def test_as_usage_schedule_sampling(self):
+        starts = [START + timedelta(days=d, hours=19, minutes=15) for d in range(10)]
+        # Only workdays: skip weekends.
+        starts = [s for s in starts if s.weekday() < 5]
+        detections = runs("dishwasher-z", starts)
+        counts = count_day_types(START.date(), 14)
+        mined = mine_schedule(detections, "dishwasher-z", counts)
+        schedule = mined.as_usage_schedule(DayType.WORKDAY)
+        rng = np.random.default_rng(0)
+        draws = [schedule.sample_start_minute(rng) for _ in range(100)]
+        # Samples should concentrate around the 19:15 habit.
+        assert np.median(np.abs(np.array(draws) - (19 * 60 + 15))) < 150
+
+    def test_smoothing_validation(self):
+        with pytest.raises(DataError):
+            mine_schedule([], "x", {}, smoothing_minutes=0)
+
+    def test_count_day_types(self):
+        counts = count_day_types(date(2012, 3, 5), 7)
+        assert counts[DayType.WORKDAY] == 5
+        assert counts[DayType.SATURDAY] == 1
+        assert counts[DayType.SUNDAY] == 1

@@ -1,0 +1,170 @@
+"""Tests for ground-truth scoring, realism statistics and the comparison."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.evaluation.comparison import (
+    collect_offers,
+    compare_on_traces,
+    default_suite,
+    input_series_for,
+)
+from repro.evaluation.groundtruth import energy_overlap, match_activations
+from repro.evaluation.realism import (
+    format_table,
+    offers_to_expected_series,
+    peak_energy_fraction,
+    realism_report,
+)
+from repro.extraction.basic import BasicExtractor
+from repro.extraction.frequency_based import FrequencyBasedExtractor
+from repro.extraction.params import FlexOfferParams
+from repro.extraction.peaks import PeakBasedExtractor
+from repro.extraction.random_baseline import RandomBaselineExtractor
+from repro.simulation.activations import Activation
+from repro.timeseries.axis import axis_for_days
+from repro.timeseries.series import TimeSeries
+
+START = datetime(2012, 3, 5)
+
+
+def act(appliance: str, hours: float, energy: float = 1.0) -> Activation:
+    return Activation(
+        appliance, START + timedelta(hours=hours), energy, timedelta(hours=1), True
+    )
+
+
+class TestMatchActivations:
+    def test_perfect_match(self):
+        truth = [act("a", 1.0), act("b", 5.0)]
+        report = match_activations(truth, truth)
+        assert report.precision == 1.0 and report.recall == 1.0 and report.f1 == 1.0
+        assert report.start_error_minutes == 0.0
+
+    def test_tolerance_window(self):
+        truth = [act("a", 1.0)]
+        near = [act("a", 1.25)]  # 15 minutes off
+        far = [act("a", 3.0)]
+        assert match_activations(near, truth).true_positives == 1
+        assert match_activations(far, truth).true_positives == 0
+
+    def test_appliance_name_must_match(self):
+        truth = [act("a", 1.0)]
+        wrong = [act("b", 1.0)]
+        assert match_activations(wrong, truth).true_positives == 0
+        relaxed = match_activations(wrong, truth, same_appliance=False)
+        assert relaxed.true_positives == 1
+
+    def test_duplicates_count_as_false_positives(self):
+        truth = [act("a", 1.0)]
+        double = [act("a", 1.0), act("a", 1.1)]
+        report = match_activations(double, truth)
+        assert report.true_positives == 1
+        assert report.false_positives == 1
+
+    def test_empty_cases(self):
+        assert match_activations([], []).f1 == 1.0
+        report = match_activations([], [act("a", 1.0)])
+        assert report.recall == 0.0 and report.precision == 1.0
+
+
+class TestEnergyOverlap:
+    def test_perfect_overlap(self):
+        axis = axis_for_days(START, 1)
+        series = TimeSeries(axis, np.random.default_rng(0).uniform(0, 1, 96))
+        overlap = energy_overlap(series, series)
+        assert overlap.precision == pytest.approx(1.0)
+        assert overlap.recall == pytest.approx(1.0)
+
+    def test_disjoint_overlap(self):
+        axis = axis_for_days(START, 1)
+        a = np.zeros(96); a[:10] = 1.0
+        b = np.zeros(96); b[50:60] = 1.0
+        overlap = energy_overlap(TimeSeries(axis, a), TimeSeries(axis, b))
+        assert overlap.overlap_kwh == 0.0
+        assert overlap.f1 == 0.0
+
+    def test_partial(self):
+        axis = axis_for_days(START, 1)
+        a = np.zeros(96); a[:20] = 1.0
+        b = np.zeros(96); b[10:20] = 1.0
+        overlap = energy_overlap(TimeSeries(axis, a), TimeSeries(axis, b))
+        assert overlap.precision == pytest.approx(0.5)
+        assert overlap.recall == pytest.approx(1.0)
+
+
+class TestRealism:
+    def test_offers_to_expected_series(self, paper_day, rng):
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        result = extractor.extract(paper_day.series, rng)
+        expected = offers_to_expected_series(result.offers, paper_day.series.axis)
+        assert expected.total() == pytest.approx(result.extracted_energy, rel=1e-6)
+
+    def test_peak_energy_fraction_bounds(self, paper_day, rng):
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        result = extractor.extract(paper_day.series, rng)
+        expected = offers_to_expected_series(result.offers, paper_day.series.axis)
+        fraction = peak_energy_fraction(expected, paper_day.series)
+        assert 0.9 <= fraction <= 1.0  # by construction on the peak
+
+    def test_realism_report_fields(self, paper_day, rng):
+        extractor = BasicExtractor(params=FlexOfferParams(flexible_share=0.05))
+        result = extractor.extract(paper_day.series, rng)
+        report = realism_report(result)
+        row = report.row()
+        assert row["extractor"] == "basic"
+        assert row["offers"] == 4
+        assert 0.0 <= row["share"] <= 1.0
+
+    def test_format_table(self):
+        rows = [{"a": 1, "bb": "x"}, {"a": 22, "bb": "y"}]
+        text = format_table(rows)
+        assert "a" in text and "bb" in text and "22" in text
+        assert format_table([]) == "(no rows)"
+
+
+class TestComparison:
+    def test_input_series_resolution_routing(self, fleet):
+        trace = fleet.traces[0]
+        from repro.timeseries.axis import FIFTEEN_MINUTES, ONE_MINUTE
+
+        assert input_series_for(BasicExtractor(), trace).axis.resolution == FIFTEEN_MINUTES
+        assert input_series_for(FrequencyBasedExtractor(), trace).axis.resolution == ONE_MINUTE
+
+    def test_default_suite_names(self):
+        names = [e.name for e in default_suite()]
+        assert names == [
+            "random-baseline", "basic", "peak-based", "frequency-based", "schedule-based",
+        ]
+
+    def test_comparison_reproduces_paper_ranking(self, fleet):
+        """§6: appliance-level > peak-based > basic > random on realism."""
+        result = compare_on_traces(fleet.traces[:3])
+        rows = {r["extractor"]: r for r in result.mean_rows()}
+        # Ground-truth F1 ordering (the decisive realism criterion).
+        assert rows["frequency-based"]["gt_f1"] > rows["peak-based"]["gt_f1"]
+        assert rows["peak-based"]["gt_f1"] > rows["random-baseline"]["gt_f1"]
+        # Correlation with consumption: shape-aware approaches beat random.
+        assert rows["peak-based"]["corr_consumption"] > rows["random-baseline"]["corr_consumption"]
+        # Random is uniformly dispersed (the paper's §1 criticism).
+        assert rows["random-baseline"]["dispersion"] > rows["peak-based"]["dispersion"]
+        # Only the random baseline violates conservation.
+        assert rows["random-baseline"]["conservation_err"] > 1.0
+        assert rows["basic"]["conservation_err"] < 1e-6
+
+    def test_collect_offers(self, fleet):
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        offers = collect_offers(fleet.traces[:2], extractor)
+        assert offers
+        assert all(o.source == "peak-based" for o in offers)
+
+    def test_random_baseline_not_conservative(self, fleet):
+        extractor = RandomBaselineExtractor()
+        result = extractor.extract(fleet.traces[0].metered(), np.random.default_rng(0))
+        assert result.extras["conservative"] is False
+        assert result.modified == result.original
+        assert result.energy_conservation_error() > 0

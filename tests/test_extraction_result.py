@@ -1,0 +1,83 @@
+"""Tests for the ExtractionResult contract helpers (paper Figure 2 output)."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.extraction.base import ExtractionResult
+from repro.flexoffer.model import FlexOffer, ProfileSlice
+from repro.timeseries.axis import axis_for_days
+from repro.timeseries.series import TimeSeries
+
+START = datetime(2012, 3, 5)
+
+
+@pytest.fixture()
+def result():
+    axis = axis_for_days(START, 2)
+    original = TimeSeries.full(axis, 0.5)
+    modified_values = original.values.copy()
+    modified_values[10] -= 0.75  # removed 0.75 kWh at one interval
+    modified_values[20] -= 0.25
+    offers = [
+        FlexOffer(
+            earliest_start=axis.time_at(10),
+            latest_start=axis.time_at(10) + timedelta(hours=2),
+            slices=(ProfileSlice(0.5, 1.0),),  # midpoint 0.75
+        ),
+        FlexOffer(
+            earliest_start=axis.time_at(20),
+            latest_start=axis.time_at(20) + timedelta(hours=1),
+            slices=(ProfileSlice(0.25, 0.25),),
+        ),
+    ]
+    return ExtractionResult(
+        offers=offers,
+        modified=TimeSeries(axis, modified_values),
+        original=original,
+        extractor="test",
+    )
+
+
+class TestExtractionResult:
+    def test_extracted_energy_is_midpoint_sum(self, result):
+        assert result.extracted_energy == pytest.approx(1.0)
+
+    def test_removed_energy(self, result):
+        assert result.removed_energy == pytest.approx(1.0)
+
+    def test_conservation_error_zero(self, result):
+        assert result.energy_conservation_error() < 1e-12
+
+    def test_extracted_share(self, result):
+        assert result.extracted_share == pytest.approx(1.0 / result.original.total())
+
+    def test_extracted_series(self, result):
+        series = result.extracted_series()
+        assert series.total() == pytest.approx(1.0)
+        assert series.values[10] == pytest.approx(0.75)
+        assert series.values[20] == pytest.approx(0.25)
+
+    def test_offers_per_day(self, result):
+        assert result.offers_per_day() == pytest.approx(1.0)  # 2 offers / 2 days
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        assert summary["offers"] == 2.0
+        assert summary["extracted_kwh"] == pytest.approx(1.0)
+        assert set(summary) == {
+            "offers", "offers_per_day", "extracted_kwh",
+            "extracted_share", "conservation_error_kwh",
+        }
+
+    def test_zero_total_share(self):
+        axis = axis_for_days(START, 1)
+        zero = TimeSeries.zeros(axis)
+        result = ExtractionResult(
+            offers=[], modified=zero, original=zero, extractor="t"
+        )
+        assert result.extracted_share == 0.0
+        assert result.offers_per_day() == 0.0

@@ -1,0 +1,145 @@
+"""Failure injection: extractors and substrates on degenerate inputs.
+
+Production meter data contains dead meters (all zeros), outages, spikes and
+resets; these tests pin down the library's behaviour on such inputs: no
+crashes, no silent nonsense — either empty results or explicit errors.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.disaggregation.baseline import remove_baseline
+from repro.disaggregation.matching import match_pursuit
+from repro.appliances.database import default_database
+from repro.extraction import (
+    BasicExtractor,
+    FlexOfferParams,
+    PeakBasedExtractor,
+    RandomBaselineExtractor,
+)
+from repro.extraction.multitariff import MultiTariffExtractor
+from repro.simulation.tariff import night_tariff
+from repro.timeseries.axis import ONE_MINUTE, TimeAxis, axis_for_days
+from repro.timeseries.clean import clip_outliers, fill_missing, validate_meter_series
+from repro.timeseries.series import TimeSeries
+
+START = datetime(2012, 3, 5)
+PARAMS = FlexOfferParams(flexible_share=0.05)
+
+
+class TestDeadMeter:
+    """All-zero consumption: extraction must return cleanly empty results."""
+
+    @pytest.fixture()
+    def dead_series(self):
+        return TimeSeries.zeros(axis_for_days(START, 2))
+
+    def test_basic_on_zeros(self, dead_series, rng):
+        result = BasicExtractor(params=PARAMS).extract(dead_series, rng)
+        assert result.offers == []
+        assert result.modified == dead_series
+
+    def test_peak_based_on_zeros(self, dead_series, rng):
+        result = PeakBasedExtractor(params=PARAMS).extract(dead_series, rng)
+        assert result.offers == []
+
+    def test_random_baseline_on_zeros(self, dead_series, rng):
+        # The random baseline is input-blind by design: it still generates.
+        result = RandomBaselineExtractor().extract(dead_series, rng)
+        assert result.offers
+
+    def test_matching_on_zeros(self):
+        axis = TimeAxis(START, ONE_MINUTE, 24 * 60)
+        result = match_pursuit(TimeSeries.zeros(axis), default_database())
+        assert result.detections == []
+        assert result.residual.total() == 0.0
+
+    def test_baseline_removal_on_zeros(self):
+        axis = TimeAxis(START, ONE_MINUTE, 24 * 60)
+        appliance, base = remove_baseline(TimeSeries.zeros(axis))
+        assert appliance.total() == 0.0
+        assert base.total() == 0.0
+
+
+class TestSpikesAndGaps:
+    def test_extraction_after_outlier_repair(self, rng):
+        axis = axis_for_days(START, 1)
+        values = np.random.default_rng(0).uniform(0.2, 0.5, axis.length)
+        values[40] = 500.0  # meter glitch
+        dirty = TimeSeries(axis, values)
+        repaired, clipped = clip_outliers(dirty)
+        assert clipped == 1
+        result = PeakBasedExtractor(params=PARAMS).extract(repaired, rng)
+        # Extraction budget must not be dominated by the glitch.
+        assert result.extracted_energy < 0.1 * dirty.total()
+
+    def test_extraction_after_gap_fill(self, rng):
+        axis = axis_for_days(START, 3)
+        base = np.tile(np.sin(np.linspace(0, 2 * np.pi, 96)) + 1.5, 3)
+        missing = np.zeros(axis.length, dtype=bool)
+        missing[100:120] = True
+        damaged = base.copy()
+        damaged[missing] = 0.0
+        filled = fill_missing(TimeSeries(axis, damaged), missing)
+        result = BasicExtractor(params=PARAMS).extract(filled, rng)
+        assert result.energy_conservation_error() < 1e-9
+        report = validate_meter_series(filled)
+        assert report.negative == 0
+
+    def test_quality_gate_for_hopeless_series(self):
+        axis = axis_for_days(START, 10)
+        missing = np.zeros(axis.length, dtype=bool)
+        missing[: 96 * 8] = True
+        report = validate_meter_series(TimeSeries.zeros(axis), missing)
+        assert not report.usable
+
+
+class TestConstantLoad:
+    """A perfectly flat load has no peaks and no shape information."""
+
+    def test_peak_based_flat(self, rng):
+        series = TimeSeries.full(axis_for_days(START, 1), 0.4)
+        result = PeakBasedExtractor(params=PARAMS).extract(series, rng)
+        assert result.offers == []
+
+    def test_basic_flat_still_extracts_share(self, rng):
+        series = TimeSeries.full(axis_for_days(START, 1), 0.4)
+        result = BasicExtractor(params=PARAMS).extract(series, rng)
+        assert result.extracted_share == pytest.approx(0.05, rel=0.01)
+
+
+class TestMultiTariffDegenerate:
+    def test_identical_series_yields_near_nothing(self, rng, fleet):
+        reference = fleet.traces[0].metered()
+        extractor = MultiTariffExtractor(reference=reference, scheme=night_tariff())
+        result = extractor.extract(reference, rng)
+        # Self-comparison: only day-to-day variation can be misread as a
+        # shift; must be a small fraction of total consumption.
+        assert result.extracted_energy < 0.05 * reference.total()
+
+    def test_flat_reference_flat_observed(self, rng):
+        flat = TimeSeries.full(axis_for_days(START, 7), 0.3)
+        extractor = MultiTariffExtractor(reference=flat, scheme=night_tariff())
+        result = extractor.extract(flat, rng)
+        assert result.offers == []
+
+
+class TestTinyHorizons:
+    def test_single_interval_series(self, rng):
+        axis = TimeAxis(START, axis_for_days(START, 1).resolution, 1)
+        series = TimeSeries(axis, [0.5])
+        result = BasicExtractor(params=PARAMS).extract(series, rng)
+        # One interval: a 1-slice offer or nothing; never a crash.
+        assert len(result.offers) <= 1
+        result = PeakBasedExtractor(params=PARAMS).extract(series, rng)
+        assert len(result.offers) <= 1
+
+    def test_partial_day(self, rng):
+        axis = TimeAxis(START, axis_for_days(START, 1).resolution, 10)
+        series = TimeSeries(axis, np.linspace(0.1, 1.0, 10))
+        result = PeakBasedExtractor(params=PARAMS).extract(series, rng)
+        assert result.energy_conservation_error() < 1e-9

@@ -1,0 +1,104 @@
+"""Unit tests for the random flex-offer generator (the MIRABEL baseline)."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.flexoffer.generators import (
+    RandomGeneratorConfig,
+    random_flexoffer,
+    random_flexoffers,
+)
+from repro.timeseries.axis import FIFTEEN_MINUTES, TimeAxis, axis_for_days
+
+START = datetime(2012, 3, 5)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        RandomGeneratorConfig()
+
+    def test_bad_slices(self):
+        with pytest.raises(ValueError):
+            RandomGeneratorConfig(slices_min=0)
+        with pytest.raises(ValueError):
+            RandomGeneratorConfig(slices_min=5, slices_max=2)
+
+    def test_bad_energy(self):
+        with pytest.raises(ValueError):
+            RandomGeneratorConfig(total_energy_min=0.0)
+        with pytest.raises(ValueError):
+            RandomGeneratorConfig(total_energy_min=2.0, total_energy_max=1.0)
+
+    def test_bad_band(self):
+        with pytest.raises(ValueError):
+            RandomGeneratorConfig(energy_band_fraction=1.5)
+
+    def test_bad_flexibility(self):
+        with pytest.raises(ValueError):
+            RandomGeneratorConfig(
+                time_flexibility_min=timedelta(hours=5),
+                time_flexibility_max=timedelta(hours=1),
+            )
+
+
+class TestRandomOffer:
+    def test_offer_fits_horizon(self):
+        axis = axis_for_days(START, 1)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            fo = random_flexoffer(axis, rng)
+            assert fo.earliest_start >= axis.start
+            latest_end_index = (
+                axis.index_of(fo.latest_start) + fo.profile_intervals
+            )
+            assert latest_end_index <= axis.length
+
+    def test_energy_within_config(self):
+        axis = axis_for_days(START, 1)
+        rng = np.random.default_rng(1)
+        config = RandomGeneratorConfig(total_energy_min=1.0, total_energy_max=2.0)
+        for _ in range(30):
+            fo = random_flexoffer(axis, rng, config)
+            tmin, tmax = fo.effective_total_bounds()
+            expected = 0.5 * (tmin + tmax)
+            assert 0.9 <= expected <= 2.2  # band fraction widens the range
+
+    def test_small_axis_never_fails(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 4)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            fo = random_flexoffer(axis, rng)
+            assert fo.profile_intervals <= 4
+
+    def test_deterministic_given_seed(self):
+        axis = axis_for_days(START, 1)
+        a = random_flexoffer(axis, np.random.default_rng(7))
+        b = random_flexoffer(axis, np.random.default_rng(7))
+        assert a.earliest_start == b.earliest_start
+        assert a.slices == b.slices
+
+
+class TestRandomBatch:
+    def test_count_scales_with_days(self):
+        rng = np.random.default_rng(3)
+        config = RandomGeneratorConfig(offers_per_day=4)
+        one_day = random_flexoffers(axis_for_days(START, 1), rng, config)
+        three_days = random_flexoffers(axis_for_days(START, 3), rng, config)
+        assert len(one_day) == 4
+        assert len(three_days) == 12
+
+    def test_uniform_dispersion_over_day(self):
+        """The paper's criticism: random offers spread uniformly in the day."""
+        axis = axis_for_days(START, 1)
+        rng = np.random.default_rng(4)
+        config = RandomGeneratorConfig(offers_per_day=300)
+        offers = random_flexoffers(axis, rng, config)
+        hours = np.array([o.earliest_start.hour for o in offers])
+        morning = np.mean((hours >= 0) & (hours < 12))
+        # Close to half the starts in each half of the day (loose bound:
+        # late starts are clipped by profile fitting).
+        assert 0.35 <= morning <= 0.65

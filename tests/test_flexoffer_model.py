@@ -1,0 +1,181 @@
+"""Unit tests for :mod:`repro.flexoffer.model` (paper Figure 1 semantics)."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.flexoffer.model import (
+    FlexOffer,
+    ProfileSlice,
+    figure1_flexoffer,
+    next_offer_id,
+    uniform_profile,
+)
+from repro.timeseries.axis import FIFTEEN_MINUTES
+
+START = datetime(2012, 3, 5, 18, 0)
+
+
+def simple_offer(**overrides) -> FlexOffer:
+    defaults = dict(
+        earliest_start=START,
+        latest_start=START + timedelta(hours=2),
+        slices=(ProfileSlice(0.5, 1.0), ProfileSlice(0.25, 0.5)),
+    )
+    defaults.update(overrides)
+    return FlexOffer(**defaults)
+
+
+class TestProfileSlice:
+    def test_valid_slice(self):
+        sl = ProfileSlice(0.5, 1.0)
+        assert sl.energy_range == 0.5
+        assert sl.midpoint == 0.75
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            ProfileSlice(1.0, 0.5)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            ProfileSlice(0.5, 1.0, duration=0)
+
+    def test_equal_bounds_allowed(self):
+        sl = ProfileSlice(1.0, 1.0)
+        assert sl.energy_range == 0.0
+
+    def test_scaled(self):
+        sl = ProfileSlice(0.5, 1.0).scaled(2.0)
+        assert (sl.energy_min, sl.energy_max) == (1.0, 2.0)
+        with pytest.raises(ValidationError):
+            ProfileSlice(0.5, 1.0).scaled(-1.0)
+
+    def test_uniform_profile(self):
+        slices = uniform_profile(4.0, 8.0, 4)
+        assert len(slices) == 4
+        assert sum(s.energy_min for s in slices) == pytest.approx(4.0)
+        assert sum(s.energy_max for s in slices) == pytest.approx(8.0)
+        with pytest.raises(ValidationError):
+            uniform_profile(1.0, 2.0, 0)
+
+
+class TestFlexOfferInvariants:
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValidationError):
+            simple_offer(slices=())
+
+    def test_inverted_start_window_rejected(self):
+        with pytest.raises(ValidationError):
+            simple_offer(latest_start=START - timedelta(minutes=15))
+
+    def test_zero_flexibility_allowed(self):
+        offer = simple_offer(latest_start=START)
+        assert offer.time_flexibility == timedelta(0)
+
+    def test_infeasible_total_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            simple_offer(total_energy_min=10.0, total_energy_max=None)
+        # total_min (10) > slice max sum (1.5) -> infeasible
+
+
+class TestDerivedAttributes:
+    def test_durations(self):
+        offer = simple_offer()
+        assert offer.profile_intervals == 2
+        assert offer.duration == timedelta(minutes=30)
+
+    def test_latest_end_is_latest_start_plus_duration(self):
+        offer = simple_offer()
+        assert offer.latest_end == START + timedelta(hours=2, minutes=30)
+
+    def test_time_flexibility(self):
+        offer = simple_offer()
+        assert offer.time_flexibility == timedelta(hours=2)
+        assert offer.time_flexibility_intervals == 8
+
+    def test_energy_bounds(self):
+        offer = simple_offer()
+        assert offer.profile_energy_min == pytest.approx(0.75)
+        assert offer.profile_energy_max == pytest.approx(1.5)
+        assert offer.energy_flexibility == pytest.approx(0.75)
+
+    def test_explicit_totals_tighten_bounds(self):
+        offer = simple_offer(total_energy_min=1.0, total_energy_max=1.2)
+        assert offer.effective_total_bounds() == (1.0, 1.2)
+        assert offer.energy_flexibility == pytest.approx(0.2)
+
+    def test_multi_interval_slices(self):
+        offer = simple_offer(slices=(ProfileSlice(1.0, 2.0, duration=4),))
+        assert offer.profile_intervals == 4
+        assert offer.duration == timedelta(hours=1)
+        expansion = offer.slice_expansion()
+        assert len(expansion) == 4
+        assert expansion[0] == (0.25, 0.5)
+
+    def test_is_production(self):
+        consumption = simple_offer()
+        assert not consumption.is_production
+        production = simple_offer(slices=(ProfileSlice(-2.0, -1.0),))
+        assert production.is_production
+
+
+class TestTransformations:
+    def test_shifted_moves_all_times(self):
+        offer = simple_offer(
+            creation_time=START - timedelta(hours=20),
+            acceptance_deadline=START - timedelta(hours=10),
+            assignment_deadline=START - timedelta(hours=1),
+        )
+        delta = timedelta(hours=3)
+        moved = offer.shifted(delta)
+        assert moved.earliest_start == offer.earliest_start + delta
+        assert moved.latest_start == offer.latest_start + delta
+        assert moved.creation_time == offer.creation_time + delta
+        assert moved.time_flexibility == offer.time_flexibility
+
+    def test_scaled_energies(self):
+        offer = simple_offer().scaled(2.0)
+        assert offer.profile_energy_min == pytest.approx(1.5)
+        assert offer.profile_energy_max == pytest.approx(3.0)
+
+    def test_with_time_flexibility(self):
+        offer = simple_offer().with_time_flexibility(timedelta(hours=5))
+        assert offer.time_flexibility == timedelta(hours=5)
+        with pytest.raises(ValidationError):
+            simple_offer().with_time_flexibility(timedelta(hours=-1))
+
+
+class TestQueries:
+    def test_feasible_starts_grid(self):
+        offer = simple_offer(latest_start=START + timedelta(minutes=45))
+        starts = offer.feasible_starts()
+        assert len(starts) == 4
+        assert starts[0] == START
+        assert starts[-1] == START + timedelta(minutes=45)
+
+    def test_zero_flexibility_single_start(self):
+        offer = simple_offer(latest_start=START)
+        assert offer.feasible_starts() == [START]
+
+    def test_offer_ids_unique(self):
+        ids = {next_offer_id() for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestFigure1:
+    """The paper's running example, all printed attributes."""
+
+    def test_figure1_attributes(self):
+        offer = figure1_flexoffer(datetime(2012, 3, 5))
+        assert offer.earliest_start == datetime(2012, 3, 5, 22, 0)  # 10 PM
+        assert offer.latest_start == datetime(2012, 3, 6, 5, 0)     # 5 AM
+        assert offer.latest_end == datetime(2012, 3, 6, 7, 0)       # 7 AM
+        assert offer.duration == timedelta(hours=2)                 # 2 h charge
+        assert offer.profile_intervals == 8                         # 15-min slices
+        tmin, tmax = offer.effective_total_bounds()
+        assert tmin == pytest.approx(50.0)                          # 50 kWh
+        assert tmax == pytest.approx(50.0)
+        assert offer.time_flexibility == timedelta(hours=7)

@@ -1,0 +1,127 @@
+"""Unit tests for :mod:`repro.flexoffer.schedule`."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError, ValidationError
+from repro.flexoffer.model import FlexOffer, ProfileSlice
+from repro.flexoffer.schedule import (
+    ScheduledFlexOffer,
+    default_schedule,
+    schedules_to_series,
+)
+from repro.timeseries.axis import FIFTEEN_MINUTES, TimeAxis, axis_for_days
+
+START = datetime(2012, 3, 5, 18, 0)
+
+
+def offer(**overrides) -> FlexOffer:
+    defaults = dict(
+        earliest_start=START,
+        latest_start=START + timedelta(hours=2),
+        slices=(ProfileSlice(0.5, 1.0), ProfileSlice(0.25, 0.5)),
+    )
+    defaults.update(overrides)
+    return FlexOffer(**defaults)
+
+
+class TestValidation:
+    def test_valid_schedule(self):
+        sched = ScheduledFlexOffer(offer(), START, (0.75, 0.3))
+        assert sched.total_energy == pytest.approx(1.05)
+        assert sched.end == START + timedelta(minutes=30)
+
+    def test_start_outside_window_rejected(self):
+        with pytest.raises(ValidationError):
+            ScheduledFlexOffer(offer(), START - timedelta(minutes=15), (0.75, 0.3))
+        with pytest.raises(ValidationError):
+            ScheduledFlexOffer(offer(), START + timedelta(hours=3), (0.75, 0.3))
+
+    def test_wrong_energy_count_rejected(self):
+        with pytest.raises(ValidationError):
+            ScheduledFlexOffer(offer(), START, (0.75,))
+
+    def test_energy_out_of_slice_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            ScheduledFlexOffer(offer(), START, (1.5, 0.3))
+        with pytest.raises(ValidationError):
+            ScheduledFlexOffer(offer(), START, (0.75, 0.1))
+
+    def test_total_bounds_enforced(self):
+        tight = offer(total_energy_max=1.0)
+        with pytest.raises(ValidationError):
+            ScheduledFlexOffer(tight, START, (1.0, 0.5))
+
+
+class TestMaterialisation:
+    def test_to_series_places_energy(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 8)
+        sched = ScheduledFlexOffer(offer(), START + timedelta(minutes=30), (0.75, 0.3))
+        series = sched.to_series(axis)
+        assert series.values[2] == pytest.approx(0.75)
+        assert series.values[3] == pytest.approx(0.3)
+        assert series.total() == pytest.approx(1.05)
+
+    def test_multi_interval_slice_spread(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 8)
+        fo = offer(slices=(ProfileSlice(0.8, 1.2, duration=4),))
+        sched = ScheduledFlexOffer(fo, START, (1.0,))
+        series = sched.to_series(axis)
+        assert np.allclose(series.values[:4], 0.25)
+
+    def test_overrun_raises(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 2)
+        sched = ScheduledFlexOffer(offer(), START + timedelta(minutes=15), (0.75, 0.3))
+        with pytest.raises(SchedulingError):
+            sched.to_series(axis)
+
+    def test_start_outside_axis_raises(self):
+        axis = TimeAxis(START + timedelta(hours=5), FIFTEEN_MINUTES, 8)
+        sched = ScheduledFlexOffer(offer(), START, (0.75, 0.3))
+        with pytest.raises(SchedulingError):
+            sched.to_series(axis)
+
+    def test_schedules_to_series_accumulates(self):
+        axis = axis_for_days(START.replace(hour=0), 1)
+        s1 = ScheduledFlexOffer(offer(), START, (0.75, 0.3))
+        s2 = ScheduledFlexOffer(offer(), START, (0.5, 0.25))
+        combined = schedules_to_series([s1, s2], axis)
+        assert combined.total() == pytest.approx(1.8)
+        first = axis.index_of(START)
+        assert combined.values[first] == pytest.approx(1.25)
+
+
+class TestDefaultSchedule:
+    def test_default_is_midpoint_at_earliest(self):
+        sched = default_schedule(offer())
+        assert sched.start == START
+        assert sched.slice_energies == (0.75, 0.375)
+
+    def test_level_zero_and_one(self):
+        assert default_schedule(offer(), level=0.0).slice_energies == (0.5, 0.25)
+        assert default_schedule(offer(), level=1.0).slice_energies == (1.0, 0.5)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            default_schedule(offer(), level=1.5)
+
+    def test_custom_start(self):
+        start = START + timedelta(hours=1)
+        assert default_schedule(offer(), start=start).start == start
+
+    def test_redistribution_hits_tight_total(self):
+        tight = offer(total_energy_max=0.8)
+        sched = default_schedule(tight, level=1.0)
+        assert sched.total_energy == pytest.approx(0.8)
+        # per-slice bounds still respected
+        for energy, sl in zip(sched.slice_energies, tight.slices):
+            assert sl.energy_min - 1e-9 <= energy <= sl.energy_max + 1e-9
+
+    def test_redistribution_hits_tight_minimum(self):
+        tight = offer(total_energy_min=1.4)
+        sched = default_schedule(tight, level=0.0)
+        assert sched.total_energy == pytest.approx(1.4)

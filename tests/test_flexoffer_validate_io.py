@@ -1,0 +1,129 @@
+"""Unit tests for :mod:`repro.flexoffer.validate` and :mod:`repro.flexoffer.io`."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.errors import DataError
+from repro.flexoffer.io import (
+    flexoffer_from_dict,
+    flexoffer_to_dict,
+    load_flexoffers,
+    save_flexoffers,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.flexoffer.model import FlexOffer, ProfileSlice, figure1_flexoffer
+from repro.flexoffer.schedule import default_schedule
+from repro.flexoffer.validate import PolicyLimits, check_all, is_compliant
+
+START = datetime(2012, 3, 5, 18, 0)
+
+
+def offer(**overrides) -> FlexOffer:
+    defaults = dict(
+        earliest_start=START,
+        latest_start=START + timedelta(hours=2),
+        slices=(ProfileSlice(0.5, 1.0), ProfileSlice(0.25, 0.5)),
+        creation_time=START - timedelta(hours=24),
+        acceptance_deadline=START - timedelta(hours=12),
+        assignment_deadline=START - timedelta(hours=1),
+    )
+    defaults.update(overrides)
+    return FlexOffer(**defaults)
+
+
+class TestPolicyLimits:
+    def test_compliant_offer(self):
+        assert is_compliant(offer())
+
+    def test_slice_count_limits(self):
+        limits = PolicyLimits(min_slices=3)
+        problems = limits.check(offer())
+        assert any("slices" in p for p in problems)
+        limits = PolicyLimits(max_slices=1)
+        assert limits.check(offer())
+
+    def test_energy_limits(self):
+        limits = PolicyLimits(min_total_energy=5.0)
+        assert limits.check(offer())
+        limits = PolicyLimits(max_total_energy=0.1)
+        assert limits.check(offer())
+
+    def test_time_flexibility_limits(self):
+        limits = PolicyLimits(min_time_flexibility=timedelta(hours=3))
+        assert limits.check(offer())
+        limits = PolicyLimits(max_time_flexibility=timedelta(hours=1))
+        assert limits.check(offer())
+
+    def test_deadline_order_violation(self):
+        bad = offer(
+            creation_time=START - timedelta(hours=1),
+            acceptance_deadline=START - timedelta(hours=12),
+        )
+        problems = PolicyLimits().check(bad)
+        assert any("creation_time" in p for p in problems)
+
+    def test_deadline_order_ignores_missing(self):
+        assert is_compliant(offer(creation_time=None, acceptance_deadline=None))
+
+    def test_check_all_flags_duplicates(self):
+        fo = offer()
+        problems = check_all([fo, fo])
+        assert any("duplicate" in p for p in problems)
+
+    def test_check_all_clean_batch(self):
+        assert check_all([offer() for _ in range(3)]) == []
+
+
+class TestIO:
+    def test_roundtrip_preserves_everything(self):
+        original = offer(
+            consumer_id="c-1",
+            appliance="washing-machine-y",
+            source="test",
+            total_energy_min=0.8,
+            total_energy_max=1.4,
+        )
+        restored = flexoffer_from_dict(flexoffer_to_dict(original))
+        assert restored == original
+
+    def test_roundtrip_figure1(self):
+        original = figure1_flexoffer(datetime(2012, 3, 5))
+        restored = flexoffer_from_dict(flexoffer_to_dict(original))
+        assert restored.latest_end == original.latest_end
+        assert restored.slices == original.slices
+
+    def test_missing_field_raises(self):
+        data = flexoffer_to_dict(offer())
+        del data["slices"]
+        with pytest.raises(DataError):
+            flexoffer_from_dict(data)
+
+    def test_unknown_version_raises(self):
+        data = flexoffer_to_dict(offer())
+        data["version"] = 999
+        with pytest.raises(DataError):
+            flexoffer_from_dict(data)
+
+    def test_schedule_roundtrip(self):
+        sched = default_schedule(offer())
+        restored = schedule_from_dict(schedule_to_dict(sched))
+        assert restored.start == sched.start
+        assert restored.slice_energies == sched.slice_energies
+        assert restored.offer == sched.offer
+
+    def test_file_roundtrip(self, tmp_path):
+        offers = [offer() for _ in range(5)]
+        path = tmp_path / "offers.json"
+        save_flexoffers(offers, path)
+        loaded = load_flexoffers(path)
+        assert loaded == offers
+
+    def test_load_non_list_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(DataError):
+            load_flexoffers(path)

@@ -1,0 +1,153 @@
+"""Tests for the forecasting substrate (paper [6])."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.forecasting.evaluate import mae, mape, rmse, rolling_backtest
+from repro.forecasting.models import (
+    FORECASTERS,
+    autoregressive,
+    drift,
+    holt_winters,
+    persistence,
+    seasonal_naive,
+)
+from repro.timeseries.axis import axis_for_days
+from repro.timeseries.series import TimeSeries
+
+START = datetime(2012, 3, 5)
+
+
+def seasonal_series(days: int = 6, noise: float = 0.0) -> TimeSeries:
+    axis = axis_for_days(START, days)
+    t = np.arange(axis.length)
+    values = 2.0 + np.sin(2 * np.pi * t / 96)
+    if noise:
+        values += np.random.default_rng(0).normal(0, noise, axis.length)
+    return TimeSeries(axis, values)
+
+
+class TestModels:
+    def test_persistence_repeats_last(self):
+        series = seasonal_series()
+        forecast = persistence(series, 10)
+        assert np.allclose(forecast.values, series.values[-1])
+        assert forecast.axis.start == series.axis.end
+
+    def test_seasonal_naive_repeats_period(self):
+        series = seasonal_series()
+        forecast = seasonal_naive(series, 96)
+        assert np.allclose(forecast.values, series.values[-96:])
+
+    def test_seasonal_naive_partial_horizon(self):
+        series = seasonal_series()
+        forecast = seasonal_naive(series, 10)
+        assert len(forecast) == 10
+        assert np.allclose(forecast.values, series.values[-96:][:10])
+
+    def test_seasonal_naive_perfect_on_periodic(self):
+        series = seasonal_series()
+        forecast = seasonal_naive(series, 96)
+        actual = seasonal_series(7).slice(96 * 6, 96)
+        assert rmse(forecast, actual) < 1e-9
+
+    def test_drift_extrapolates_line(self):
+        axis = axis_for_days(START, 1)
+        series = TimeSeries(axis, np.linspace(0, 95, 96))
+        forecast = drift(series, 5)
+        assert np.allclose(forecast.values, [96, 97, 98, 99, 100])
+
+    def test_holt_winters_tracks_seasonality(self):
+        series = seasonal_series(days=6, noise=0.02)
+        forecast = holt_winters(series, 96)
+        actual_shape = 2.0 + np.sin(2 * np.pi * np.arange(96) / 96)
+        assert np.corrcoef(forecast.values, actual_shape)[0, 1] > 0.95
+
+    def test_holt_winters_needs_two_periods(self):
+        series = seasonal_series(days=1)
+        with pytest.raises(DataError):
+            holt_winters(series, 10)
+
+    def test_holt_winters_parameter_validation(self):
+        series = seasonal_series()
+        with pytest.raises(DataError):
+            holt_winters(series, 10, alpha=1.5)
+
+    def test_ar_learns_ar_process(self):
+        rng = np.random.default_rng(1)
+        n = 600
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = 0.9 * x[t - 1] + rng.normal(0, 0.1)
+        axis = axis_for_days(START, 7).sub_axis(0, n)
+        series = TimeSeries(axis, x)
+        forecast = autoregressive(series, 1, order=4)
+        assert forecast.values[0] == pytest.approx(0.9 * x[-1], abs=0.15)
+
+    def test_ar_validation(self):
+        series = seasonal_series()
+        with pytest.raises(DataError):
+            autoregressive(series, 5, order=0)
+        short = series.slice(0, 4)
+        with pytest.raises(DataError):
+            autoregressive(short, 5, order=8)
+
+    def test_horizon_validation(self):
+        series = seasonal_series()
+        with pytest.raises(DataError):
+            persistence(series, 0)
+
+    def test_registry_complete(self):
+        assert set(FORECASTERS) == {
+            "persistence", "seasonal-naive", "drift", "holt-winters", "ar",
+        }
+
+
+class TestMetrics:
+    def test_metric_values(self):
+        axis = axis_for_days(START, 1).sub_axis(0, 4)
+        forecast = TimeSeries(axis, [1.0, 2.0, 3.0, 4.0])
+        actual = TimeSeries(axis, [2.0, 2.0, 2.0, 2.0])
+        assert mae(forecast, actual) == pytest.approx(1.0)
+        assert rmse(forecast, actual) == pytest.approx(np.sqrt(6 / 4))
+        assert mape(forecast, actual) == pytest.approx(0.5)
+
+    def test_mape_skips_zeros(self):
+        axis = axis_for_days(START, 1).sub_axis(0, 3)
+        forecast = TimeSeries(axis, [1.0, 1.0, 1.0])
+        actual = TimeSeries(axis, [0.0, 2.0, 2.0])
+        assert mape(forecast, actual) == pytest.approx(0.5)
+
+    def test_mape_all_zero_raises(self):
+        axis = axis_for_days(START, 1).sub_axis(0, 3)
+        forecast = TimeSeries(axis, [1.0, 1.0, 1.0])
+        actual = TimeSeries.zeros(axis)
+        with pytest.raises(DataError):
+            mape(forecast, actual)
+
+
+class TestBacktest:
+    def test_backtest_folds(self):
+        series = seasonal_series(days=6)
+        report = rolling_backtest(
+            seasonal_naive, series, train_intervals=96 * 2, horizon=96, name="sn"
+        )
+        assert report.folds == 4
+        assert report.model == "sn"
+        assert report.rmse < 1e-9  # periodic series: perfect
+
+    def test_seasonal_beats_persistence_on_seasonal_data(self):
+        series = seasonal_series(days=6, noise=0.05)
+        sn = rolling_backtest(seasonal_naive, series, 96 * 2, 96)
+        p = rolling_backtest(persistence, series, 96 * 2, 96)
+        assert sn.rmse < p.rmse
+
+    def test_too_short_raises(self):
+        series = seasonal_series(days=1)
+        with pytest.raises(DataError):
+            rolling_backtest(persistence, series, 96, 96)

@@ -1,0 +1,166 @@
+"""Integration tests: the full MIRABEL pipeline across modules.
+
+These exercise the seams the paper's §6 describes: extraction feeds
+aggregation, aggregation feeds scheduling, schedules disaggregate back to
+households, and the realism evaluation closes the loop against simulator
+ground truth.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+import pytest
+
+from repro.aggregation import aggregate_all, disaggregate_schedule, group_offers
+from repro.evaluation.comparison import collect_offers
+from repro.evaluation.realism import offers_to_expected_series
+from repro.extraction import (
+    BasicExtractor,
+    FlexOfferParams,
+    FrequencyBasedExtractor,
+    MultiTariffExtractor,
+    PeakBasedExtractor,
+    RandomBaselineExtractor,
+    ScheduleBasedExtractor,
+)
+from repro.flexoffer.schedule import schedules_to_series
+from repro.flexoffer.validate import PolicyLimits, check_all
+from repro.scheduling import greedy_schedule, improve_schedule, naive_schedule
+from repro.simulation.res import simulate_wind_production
+from repro.timeseries.resample import downsample_sum
+from repro.timeseries.axis import FIFTEEN_MINUTES
+
+
+class TestExtractionContracts:
+    """Every extractor honours the Figure 2 contract on the same input."""
+
+    @pytest.mark.parametrize("extractor_factory", [
+        lambda: BasicExtractor(params=FlexOfferParams(flexible_share=0.05)),
+        lambda: PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05)),
+        lambda: RandomBaselineExtractor(),
+    ])
+    def test_household_level_contract(self, fleet, extractor_factory):
+        trace = fleet.traces[0]
+        series = trace.metered()
+        extractor = extractor_factory()
+        result = extractor.extract(series, np.random.default_rng(0))
+        assert result.original == series
+        assert result.modified.axis.aligned_with(series.axis)
+        assert result.modified.is_nonnegative()
+        assert check_all(result.offers, PolicyLimits(max_slices=None)) == []
+        for offer in result.offers:
+            assert offer.source == extractor.name
+
+    @pytest.mark.parametrize("extractor_factory", [
+        lambda: FrequencyBasedExtractor(),
+        lambda: ScheduleBasedExtractor(),
+    ])
+    def test_appliance_level_contract(self, nilm_trace, extractor_factory):
+        extractor = extractor_factory()
+        result = extractor.extract(nilm_trace.total, np.random.default_rng(0))
+        assert result.modified.is_nonnegative()
+        assert result.energy_conservation_error() < 1e-6
+        for offer in result.offers:
+            assert offer.appliance  # appliance-level offers are attributed
+
+
+class TestFullPipeline:
+    def test_extract_aggregate_schedule_disaggregate(self, fleet):
+        """The complete §6 loop with peak-based offers."""
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        offers = collect_offers(fleet.traces, extractor)
+        assert offers
+
+        groups = group_offers(offers)
+        aggregates = aggregate_all(groups)
+        assert sum(a.size for a in aggregates) == len(offers)
+
+        axis = fleet.metering_axis()
+        wind = simulate_wind_production(axis, np.random.default_rng(2))
+        total_flex = sum(o.profile_energy_max for o in offers)
+        target = wind * (total_flex / wind.total())
+
+        result = greedy_schedule([a.offer for a in aggregates], target)
+        improved = improve_schedule(result, np.random.default_rng(3), iterations=200)
+        assert improved.cost <= result.cost + 1e-9
+
+        # Disaggregate every scheduled aggregate; members must be feasible
+        # (ScheduledFlexOffer validates on construction) and energy must add up.
+        by_id = {a.offer.offer_id: a for a in aggregates}
+        member_schedules = []
+        for sched in improved.schedules:
+            agg = by_id[sched.offer.offer_id]
+            parts = disaggregate_schedule(agg, sched)
+            assert sum(p.total_energy for p in parts) == pytest.approx(
+                sched.total_energy, abs=1e-6
+            )
+            member_schedules.extend(parts)
+        # Household-level demand equals aggregate-level demand.
+        agg_demand = improved.demand
+        member_demand = schedules_to_series(member_schedules, axis)
+        assert member_demand.allclose(agg_demand, atol=1e-6)
+
+    def test_scheduling_with_extracted_beats_naive_and_random(self, fleet):
+        """E11's shape: extracted flexibility reduces imbalance vs baselines."""
+        params = FlexOfferParams(flexible_share=0.05)
+        peak_offers = collect_offers(fleet.traces, PeakBasedExtractor(params=params))
+        axis = fleet.metering_axis()
+        wind = simulate_wind_production(axis, np.random.default_rng(2))
+        total_flex = sum(o.profile_energy_max for o in peak_offers)
+        target = wind * (total_flex / wind.total())
+
+        naive_cost = naive_schedule(peak_offers, target).cost
+        greedy_cost = greedy_schedule(peak_offers, target).cost
+        assert greedy_cost < naive_cost
+
+    def test_multitariff_pipeline(self, tariff_pair):
+        """§3.3 end to end: paired simulation -> extraction -> aggregation."""
+        extractor = MultiTariffExtractor(
+            reference=tariff_pair.single.metered(), scheme=tariff_pair.scheme
+        )
+        result = extractor.extract(tariff_pair.multi.metered(), np.random.default_rng(0))
+        assert result.offers
+        groups = group_offers(result.offers)
+        aggregates = aggregate_all(groups)
+        assert sum(a.size for a in aggregates) == len(result.offers)
+
+    def test_appliance_offers_schedule_cleanly(self, nilm_trace):
+        """Frequency-based offers (22 h robot flexibility etc.) are schedulable."""
+        extractor = FrequencyBasedExtractor()
+        result = extractor.extract(nilm_trace.total, np.random.default_rng(0))
+        offers = result.offers
+        assert offers
+        metered = nilm_trace.metered()
+        wind = simulate_wind_production(metered.axis, np.random.default_rng(4))
+        total_flex = sum(o.profile_energy_max for o in offers)
+        target = wind * (total_flex / wind.total())
+        scheduled = greedy_schedule(offers, target)
+        placed_ids = {s.offer.offer_id for s in scheduled.schedules}
+        # Nearly everything has room on a two-week horizon.
+        assert len(placed_ids) >= 0.8 * len(offers)
+
+    def test_peak_concentration_vs_random_dispersion(self, fleet):
+        """E10's shape: peak-based offers concentrate at consumption peaks."""
+        from repro.timeseries.stats import temporal_dispersion
+
+        params = FlexOfferParams(flexible_share=0.05)
+        axis = fleet.metering_axis()
+        peak_offers = collect_offers(fleet.traces, PeakBasedExtractor(params=params))
+        random_offers = collect_offers(fleet.traces, RandomBaselineExtractor())
+        peak_series = offers_to_expected_series(peak_offers, axis)
+        random_series = offers_to_expected_series(random_offers, axis)
+        assert temporal_dispersion(peak_series) < temporal_dispersion(random_series)
+
+    def test_aggregated_offers_track_fleet_shape(self, fleet):
+        """§6: 'the aggregated flex-offers are pretty realistic' — their
+        expected series correlates with the fleet consumption shape."""
+        from repro.timeseries.stats import correlation
+
+        params = FlexOfferParams(flexible_share=0.05)
+        offers = collect_offers(fleet.traces, PeakBasedExtractor(params=params))
+        axis = fleet.metering_axis()
+        expected = offers_to_expected_series(offers, axis)
+        fleet_consumption = fleet.aggregate_metered()
+        assert correlation(expected, fleet_consumption) > 0.3

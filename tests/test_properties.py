@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These target the data structures and algorithms whose correctness everything
+else leans on: the time-series algebra, the flex-offer model, schedule
+redistribution, peak detection, aggregation round-trips, and the extraction
+energy-conservation contract.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.aggregation.aggregate import aggregate_group, disaggregate_schedule
+from repro.extraction.basic import BasicExtractor
+from repro.extraction.params import FlexOfferParams
+from repro.extraction.peaks import (
+    PeakBasedExtractor,
+    detect_peaks,
+    filter_peaks,
+    selection_probabilities,
+)
+from repro.flexoffer.io import flexoffer_from_dict, flexoffer_to_dict
+from repro.flexoffer.model import FlexOffer, ProfileSlice
+from repro.flexoffer.schedule import default_schedule
+from repro.timeseries.axis import FIFTEEN_MINUTES, ONE_MINUTE, TimeAxis
+from repro.timeseries.resample import downsample_sum, upsample_spread
+from repro.timeseries.series import TimeSeries
+from repro.timeseries.stats import sparseness
+
+START = datetime(2012, 3, 5)
+
+finite_values = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def value_arrays(min_size: int = 1, max_size: int = 96):
+    return arrays(
+        dtype=np.float64,
+        shape=st.integers(min_size, max_size),
+        elements=finite_values,
+    )
+
+
+class TestTimeSeriesProperties:
+    @given(values=value_arrays())
+    def test_total_equals_sum(self, values):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, len(values))
+        assert TimeSeries(axis, values).total() == pytest.approx(values.sum())
+
+    @given(values=value_arrays(min_size=4, max_size=64))
+    def test_slice_totals_partition(self, values):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, len(values))
+        series = TimeSeries(axis, values)
+        mid = len(values) // 2
+        left = series.slice(0, mid)
+        right = series.slice(mid, len(values) - mid)
+        assert left.total() + right.total() == pytest.approx(series.total())
+
+    @given(values=value_arrays(min_size=1, max_size=32))
+    def test_resample_roundtrip_conserves_energy(self, values):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, len(values))
+        series = TimeSeries(axis, values)
+        fine = upsample_spread(series, ONE_MINUTE)
+        back = downsample_sum(fine, FIFTEEN_MINUTES)
+        assert back.allclose(series, atol=1e-9)
+        assert fine.total() == pytest.approx(series.total())
+
+    @given(values=value_arrays(min_size=2))
+    def test_sparseness_in_unit_interval(self, values):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, len(values))
+        assert 0.0 <= sparseness(TimeSeries(axis, values)) <= 1.0 + 1e-9
+
+    @given(values=value_arrays(min_size=2), scalar=st.floats(-10, 10, allow_nan=False))
+    def test_linearity_of_total(self, values, scalar):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, len(values))
+        series = TimeSeries(axis, values)
+        assert (series * scalar).total() == pytest.approx(scalar * series.total(), abs=1e-6)
+
+
+slice_strategy = st.builds(
+    ProfileSlice,
+    energy_min=st.floats(0.0, 5.0, allow_nan=False),
+    energy_max=st.floats(5.0, 10.0, allow_nan=False),
+    duration=st.integers(1, 4),
+)
+
+
+class TestFlexOfferProperties:
+    @given(
+        slices=st.lists(slice_strategy, min_size=1, max_size=6),
+        flex_intervals=st.integers(0, 48),
+    )
+    def test_derived_attribute_consistency(self, slices, flex_intervals):
+        offer = FlexOffer(
+            earliest_start=START,
+            latest_start=START + FIFTEEN_MINUTES * flex_intervals,
+            slices=tuple(slices),
+        )
+        assert offer.latest_end == offer.latest_start + offer.duration
+        assert offer.time_flexibility_intervals == flex_intervals
+        assert offer.profile_energy_min <= offer.profile_energy_max
+        assert len(offer.slice_expansion()) == offer.profile_intervals
+        assert len(offer.feasible_starts()) == flex_intervals + 1
+
+    @given(slices=st.lists(slice_strategy, min_size=1, max_size=6))
+    def test_io_roundtrip(self, slices):
+        offer = FlexOffer(
+            earliest_start=START,
+            latest_start=START + timedelta(hours=2),
+            slices=tuple(slices),
+        )
+        assert flexoffer_from_dict(flexoffer_to_dict(offer)) == offer
+
+    @given(
+        slices=st.lists(slice_strategy, min_size=1, max_size=6),
+        level=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    def test_default_schedule_always_feasible(self, slices, level):
+        offer = FlexOffer(
+            earliest_start=START,
+            latest_start=START + timedelta(hours=1),
+            slices=tuple(slices),
+        )
+        sched = default_schedule(offer, level=level)
+        tmin, tmax = offer.effective_total_bounds()
+        assert tmin - 1e-9 <= sched.total_energy <= tmax + 1e-9
+
+    @given(
+        slices=st.lists(slice_strategy, min_size=1, max_size=4),
+        factor=st.floats(0.0, 3.0, allow_nan=False),
+    )
+    def test_scaling_scales_bounds(self, slices, factor):
+        offer = FlexOffer(
+            earliest_start=START,
+            latest_start=START + timedelta(hours=1),
+            slices=tuple(slices),
+        )
+        scaled = offer.scaled(factor)
+        assert scaled.profile_energy_min == pytest.approx(offer.profile_energy_min * factor)
+        assert scaled.profile_energy_max == pytest.approx(offer.profile_energy_max * factor)
+
+
+class TestPeakProperties:
+    @given(values=value_arrays(min_size=4, max_size=96))
+    def test_peaks_partition_above_threshold_mass(self, values):
+        peaks = detect_peaks(values)
+        mean = values.mean()
+        epsilon = 1e-9 * max(1.0, abs(mean))
+        above = values > mean + epsilon
+        covered = np.zeros(len(values), dtype=bool)
+        for peak in peaks:
+            covered[peak.first : peak.first + peak.length] = True
+            # Every interval of every peak is strictly above the mean.
+            assert (values[peak.first : peak.first + peak.length] > mean).all()
+        assert (covered == above).all()
+
+    @given(values=value_arrays(min_size=4, max_size=96))
+    def test_peak_sizes_sum_to_above_mass(self, values):
+        peaks = detect_peaks(values)
+        mean = values.mean()
+        epsilon = 1e-9 * max(1.0, abs(mean))
+        above_mass = values[values > mean + epsilon].sum()
+        assert sum(p.size for p in peaks) == pytest.approx(above_mass)
+
+    @given(values=value_arrays(min_size=4, max_size=96), share=st.floats(0.001, 0.2))
+    def test_filter_monotone_in_threshold(self, values, share):
+        peaks = detect_peaks(values)
+        low = filter_peaks(peaks, share * values.sum())
+        high = filter_peaks(peaks, 2 * share * values.sum() + 1e-9)
+        assert set((p.first, p.length) for p in high) <= set(
+            (p.first, p.length) for p in low
+        )
+
+    @given(values=value_arrays(min_size=4, max_size=96))
+    def test_selection_probabilities_normalised(self, values):
+        peaks = detect_peaks(values)
+        if peaks:
+            probs = selection_probabilities(peaks)
+            assert probs.sum() == pytest.approx(1.0)
+            assert (probs >= 0).all()
+
+
+class TestExtractionConservationProperty:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        values=arrays(
+            dtype=np.float64,
+            shape=96,
+            elements=st.floats(0.01, 2.0, allow_nan=False),
+        ),
+        share=st.floats(0.001, 0.065),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_basic_extractor_conserves_energy(self, values, share, seed):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        series = TimeSeries(axis, values)
+        extractor = BasicExtractor(params=FlexOfferParams(flexible_share=share))
+        result = extractor.extract(series, np.random.default_rng(seed))
+        assert result.energy_conservation_error() < 1e-9
+        assert result.modified.is_nonnegative()
+        assert result.extracted_share <= share + 1e-9
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        values=arrays(
+            dtype=np.float64,
+            shape=96,
+            elements=st.floats(0.01, 2.0, allow_nan=False),
+        ),
+        share=st.floats(0.001, 0.065),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_peak_extractor_conserves_energy(self, values, share, seed):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        series = TimeSeries(axis, values)
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=share))
+        result = extractor.extract(series, np.random.default_rng(seed))
+        assert result.energy_conservation_error() < 1e-9
+        assert result.modified.is_nonnegative()
+        assert len(result.offers) <= 1  # one offer per day at most
+
+
+class TestAggregationProperties:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        energies=st.lists(st.floats(0.1, 5.0, allow_nan=False), min_size=1, max_size=8),
+        offsets=st.lists(st.integers(0, 8), min_size=1, max_size=8),
+        level=st.floats(0.0, 1.0, allow_nan=False),
+        start_shift=st.integers(0, 4),
+    )
+    def test_disaggregation_roundtrip(self, energies, offsets, level, start_shift):
+        n = min(len(energies), len(offsets))
+        members = []
+        for e, off in zip(energies[:n], offsets[:n]):
+            est = START + FIFTEEN_MINUTES * off
+            members.append(
+                FlexOffer(
+                    earliest_start=est,
+                    latest_start=est + timedelta(hours=2),
+                    slices=(ProfileSlice(0.5 * e, 1.5 * e), ProfileSlice(0.2 * e, 0.4 * e)),
+                )
+            )
+        agg = aggregate_group(members)
+        start = agg.offer.earliest_start + FIFTEEN_MINUTES * min(
+            start_shift, agg.offer.time_flexibility_intervals
+        )
+        schedule = default_schedule(agg.offer, start=start, level=level)
+        parts = disaggregate_schedule(agg, schedule)
+        # Energy conservation.
+        assert sum(p.total_energy for p in parts) == pytest.approx(
+            schedule.total_energy, abs=1e-6
+        )
+        # Every member keeps the common shift.
+        delta = schedule.start - agg.offer.earliest_start
+        for part, member in zip(parts, agg.members):
+            assert part.start == member.earliest_start + delta

@@ -1,0 +1,167 @@
+"""Tests for greedy/stochastic scheduling and the objectives (paper [5])."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.flexoffer.model import FlexOffer, ProfileSlice
+from repro.scheduling.greedy import greedy_schedule, naive_schedule
+from repro.scheduling.objective import (
+    absolute_imbalance,
+    overshoot,
+    squared_imbalance,
+    unmet_target,
+)
+from repro.scheduling.stochastic import improve_schedule
+from repro.timeseries.axis import axis_for_days
+from repro.timeseries.series import TimeSeries
+
+START = datetime(2012, 3, 5)
+
+
+def offer(start_h: float, flex_h: float, e: float = 1.0, slices: int = 2) -> FlexOffer:
+    est = START + timedelta(hours=start_h)
+    share = e / slices
+    return FlexOffer(
+        earliest_start=est,
+        latest_start=est + timedelta(hours=flex_h),
+        slices=tuple(ProfileSlice(0.5 * share, 1.5 * share) for _ in range(slices)),
+    )
+
+
+class TestObjectives:
+    def test_squared_and_absolute(self):
+        axis = axis_for_days(START, 1)
+        demand = TimeSeries.full(axis, 1.0)
+        target = TimeSeries.full(axis, 2.0)
+        assert squared_imbalance(demand, target) == pytest.approx(96.0)
+        assert absolute_imbalance(demand, target) == pytest.approx(96.0)
+
+    def test_unmet_and_overshoot(self):
+        axis = axis_for_days(START, 1)
+        demand = TimeSeries(axis, np.r_[np.zeros(48), np.full(48, 2.0)])
+        target = TimeSeries.full(axis, 1.0)
+        assert unmet_target(demand, target) == pytest.approx(48.0)
+        assert overshoot(demand, target) == pytest.approx(48.0)
+
+
+class TestGreedy:
+    def test_places_offer_on_target_spike(self):
+        axis = axis_for_days(START, 1)
+        target_values = np.zeros(axis.length)
+        target_values[40:42] = 1.0  # 10:00-10:30
+        target = TimeSeries(axis, target_values)
+        fo = offer(start_h=0.0, flex_h=23.0, e=2.0)
+        result = greedy_schedule([fo], target)
+        assert len(result.schedules) == 1
+        start_index = axis.index_of(result.schedules[0].start)
+        assert start_index == 40
+
+    def test_energy_levels_water_fill(self):
+        axis = axis_for_days(START, 1)
+        target_values = np.zeros(axis.length)
+        target_values[40] = 0.6
+        target_values[41] = 0.6
+        target = TimeSeries(axis, target_values)
+        fo = offer(start_h=0.0, flex_h=20.0, e=1.0)  # slices in [0.25, 0.75]
+        result = greedy_schedule([fo], target)
+        sched = result.schedules[0]
+        assert all(abs(e - 0.6) < 1e-9 for e in sched.slice_energies)
+
+    def test_respects_time_window(self):
+        axis = axis_for_days(START, 1)
+        target_values = np.zeros(axis.length)
+        target_values[80] = 5.0  # 20:00 spike
+        target = TimeSeries(axis, target_values)
+        fo = offer(start_h=1.0, flex_h=2.0, e=1.0)  # can only start 01:00-03:00
+        result = greedy_schedule([fo], target)
+        start = result.schedules[0].start
+        assert fo.earliest_start <= start <= fo.latest_start
+
+    def test_greedy_beats_naive(self, fleet):
+        from repro.extraction import PeakBasedExtractor, FlexOfferParams
+        from repro.evaluation.comparison import collect_offers
+        from repro.simulation.res import simulate_wind_production
+
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        offers = collect_offers(fleet.traces, extractor)
+        axis = fleet.metering_axis()
+        wind = simulate_wind_production(axis, np.random.default_rng(2))
+        total_flex = sum(o.profile_energy_max for o in offers)
+        target = wind * (total_flex / wind.total())
+        naive = naive_schedule(offers, target)
+        greedy = greedy_schedule(offers, target)
+        assert greedy.cost < naive.cost
+
+    def test_orderings(self):
+        axis = axis_for_days(START, 1)
+        target = TimeSeries.full(axis, 0.5)
+        offers = [offer(0.0, 5.0), offer(2.0, 1.0)]
+        for order in ("least-flexible-first", "largest-first", "as-given"):
+            result = greedy_schedule(offers, target, order=order)
+            assert len(result.schedules) == 2
+        with pytest.raises(SchedulingError):
+            greedy_schedule(offers, target, order="nonsense")
+
+    def test_offer_outside_axis_unplaced(self):
+        axis = axis_for_days(START, 1)
+        target = TimeSeries.full(axis, 0.5)
+        outside = offer(start_h=30.0, flex_h=1.0)
+        result = greedy_schedule([outside], target)
+        assert result.schedules == []
+        assert result.unplaced == [outside]
+
+    def test_improvement_metric(self):
+        axis = axis_for_days(START, 1)
+        target_values = np.zeros(axis.length)
+        target_values[40:42] = 0.5
+        target = TimeSeries(axis, target_values)
+        fo = offer(0.0, 23.0, e=1.0)
+        result = greedy_schedule([fo], target)
+        assert 0.0 < result.improvement <= 1.0
+        assert result.baseline_cost == pytest.approx(float(np.dot(target_values, target_values)))
+
+
+class TestNaive:
+    def test_naive_places_at_earliest_midpoint(self):
+        axis = axis_for_days(START, 1)
+        target = TimeSeries.zeros(axis)
+        fo = offer(start_h=3.0, flex_h=6.0, e=1.0)
+        result = naive_schedule([fo], target)
+        sched = result.schedules[0]
+        assert sched.start == fo.earliest_start
+        midpoint_total = sum(s.midpoint for s in fo.slices)
+        assert sched.total_energy == pytest.approx(midpoint_total)
+
+
+class TestStochasticImprovement:
+    def test_never_worse(self):
+        axis = axis_for_days(START, 1)
+        rng_target = np.random.default_rng(1)
+        target = TimeSeries(axis, rng_target.uniform(0, 1, axis.length))
+        offers = [offer(h, 6.0, e=1.0) for h in (0, 2, 4, 6, 8)]
+        greedy = greedy_schedule(offers, target, order="as-given")
+        improved = improve_schedule(greedy, np.random.default_rng(2), iterations=300)
+        assert improved.cost <= greedy.cost + 1e-9
+
+    def test_finds_obvious_improvement(self):
+        axis = axis_for_days(START, 1)
+        target_values = np.zeros(axis.length)
+        target_values[60:62] = 1.0
+        target = TimeSeries(axis, target_values)
+        fo = offer(0.0, 20.0, e=2.0)
+        # Deliberately bad starting point: naive places at earliest (00:00).
+        bad = naive_schedule([fo], target)
+        improved = improve_schedule(bad, np.random.default_rng(3), iterations=500)
+        assert improved.cost < bad.cost
+
+    def test_zero_iterations_identity(self):
+        axis = axis_for_days(START, 1)
+        target = TimeSeries.full(axis, 0.2)
+        result = greedy_schedule([offer(0.0, 2.0)], target)
+        same = improve_schedule(result, np.random.default_rng(0), iterations=0)
+        assert same.cost == result.cost

@@ -1,0 +1,170 @@
+"""Unit tests for :mod:`repro.timeseries.axis`."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.errors import AxisMismatchError, ResolutionError
+from repro.timeseries.axis import (
+    FIFTEEN_MINUTES,
+    ONE_MINUTE,
+    TimeAxis,
+    axis_for_days,
+)
+
+START = datetime(2012, 3, 5)
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        assert axis.length == 96
+        assert axis.start == START
+        assert axis.end == START + timedelta(days=1)
+
+    def test_zero_length_allowed(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 0)
+        assert len(axis) == 0
+        assert axis.end == START
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            TimeAxis(START, FIFTEEN_MINUTES, -1)
+
+    def test_non_positive_resolution_rejected(self):
+        with pytest.raises(ResolutionError):
+            TimeAxis(START, timedelta(0), 10)
+        with pytest.raises(ResolutionError):
+            TimeAxis(START, timedelta(minutes=-5), 10)
+
+    def test_resolution_must_divide_day(self):
+        with pytest.raises(ResolutionError):
+            TimeAxis(START, timedelta(minutes=7), 10)
+
+    def test_hour_resolution_accepted(self):
+        axis = TimeAxis(START, timedelta(hours=1), 24)
+        assert axis.intervals_per_day == 24
+
+
+class TestDerived:
+    def test_intervals_per_day(self):
+        assert TimeAxis(START, FIFTEEN_MINUTES, 1).intervals_per_day == 96
+        assert TimeAxis(START, ONE_MINUTE, 1).intervals_per_day == 1440
+
+    def test_intervals_per_hour(self):
+        assert TimeAxis(START, FIFTEEN_MINUTES, 1).intervals_per_hour == 4.0
+
+    def test_hours_per_interval(self):
+        assert TimeAxis(START, FIFTEEN_MINUTES, 1).hours_per_interval == 0.25
+
+    def test_duration(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 8)
+        assert axis.duration == timedelta(hours=2)
+
+
+class TestIndexing:
+    def test_time_at_and_index_of_roundtrip(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        for i in (0, 1, 50, 95):
+            assert axis.index_of(axis.time_at(i)) == i
+
+    def test_time_at_negative_index(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        assert axis.time_at(-1) == axis.time_at(95)
+
+    def test_time_at_out_of_range(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        with pytest.raises(IndexError):
+            axis.time_at(96)
+        with pytest.raises(IndexError):
+            axis.time_at(-97)
+
+    def test_index_of_mid_interval_time(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        assert axis.index_of(START + timedelta(minutes=20)) == 1
+
+    def test_index_of_outside_raises(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 4)
+        with pytest.raises(IndexError):
+            axis.index_of(START - timedelta(minutes=1))
+        with pytest.raises(IndexError):
+            axis.index_of(axis.end)
+
+    def test_clamp_index_of(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 4)
+        assert axis.clamp_index_of(START - timedelta(hours=5)) == 0
+        assert axis.clamp_index_of(axis.end + timedelta(hours=1)) == 3
+
+    def test_contains(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 4)
+        assert axis.contains(START)
+        assert axis.contains(axis.end - timedelta(seconds=1))
+        assert not axis.contains(axis.end)
+
+    def test_times_iterates_all_starts(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 3)
+        assert list(axis.times()) == [
+            START,
+            START + timedelta(minutes=15),
+            START + timedelta(minutes=30),
+        ]
+
+
+class TestStructural:
+    def test_sub_axis(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        sub = axis.sub_axis(4, 8)
+        assert sub.start == START + timedelta(hours=1)
+        assert sub.length == 8
+
+    def test_sub_axis_out_of_range(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 10)
+        with pytest.raises(IndexError):
+            axis.sub_axis(5, 6)
+
+    def test_day_slices_whole_days(self):
+        axis = axis_for_days(START, 3)
+        slices = axis.day_slices()
+        assert slices == [(0, 96), (96, 96), (192, 96)]
+
+    def test_day_slices_partial_tail(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 100)
+        assert axis.day_slices() == [(0, 96), (96, 4)]
+
+    def test_aligned_with(self):
+        a = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        b = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        c = TimeAxis(START, FIFTEEN_MINUTES, 95)
+        assert a.aligned_with(b)
+        assert not a.aligned_with(c)
+
+    def test_compatible_with_phase(self):
+        a = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        b = TimeAxis(START + timedelta(minutes=30), FIFTEEN_MINUTES, 10)
+        off = TimeAxis(START + timedelta(minutes=7), FIFTEEN_MINUTES, 10)
+        assert a.compatible_with(b)
+        assert not a.compatible_with(off)
+
+    def test_require_aligned_raises(self):
+        a = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        b = TimeAxis(START, ONE_MINUTE, 96)
+        with pytest.raises(AxisMismatchError):
+            a.require_aligned(b)
+
+    def test_shift(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 96)
+        shifted = axis.shift(4)
+        assert shifted.start == START + timedelta(hours=1)
+        assert shifted.length == 96
+
+    def test_extended(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 10)
+        assert axis.extended(6).length == 16
+        with pytest.raises(ValueError):
+            axis.extended(-1)
+
+    def test_axis_for_days(self):
+        axis = axis_for_days(START, 2, ONE_MINUTE)
+        assert axis.length == 2880

@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.timeseries.calendar`."""
+
+from __future__ import annotations
+
+from datetime import date, datetime, time, timedelta
+
+from repro.timeseries.calendar import (
+    DailyWindow,
+    DayType,
+    Season,
+    day_type,
+    is_holiday,
+    minutes_since_midnight,
+    season,
+)
+
+
+class TestDayType:
+    def test_weekdays(self):
+        assert day_type(date(2012, 3, 5)) is DayType.WORKDAY  # Monday
+        assert day_type(date(2012, 3, 9)) is DayType.WORKDAY  # Friday
+
+    def test_weekend(self):
+        assert day_type(date(2012, 3, 10)) is DayType.SATURDAY
+        assert day_type(date(2012, 3, 11)) is DayType.SUNDAY
+
+    def test_holiday_counts_as_sunday(self):
+        assert is_holiday(date(2012, 12, 25))
+        assert day_type(date(2012, 12, 25)) is DayType.SUNDAY
+
+    def test_is_weekend_property(self):
+        assert not DayType.WORKDAY.is_weekend
+        assert DayType.SATURDAY.is_weekend
+        assert DayType.SUNDAY.is_weekend
+
+
+class TestSeason:
+    def test_all_seasons(self):
+        assert season(date(2012, 1, 15)) is Season.WINTER
+        assert season(date(2012, 4, 15)) is Season.SPRING
+        assert season(date(2012, 7, 15)) is Season.SUMMER
+        assert season(date(2012, 10, 15)) is Season.AUTUMN
+        assert season(date(2012, 12, 15)) is Season.WINTER
+
+
+class TestDailyWindow:
+    def test_simple_window_contains(self):
+        window = DailyWindow(time(9, 0), time(17, 0))
+        assert window.contains(time(9, 0))
+        assert window.contains(time(12, 30))
+        assert not window.contains(time(17, 0))  # end exclusive
+        assert not window.contains(time(3, 0))
+
+    def test_wrapping_window(self):
+        night = DailyWindow(time(22, 0), time(6, 0))
+        assert night.wraps_midnight
+        assert night.contains(time(23, 30))
+        assert night.contains(time(2, 0))
+        assert not night.contains(time(12, 0))
+        assert not night.contains(time(6, 0))
+
+    def test_contains_datetime(self):
+        window = DailyWindow(time(9, 0), time(17, 0))
+        assert window.contains(datetime(2012, 3, 5, 10, 0))
+
+    def test_duration(self):
+        assert DailyWindow(time(9, 0), time(17, 0)).duration() == timedelta(hours=8)
+        assert DailyWindow(time(22, 0), time(6, 0)).duration() == timedelta(hours=8)
+
+    def test_minutes_since_midnight(self):
+        assert minutes_since_midnight(time(1, 30)) == 90
+        assert minutes_since_midnight(datetime(2012, 3, 5, 23, 59)) == 1439

@@ -1,0 +1,79 @@
+"""Unit tests for :mod:`repro.timeseries.decompose`."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.timeseries.axis import axis_for_days
+from repro.timeseries.decompose import decompose_additive, seasonal_profile
+from repro.timeseries.series import TimeSeries
+
+START = datetime(2012, 3, 5)
+
+
+def synthetic(days: int = 6, trend_slope: float = 0.001, noise: float = 0.0):
+    axis = axis_for_days(START, days)
+    t = np.arange(axis.length)
+    seasonal = np.sin(2 * np.pi * t / 96)
+    trend = trend_slope * t
+    rng = np.random.default_rng(0)
+    values = 5.0 + trend + seasonal + rng.normal(0, noise, axis.length)
+    return TimeSeries(axis, values), trend, seasonal
+
+
+class TestDecompose:
+    def test_reconstruction_is_exact(self):
+        series, _, _ = synthetic(noise=0.1)
+        dec = decompose_additive(series)
+        assert dec.reconstruction_error() < 1e-9
+
+    def test_recovers_seasonal_shape(self):
+        series, _, seasonal = synthetic()
+        dec = decompose_additive(series)
+        # Compare one period (away from edges) against the known seasonal.
+        got = dec.seasonal.values[96:192]
+        want = seasonal[96:192]
+        assert np.corrcoef(got, want)[0, 1] > 0.99
+
+    def test_seasonal_component_is_periodic(self):
+        series, _, _ = synthetic()
+        dec = decompose_additive(series)
+        assert np.allclose(dec.seasonal.values[:96], dec.seasonal.values[96:192])
+
+    def test_seasonal_sums_to_zero(self):
+        series, _, _ = synthetic(noise=0.05)
+        dec = decompose_additive(series)
+        assert abs(dec.seasonal.values[:96].sum()) < 1e-8
+
+    def test_recovers_trend_level(self):
+        series, trend, _ = synthetic(trend_slope=0.002)
+        dec = decompose_additive(series)
+        middle = slice(96, -96)
+        expected = 5.0 + trend[middle]
+        assert np.abs(dec.trend.values[middle] - expected).mean() < 0.05
+
+    def test_custom_period(self):
+        series, _, _ = synthetic()
+        dec = decompose_additive(series, period=48)
+        assert dec.reconstruction_error() < 1e-9
+
+    def test_too_short_raises(self):
+        axis = axis_for_days(START, 1)
+        series = TimeSeries.zeros(axis)
+        with pytest.raises(DataError):
+            decompose_additive(series)  # needs two periods
+
+    def test_tiny_period_raises(self):
+        series, _, _ = synthetic()
+        with pytest.raises(DataError):
+            decompose_additive(series, period=1)
+
+    def test_seasonal_profile_helper(self):
+        series, _, _ = synthetic()
+        profile = seasonal_profile(series)
+        assert profile.shape == (96,)
+        assert profile.max() > 0.8  # sinusoid amplitude preserved

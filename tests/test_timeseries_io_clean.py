@@ -1,0 +1,212 @@
+"""Tests for meter-data IO and data-quality repair."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.timeseries.axis import FIFTEEN_MINUTES, TimeAxis, axis_for_days
+from repro.timeseries.clean import (
+    assemble_regular,
+    clip_outliers,
+    fill_missing,
+    find_gaps,
+    validate_meter_series,
+)
+from repro.timeseries.io import (
+    load_series_csv,
+    load_series_json,
+    save_series_csv,
+    save_series_json,
+    series_from_dict,
+    series_to_dict,
+)
+from repro.timeseries.series import TimeSeries
+
+START = datetime(2012, 3, 5)
+
+
+class TestSeriesIO:
+    def test_dict_roundtrip(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 10)
+        series = TimeSeries(axis, np.linspace(0, 1, 10), "demo")
+        restored = series_from_dict(series_to_dict(series))
+        assert restored == series
+        assert restored.name == "demo"
+
+    def test_dict_missing_field(self):
+        with pytest.raises(DataError):
+            series_from_dict({"start": START.isoformat()})
+
+    def test_json_file_roundtrip(self, tmp_path):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 8)
+        series = TimeSeries(axis, np.arange(8.0), "j")
+        path = tmp_path / "series.json"
+        save_series_json(series, path)
+        assert load_series_json(path) == series
+
+    def test_csv_file_roundtrip(self, tmp_path):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 8)
+        series = TimeSeries(axis, np.random.default_rng(0).uniform(0, 2, 8))
+        path = tmp_path / "series.csv"
+        save_series_csv(series, path)
+        restored = load_series_csv(path)
+        assert restored.allclose(series, atol=0)
+        assert restored.axis.aligned_with(series.axis)
+
+    def test_csv_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,kwh\n2012-03-05T00:00:00,1.0\n")
+        with pytest.raises(DataError):
+            load_series_csv(path)
+
+    def test_csv_irregular_spacing(self, tmp_path):
+        path = tmp_path / "irr.csv"
+        path.write_text(
+            "timestamp,value\n"
+            "2012-03-05T00:00:00,1.0\n"
+            "2012-03-05T00:15:00,1.0\n"
+            "2012-03-05T00:45:00,1.0\n"
+        )
+        with pytest.raises(DataError):
+            load_series_csv(path)
+
+    def test_csv_too_short(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("timestamp,value\n2012-03-05T00:00:00,1.0\n")
+        with pytest.raises(DataError):
+            load_series_csv(path)
+
+    def test_csv_bad_value(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text(
+            "timestamp,value\n2012-03-05T00:00:00,abc\n2012-03-05T00:15:00,1\n"
+        )
+        with pytest.raises(DataError):
+            load_series_csv(path)
+
+
+class TestGaps:
+    def test_find_gaps(self):
+        res = FIFTEEN_MINUTES
+        stamps = [START, START + res, START + 4 * res]
+        gaps = find_gaps(stamps, res)
+        assert gaps == [(START + 2 * res, START + 4 * res)]
+
+    def test_no_gaps(self):
+        res = FIFTEEN_MINUTES
+        stamps = [START + i * res for i in range(5)]
+        assert find_gaps(stamps, res) == []
+
+    def test_unordered_raises(self):
+        with pytest.raises(DataError):
+            find_gaps([START, START], FIFTEEN_MINUTES)
+
+    def test_off_grid_raises(self):
+        with pytest.raises(DataError):
+            find_gaps([START, START + timedelta(minutes=20)], FIFTEEN_MINUTES)
+
+    def test_assemble_regular(self):
+        res = FIFTEEN_MINUTES
+        readings = [(START, 1.0), (START + 3 * res, 4.0)]
+        series, missing = assemble_regular(readings, res)
+        assert len(series) == 4
+        assert list(missing) == [False, True, True, False]
+        assert series.values[0] == 1.0 and series.values[3] == 4.0
+
+    def test_assemble_empty_raises(self):
+        with pytest.raises(DataError):
+            assemble_regular([], FIFTEEN_MINUTES)
+
+
+class TestFillMissing:
+    def test_interpolate(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 5)
+        series = TimeSeries(axis, [1.0, 0.0, 0.0, 0.0, 5.0])
+        missing = np.array([False, True, True, True, False])
+        filled = fill_missing(series, missing, method="interpolate")
+        assert np.allclose(filled.values, [1, 2, 3, 4, 5])
+
+    def test_daily_profile_fill(self):
+        axis = axis_for_days(START, 3)
+        values = np.tile(np.sin(np.linspace(0, 2 * np.pi, 96)) + 2.0, 3)
+        missing = np.zeros(len(values), dtype=bool)
+        missing[96 + 10] = True  # drop one interval on day 2
+        original = values[96 + 10]
+        damaged = values.copy()
+        damaged[96 + 10] = 0.0
+        filled = fill_missing(TimeSeries(axis, damaged), missing)
+        # Donor days carry the same phase value.
+        assert filled.values[96 + 10] == pytest.approx(original, rel=1e-6)
+
+    def test_no_missing_copy(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 4)
+        series = TimeSeries(axis, np.ones(4))
+        filled = fill_missing(series, np.zeros(4, dtype=bool))
+        assert filled == series
+
+    def test_all_missing_raises(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 4)
+        series = TimeSeries.zeros(axis)
+        with pytest.raises(DataError):
+            fill_missing(series, np.ones(4, dtype=bool))
+
+    def test_unknown_method(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 4)
+        series = TimeSeries.zeros(axis)
+        with pytest.raises(DataError):
+            fill_missing(series, np.array([True, False, False, False]), method="magic")
+
+    def test_shape_mismatch(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 4)
+        with pytest.raises(DataError):
+            fill_missing(TimeSeries.zeros(axis), np.zeros(5, dtype=bool))
+
+
+class TestOutliersAndValidation:
+    def test_clip_outliers(self):
+        axis = axis_for_days(START, 1)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.2, 0.4, 96)
+        values[50] = 50.0  # meter glitch
+        repaired, clipped = clip_outliers(TimeSeries(axis, values))
+        assert clipped == 1
+        assert repaired.values[50] < 5.0
+
+    def test_clip_flat_series_noop(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 8)
+        series = TimeSeries.full(axis, 1.0)
+        repaired, clipped = clip_outliers(series)
+        assert clipped == 0
+        assert repaired == series
+
+    def test_clip_invalid_sigma(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 8)
+        with pytest.raises(DataError):
+            clip_outliers(TimeSeries.zeros(axis), max_sigma=0.0)
+
+    def test_quality_report(self):
+        axis = axis_for_days(START, 1)
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0.2, 0.4, 96)
+        values[10] = -0.5
+        values[20] = 30.0
+        missing = np.zeros(96, dtype=bool)
+        missing[40:44] = True
+        report = validate_meter_series(TimeSeries(axis, values), missing)
+        assert report.intervals == 96
+        assert report.negative == 1
+        assert report.spikes >= 1
+        assert report.missing == 4
+        assert report.longest_gap == 4
+        assert report.usable
+
+    def test_unusable_when_gappy(self):
+        axis = axis_for_days(START, 8)
+        missing = np.zeros(axis.length, dtype=bool)
+        missing[: 96 * 7] = True  # a week-long outage
+        report = validate_meter_series(TimeSeries.zeros(axis), missing)
+        assert not report.usable

@@ -1,0 +1,81 @@
+"""Unit tests for :mod:`repro.timeseries.resample`."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.errors import ResolutionError
+from repro.timeseries.axis import FIFTEEN_MINUTES, ONE_MINUTE, TimeAxis
+from repro.timeseries.resample import (
+    downsample_mean,
+    downsample_sum,
+    upsample_repeat,
+    upsample_spread,
+)
+from repro.timeseries.series import TimeSeries
+
+START = datetime(2012, 3, 5)
+
+
+class TestDownsample:
+    def test_sum_conserves_energy(self):
+        axis = TimeAxis(START, ONE_MINUTE, 60)
+        series = TimeSeries(axis, np.random.default_rng(0).uniform(0, 1, 60))
+        coarse = downsample_sum(series, FIFTEEN_MINUTES)
+        assert len(coarse) == 4
+        assert coarse.total() == pytest.approx(series.total())
+
+    def test_sum_values(self):
+        axis = TimeAxis(START, ONE_MINUTE, 30)
+        series = TimeSeries(axis, np.ones(30))
+        coarse = downsample_sum(series, FIFTEEN_MINUTES)
+        assert list(coarse.values) == [15.0, 15.0]
+
+    def test_mean_values(self):
+        axis = TimeAxis(START, ONE_MINUTE, 30)
+        series = TimeSeries(axis, np.ones(30) * 3.0)
+        coarse = downsample_mean(series, FIFTEEN_MINUTES)
+        assert list(coarse.values) == [3.0, 3.0]
+
+    def test_non_integer_ratio_rejected(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 8)
+        series = TimeSeries.zeros(axis)
+        with pytest.raises(ResolutionError):
+            downsample_sum(series, timedelta(minutes=20))
+
+    def test_non_divisible_length_rejected(self):
+        axis = TimeAxis(START, ONE_MINUTE, 25)
+        series = TimeSeries.zeros(axis)
+        with pytest.raises(ResolutionError):
+            downsample_sum(series, FIFTEEN_MINUTES)
+
+
+class TestUpsample:
+    def test_spread_conserves_energy(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 4)
+        series = TimeSeries(axis, [15.0, 30.0, 0.0, 7.5])
+        fine = upsample_spread(series, ONE_MINUTE)
+        assert len(fine) == 60
+        assert fine.total() == pytest.approx(series.total())
+        assert fine.values[0] == pytest.approx(1.0)
+
+    def test_repeat_preserves_level(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 2)
+        series = TimeSeries(axis, [2.0, 4.0])
+        fine = upsample_repeat(series, ONE_MINUTE)
+        assert fine.values[0] == 2.0
+        assert fine.values[29] == 4.0
+
+    def test_roundtrip_identity(self):
+        axis = TimeAxis(START, FIFTEEN_MINUTES, 8)
+        series = TimeSeries(axis, np.random.default_rng(1).uniform(0, 2, 8))
+        roundtrip = downsample_sum(upsample_spread(series, ONE_MINUTE), FIFTEEN_MINUTES)
+        assert roundtrip.allclose(series)
+
+    def test_coarser_target_rejected(self):
+        axis = TimeAxis(START, ONE_MINUTE, 60)
+        with pytest.raises(ResolutionError):
+            upsample_spread(TimeSeries.zeros(axis), FIFTEEN_MINUTES)
