@@ -4,9 +4,17 @@ Every bench prints the paper-vs-measured rows it regenerates (through
 ``capsys.disabled`` so the tables appear even under pytest's capture), and
 asserts the *shape* of the paper's result — who wins, by roughly what factor,
 where the crossovers fall.
+
+Passing ``--bench-json PATH`` additionally writes every reported table to
+``PATH`` as JSON (one record per report call), so CI can archive benchmark
+output machine-readably.  (The name avoids ``--benchmark-json``, which
+pytest-benchmark already claims for its own timing dump.)
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -20,11 +28,43 @@ from repro.workloads.scenarios import (
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write all reported benchmark tables to PATH as JSON",
+    )
+
+
+def pytest_configure(config):
+    config._bench_json_records = []
+
+
+def pytest_sessionfinish(session):
+    path = session.config.getoption("--bench-json")
+    records = getattr(session.config, "_bench_json_records", None)
+    if path and records is not None:
+        Path(path).write_text(json.dumps(records, indent=2, default=str) + "\n")
+
+
 @pytest.fixture()
-def report(capsys):
-    """Print a titled table (list of dict rows) bypassing pytest capture."""
+def report(capsys, request):
+    """Print a titled table (list of dict rows) bypassing pytest capture.
+
+    Each call is also recorded for the optional ``--bench-json`` writer.
+    """
 
     def _report(title: str, rows=None, lines=None) -> None:
+        request.config._bench_json_records.append(
+            {
+                "test": request.node.nodeid,
+                "title": title,
+                "rows": rows,
+                "lines": lines,
+            }
+        )
         with capsys.disabled():
             print(f"\n=== {title} ===")
             if rows is not None:

@@ -44,6 +44,7 @@ from repro.extraction import (
     ScheduleBasedExtractor,
 )
 from repro.flexoffer import FlexOffer, ProfileSlice, ScheduledFlexOffer, figure1_flexoffer
+from repro.pipeline import FleetPipeline, FleetResult, run_sequential
 from repro.timeseries import FIFTEEN_MINUTES, ONE_MINUTE, TimeAxis, TimeSeries
 
 __version__ = "1.0.0"
@@ -70,6 +71,9 @@ __all__ = [
     "ProfileSlice",
     "ScheduledFlexOffer",
     "figure1_flexoffer",
+    "FleetPipeline",
+    "FleetResult",
+    "run_sequential",
     "FIFTEEN_MINUTES",
     "ONE_MINUTE",
     "TimeAxis",

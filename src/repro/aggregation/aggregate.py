@@ -65,14 +65,13 @@ def aggregate_group(group: list[FlexOffer]) -> AggregatedFlexOffer:
             )
         offsets.append(offset)
 
-    expansions = [o.slice_expansion() for o in group]
-    total_len = max(off + len(exp) for off, exp in zip(offsets, expansions))
+    expansions = [o.slice_expansion_arrays() for o in group]
+    total_len = max(off + exp_min.size for off, (exp_min, _) in zip(offsets, expansions))
     mins = np.zeros(total_len)
     maxs = np.zeros(total_len)
-    for off, exp in zip(offsets, expansions):
-        for k, (lo, hi) in enumerate(exp):
-            mins[off + k] += lo
-            maxs[off + k] += hi
+    for off, (exp_min, exp_max) in zip(offsets, expansions):
+        mins[off : off + exp_min.size] += exp_min
+        maxs[off : off + exp_max.size] += exp_max
 
     flexibility = min((o.time_flexibility for o in group), default=timedelta(0))
     slices = tuple(ProfileSlice(float(lo), float(hi)) for lo, hi in zip(mins, maxs))
@@ -116,36 +115,45 @@ def disaggregate_schedule(
     if schedule.offer.offer_id != aggregated.offer.offer_id:
         raise AggregationError("schedule does not belong to this aggregate")
     delta = schedule.start - aggregated.offer.earliest_start
-    energies = schedule.interval_energies()
+    energies = np.asarray(schedule.interval_energies(), dtype=np.float64)
 
-    expansions = [m.slice_expansion() for m in aggregated.members]
-    member_interval_energies: list[np.ndarray] = [
-        np.zeros(len(exp)) for exp in expansions
-    ]
-    for t in range(len(energies)):
-        parts = []  # (member index, local interval, lo, hi)
-        for i, (off, exp) in enumerate(zip(aggregated.member_offsets, expansions)):
-            local = t - off
-            if 0 <= local < len(exp):
-                lo, hi = exp[local]
-                parts.append((i, local, lo, hi))
-        if not parts:
-            if energies[t] > _TOLERANCE:
-                raise AggregationError(
-                    f"aggregate interval {t} has energy but no members"
-                )
-            continue
-        lo_sum = sum(p[2] for p in parts)
-        hi_sum = sum(p[3] for p in parts)
-        target = float(np.clip(energies[t], lo_sum, hi_sum))
-        slack_sum = hi_sum - lo_sum
-        extra = target - lo_sum
-        for i, local, lo, hi in parts:
-            share = (hi - lo) / slack_sum if slack_sum > _TOLERANCE else 0.0
-            member_interval_energies[i][local] = lo + extra * share
+    # Matrix formulation: member i's expanded bounds embedded at its offset
+    # in row i, zero elsewhere.  Per-interval sums, targets and slack shares
+    # then fall out as single array passes over the (members × intervals)
+    # matrices instead of a Python loop over every timestep and member.
+    n_members = len(aggregated.members)
+    total_len = energies.size
+    lo_mat = np.zeros((n_members, total_len))
+    hi_mat = np.zeros((n_members, total_len))
+    covered = np.zeros((n_members, total_len), dtype=bool)
+    exp_lengths = []
+    for i, (off, member) in enumerate(zip(aggregated.member_offsets, aggregated.members)):
+        exp_min, exp_max = member.slice_expansion_arrays()
+        lo_mat[i, off : off + exp_min.size] = exp_min
+        hi_mat[i, off : off + exp_max.size] = exp_max
+        covered[i, off : off + exp_min.size] = True
+        exp_lengths.append(exp_min.size)
+
+    orphaned = ~covered.any(axis=0) & (energies > _TOLERANCE)
+    if orphaned.any():
+        raise AggregationError(
+            f"aggregate interval {int(np.flatnonzero(orphaned)[0])} has energy but no members"
+        )
+    lo_sum = lo_mat.sum(axis=0)
+    hi_sum = hi_mat.sum(axis=0)
+    target = np.clip(energies, lo_sum, hi_sum)
+    slack_sum = hi_sum - lo_sum
+    # Every member first receives its minimum; the remainder is shared
+    # proportionally to each member's slack (zero share when the group has
+    # no slack at an interval).
+    safe_slack = np.where(slack_sum > _TOLERANCE, slack_sum, 1.0)
+    scale = np.where(slack_sum > _TOLERANCE, (target - lo_sum) / safe_slack, 0.0)
+    member_matrix = lo_mat + (hi_mat - lo_mat) * scale[None, :]
 
     out = []
-    for member, interval_energy in zip(aggregated.members, member_interval_energies):
+    for i, member in enumerate(aggregated.members):
+        off = aggregated.member_offsets[i]
+        interval_energy = member_matrix[i, off : off + exp_lengths[i]]
         slice_energies = []
         cursor = 0
         for sl in member.slices:

@@ -8,8 +8,10 @@ from the table and cycle shapes modelled after typical duty cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import time, timedelta
+
+import numpy as np
 
 from repro.appliances.model import (
     ApplianceCategory,
@@ -199,6 +201,45 @@ def _household_extras() -> list[ApplianceSpec]:
 
 
 @dataclass(frozen=True)
+class ApplianceTemplate:
+    """Cached derived arrays of one appliance's unit-energy cycle shape.
+
+    The disaggregators correlate every appliance template against long
+    residual series thousands of times per fleet; the self-dot denominator
+    and the template's frequency-domain image depend only on the shape, so
+    they are computed once per database and shared across every household
+    and iteration (the fleet-level template-correlation cache).
+    """
+
+    name: str
+    # compare=False: ndarray equality is elementwise and would make the
+    # generated __eq__ raise; templates compare by (name, denom, peak).
+    shape: np.ndarray = field(compare=False)  # unit-energy per-minute profile
+    denom: float             # <shape, shape>, the least-squares denominator
+    peak: float              # max(shape), for residual clipping floors
+    _rfft_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def length(self) -> int:
+        """Cycle duration in minutes."""
+        return int(self.shape.shape[0])
+
+    def rfft_reversed(self, nfft: int) -> np.ndarray:
+        """``rfft(shape[::-1], nfft)``, cached per transform size.
+
+        Multiplying this against ``rfft(residual, nfft)`` and inverting
+        yields the full cross-correlation of residual and template — the
+        per-offset least-squares numerators — without re-transforming the
+        template for every household/iteration.
+        """
+        cached = self._rfft_cache.get(nfft)
+        if cached is None:
+            cached = np.fft.rfft(self.shape[::-1], nfft)
+            self._rfft_cache[nfft] = cached
+        return cached
+
+
+@dataclass(frozen=True)
 class ApplianceDatabase:
     """A queryable catalogue of appliance specifications."""
 
@@ -208,6 +249,10 @@ class ApplianceDatabase:
         names = [s.name for s in self.specs]
         if len(names) != len(set(names)):
             raise DataError("duplicate appliance names in database")
+        # Non-field lookup caches (excluded from equality/pickling concerns:
+        # they are derived purely from ``specs`` and rebuilt lazily).
+        object.__setattr__(self, "_by_name", {s.name: s for s in self.specs})
+        object.__setattr__(self, "_templates", {})
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -217,13 +262,37 @@ class ApplianceDatabase:
 
     def get(self, name: str) -> ApplianceSpec:
         """Look up a spec by name; raises :class:`KeyError` when absent."""
-        for spec in self.specs:
-            if spec.name == name:
-                return spec
-        raise KeyError(f"unknown appliance: {name!r}")
+        spec = self._by_name.get(name)
+        if spec is None:
+            raise KeyError(f"unknown appliance: {name!r}")
+        return spec
+
+    def template(self, name: str) -> ApplianceTemplate:
+        """The cached correlation template of one appliance.
+
+        Built on first lookup and reused for the lifetime of the database,
+        so a fleet run computes each shape's denominator and FFT exactly
+        once instead of once per household per matching iteration.
+        """
+        template = self._templates.get(name)
+        if template is None:
+            spec = self.get(name)
+            shape = spec.shape
+            template = ApplianceTemplate(
+                name=name,
+                shape=shape,
+                denom=float(np.dot(shape, shape)),
+                peak=float(shape.max()),
+            )
+            self._templates[name] = template
+        return template
+
+    def templates(self) -> list[ApplianceTemplate]:
+        """Cached templates of every appliance, in catalogue order."""
+        return [self.template(s.name) for s in self.specs]
 
     def __contains__(self, name: str) -> bool:
-        return any(s.name == name for s in self.specs)
+        return name in self._by_name
 
     def names(self) -> list[str]:
         """All appliance names in catalogue order."""

@@ -6,6 +6,7 @@ Installed as the ``repro`` console script::
     repro extract  --input data/hh-0000.csv --approach peak-based --share 0.05 \
                    --out offers.json
     repro evaluate --households 6 --days 7
+    repro bench    --households 20 --days 7 --out BENCH_fleet.json
     repro figures
 
 Each subcommand is a thin shell over the library; everything it does is
@@ -31,6 +32,7 @@ from repro.extraction import (
     RandomBaselineExtractor,
 )
 from repro.flexoffer.io import save_flexoffers
+from repro.pipeline import run_fleet_benchmark, stage_table_rows
 from repro.simulation import generate_fleet
 from repro.timeseries.io import load_series_csv, save_series_csv
 
@@ -76,6 +78,18 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--seed", type=int, default=0)
     ev.add_argument("--include-random", action="store_true",
                     help="include the random baseline")
+
+    bench = sub.add_parser(
+        "bench", help="run the fleet-pipeline benchmark and print the stage table"
+    )
+    bench.add_argument("--households", type=int, default=20)
+    bench.add_argument("--days", type=int, default=7)
+    bench.add_argument("--seed", type=int, default=13)
+    bench.add_argument("--workers", type=int, default=None,
+                       help="fan extraction out over N worker processes")
+    bench.add_argument("--chunk-size", type=int, default=8)
+    bench.add_argument("--out", type=Path, default=None,
+                       help="write the JSON report here (e.g. BENCH_fleet.json)")
 
     sub.add_parser("figures", help="print the paper's figures (ASCII)")
     return parser
@@ -123,6 +137,32 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    print(
+        f"Fleet benchmark: {args.households} households x {args.days} days "
+        f"(seed {args.seed}, workers {args.workers or 1}) ..."
+    )
+    report, result = run_fleet_benchmark(
+        n_households=args.households,
+        days=args.days,
+        seed=args.seed,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        out_path=args.out,
+    )
+    print(format_table(stage_table_rows(report, result)))
+    equivalence = report["equivalence"]
+    print(
+        f"\nspeedup: {report['speedup']}x over the sequential reference loop; "
+        f"batched == sequential: {equivalence['batched_equals_sequential']}; "
+        f"reference matches within {equivalence['fidelity_rtol']:g}: "
+        f"{equivalence['reference_matches_vectorized']}"
+    )
+    if args.out is not None:
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_figures(_args: argparse.Namespace) -> int:
     # Reuse the example renderer; imported lazily to keep CLI start fast.
     import importlib.util
@@ -157,6 +197,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "extract": _cmd_extract,
         "evaluate": _cmd_evaluate,
+        "bench": _cmd_bench,
         "figures": _cmd_figures,
     }
     try:

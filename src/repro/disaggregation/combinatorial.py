@@ -65,7 +65,9 @@ def _day_candidates(
         m = len(shape)
         if m > len(day_values):
             continue
-        energies = _correlation_scores(day_values, shape)
+        # The <shape, shape> denominator comes from the database's cached
+        # template bank instead of being recomputed per day per appliance.
+        energies = _correlation_scores(day_values, shape, database.template(spec.name).denom)
         lo = spec.energy_min_kwh * (1.0 - config.energy_slack)
         hi = spec.energy_max_kwh * (1.0 + config.energy_slack)
         feasible = np.flatnonzero((energies >= lo) & (energies <= hi))

@@ -25,6 +25,10 @@ from repro.flexoffer.model import FlexOffer
 from repro.simulation.household import HouseholdTrace
 from repro.timeseries.axis import FIFTEEN_MINUTES, ONE_MINUTE
 
+#: Seed stride between households; shared with repro.pipeline so batched
+#: runs reproduce this harness's per-household rng streams exactly.
+SEED_STRIDE = 7919
+
 
 def default_suite(flexible_share: float = 0.05) -> list[FlexibilityExtractor]:
     """The comparison suite: both household approaches, both appliance
@@ -90,7 +94,7 @@ def compare_on_traces(
         consumption = trace.metered()
         truth = trace.true_flexible()
         for extractor in extractors:
-            rng = np.random.default_rng(seed + 7919 * trace_index)
+            rng = np.random.default_rng(seed + SEED_STRIDE * trace_index)
             series = input_series_for(extractor, trace)
             result = extractor.extract(series, rng)
             reports[extractor.name].append(
@@ -107,7 +111,7 @@ def collect_offers(
     """All offers an extractor produces over a fleet (for MIRABEL benches)."""
     offers: list[FlexOffer] = []
     for trace_index, trace in enumerate(traces):
-        rng = np.random.default_rng(seed + 7919 * trace_index)
+        rng = np.random.default_rng(seed + SEED_STRIDE * trace_index)
         series = input_series_for(extractor, trace)
         offers.extend(extractor.extract(series, rng).offers)
     return offers

@@ -52,6 +52,18 @@ def slice_energies_on_grid(
 
 
 @dataclass(frozen=True)
+class FrequencyDetection:
+    """Step-1 output: the disaggregation context step 2 formulates from.
+
+    Splitting detection from offer formulation lets the fleet pipeline time
+    (and fan out) the expensive disaggregation stage separately.
+    """
+
+    detection: DetectionResult
+    table: FrequencyTable
+
+
+@dataclass(frozen=True)
 class FrequencyBasedExtractor(FlexibilityExtractor):
     """Two-step appliance-level extraction: detect appliances, emit offers.
 
@@ -82,6 +94,10 @@ class FrequencyBasedExtractor(FlexibilityExtractor):
 
     def extract(self, series: TimeSeries, rng: np.random.Generator) -> ExtractionResult:
         """Extract appliance-level offers from a 1-minute series."""
+        return self.formulate(series, self.detect(series), rng)
+
+    def detect(self, series: TimeSeries) -> FrequencyDetection:
+        """Step 1: derive the appliance shortlist by disaggregation."""
         if series.axis.resolution != ONE_MINUTE:
             raise ExtractionError(
                 "appliance-level extraction requires 1-minute data "
@@ -97,13 +113,22 @@ class FrequencyBasedExtractor(FlexibilityExtractor):
         table = estimate_frequencies(
             detection.detections, self.database, observation_days, self.min_detections
         )
-        offers, modified = self._step2(series, detection, table, rng)
+        return FrequencyDetection(detection=detection, table=table)
+
+    def formulate(
+        self,
+        series: TimeSeries,
+        detected: FrequencyDetection,
+        rng: np.random.Generator,
+    ) -> ExtractionResult:
+        """Step 2: turn detected activations into flex-offers."""
+        offers, modified = self._step2(series, detected.detection, detected.table, rng)
         return ExtractionResult(
             offers=offers,
             modified=modified,
             original=series,
             extractor=self.name,
-            extras={"shortlist": table, "detection": detection},
+            extras={"shortlist": detected.table, "detection": detected.detection},
         )
 
     # ------------------------------------------------------------------ #

@@ -26,6 +26,7 @@ from datetime import date, datetime, timedelta
 import numpy as np
 
 from repro.appliances.database import ApplianceDatabase, default_database
+from repro.appliances.model import ApplianceSpec
 from repro.disaggregation.baseline import remove_baseline
 from repro.disaggregation.frequency import FrequencyTable, estimate_frequencies
 from repro.disaggregation.matching import MatchingConfig, match_pursuit
@@ -60,6 +61,23 @@ class OnlineConfig:
             raise ExtractionError("onset_minutes must be >= 3")
         if not 0.0 < self.onset_score <= 1.0:
             raise ExtractionError("onset_score must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class _OnsetCandidate:
+    """Stream-invariant matching data of one shortlisted appliance.
+
+    ``observe`` runs once per simulated minute; the candidate's scaled
+    signature head, its energy and its normalised density depend only on the
+    training outcome, so they are computed once per generator instead of
+    once per reading.
+    """
+
+    spec: ApplianceSpec
+    energy: float
+    head: np.ndarray          # expected kWh/minute of the cycle's first k minutes
+    head_energy: float
+    head_density: np.ndarray  # head normalised to unit mass
 
 
 @dataclass
@@ -101,6 +119,9 @@ class OnlineFlexOfferGenerator:
         self.mean_energy = mean_energy
         self.config = config or OnlineConfig()
         self._state = _ReactiveState()
+        # Built eagerly: table/mean_energy/config are treated as immutable
+        # after construction (retraining builds a new generator).
+        self._onset_candidates = self._build_candidates()
 
     # ------------------------------------------------------------------ #
     # Training
@@ -256,38 +277,32 @@ class OnlineFlexOfferGenerator:
             if start + timedelta(minutes=len(template)) > onset_time
         ]
         for start, template in state.active:
-            for offset in range(k):
-                minute = onset_time + timedelta(minutes=offset)
-                idx = int((minute - start).total_seconds() // 60)
-                if 0 <= idx < len(template):
-                    tail[offset] -= template[idx]
+            # The template overlaps the k-minute tail on a contiguous run of
+            # minutes; subtract it with slice arithmetic instead of walking
+            # every offset of the tail each reading.
+            base = int((onset_time - start).total_seconds() // 60)
+            first = max(0, -base)
+            last = min(k, len(template) - base)
+            if first < last:
+                tail[first:last] -= template[base + first : base + last]
         # Remove the local floor so the onset matcher sees appliance energy.
         tail = np.clip(tail - max(0.0, float(tail.min())), 0.0, None)
+        mass = float(tail.sum())
+        if mass <= 0:
+            return []
+        tail_density = tail / mass
         # One onset, one attribution: evaluate every candidate appliance and
         # emit only the best-scoring one (emitting all super-threshold
         # matches would fire sibling appliances on every shared heat spike).
-        best: tuple[float, object, float] | None = None
-        for entry in self.table.flexible_entries():
-            # Weakly-evidenced appliances (likely training-time false
-            # positives) may not claim live onsets.
-            if entry.detections < self.config.reactive_min_detections:
+        best: tuple[float, ApplianceSpec, float] | None = None
+        for candidate in self._onset_candidates:
+            spec = candidate.spec
+            last_time = state.last_emission.get(spec.name)
+            if last_time is not None and when - last_time < spec.cycle_duration:
                 continue
-            spec = self.database.get(entry.appliance)
-            last = state.last_emission.get(spec.name)
-            if last is not None and when - last < spec.cycle_duration:
-                continue
-            energy = self.mean_energy.get(spec.name, spec.typical_energy_kwh)
-            energy = float(np.clip(energy, spec.energy_min_kwh, spec.energy_max_kwh))
-            head = spec.shape[:k] * energy
-            head_energy = float(head.sum())
-            if head_energy <= 0:
-                continue
-            coverage = float(np.minimum(tail, head).sum() / head_energy)
-            mass = float(tail.sum())
-            if mass <= 0:
-                continue
+            coverage = float(np.minimum(tail, candidate.head).sum() / candidate.head_energy)
             similarity = 1.0 - 0.5 * float(
-                np.abs(tail / mass - head / head_energy).sum()
+                np.abs(tail_density - candidate.head_density).sum()
             )
             score = coverage * max(0.0, similarity)
             if score < self.config.onset_score:
@@ -298,7 +313,7 @@ class OnlineFlexOfferGenerator:
             # much stronger signal evidence to claim the onset.
             score *= self._habit_prior(spec.name, onset_time)
             if best is None or score > best[0]:
-                best = (score, spec, energy)
+                best = (score, spec, candidate.energy)
         if best is None:
             return []
         _, spec, energy = best
@@ -306,6 +321,36 @@ class OnlineFlexOfferGenerator:
         state.last_any_emission = when
         state.active.append((onset_time, spec.energy_profile_minutes(energy)))
         return [self._reactive_offer(spec, onset_time, energy)]
+
+    def _build_candidates(self) -> list[_OnsetCandidate]:
+        """Stream-invariant onset candidates, built once at construction.
+
+        Weakly-evidenced appliances (likely training-time false positives)
+        may not claim live onsets and are excluded up front, as are
+        degenerate signatures with an empty head.
+        """
+        k = self.config.onset_minutes
+        candidates: list[_OnsetCandidate] = []
+        for entry in self.table.flexible_entries():
+            if entry.detections < self.config.reactive_min_detections:
+                continue
+            spec = self.database.get(entry.appliance)
+            energy = self.mean_energy.get(spec.name, spec.typical_energy_kwh)
+            energy = float(np.clip(energy, spec.energy_min_kwh, spec.energy_max_kwh))
+            head = spec.shape[:k] * energy
+            head_energy = float(head.sum())
+            if head_energy <= 0:
+                continue
+            candidates.append(
+                _OnsetCandidate(
+                    spec=spec,
+                    energy=energy,
+                    head=head,
+                    head_energy=head_energy,
+                    head_density=head / head_energy,
+                )
+            )
+        return candidates
 
     def _habit_prior(self, appliance: str, when: datetime) -> float:
         """Mined start-density prior in [0.25, 1.0] for attribution scoring.

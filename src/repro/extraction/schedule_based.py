@@ -22,8 +22,8 @@ import numpy as np
 
 from repro.appliances.database import ApplianceDatabase, default_database
 from repro.disaggregation.baseline import remove_baseline
-from repro.disaggregation.frequency import estimate_frequencies
-from repro.disaggregation.matching import MatchingConfig, match_pursuit
+from repro.disaggregation.frequency import FrequencyTable, estimate_frequencies
+from repro.disaggregation.matching import DetectionResult, MatchingConfig, match_pursuit
 from repro.disaggregation.schedule_mining import MinedSchedule, count_day_types, mine_schedule
 from repro.errors import ExtractionError
 from repro.extraction.base import ExtractionResult, FlexibilityExtractor
@@ -34,6 +34,19 @@ from repro.simulation.activations import Activation
 from repro.timeseries.axis import ONE_MINUTE, TimeAxis
 from repro.timeseries.calendar import DailyWindow, day_type, minutes_since_midnight
 from repro.timeseries.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class ScheduleDetection:
+    """Step-1 output: shortlist plus mined habit schedules.
+
+    Splitting detection from offer formulation lets the fleet pipeline time
+    (and fan out) the expensive disaggregation stage separately.
+    """
+
+    detection: DetectionResult
+    table: FrequencyTable
+    schedules: dict[str, MinedSchedule]
 
 
 @dataclass(frozen=True)
@@ -57,6 +70,10 @@ class ScheduleBasedExtractor(FlexibilityExtractor):
 
     def extract(self, series: TimeSeries, rng: np.random.Generator) -> ExtractionResult:
         """Extract habit-aware appliance-level offers from a 1-minute series."""
+        return self.formulate(series, self.detect(series), rng)
+
+    def detect(self, series: TimeSeries) -> ScheduleDetection:
+        """Step 1: disaggregate and mine per-appliance habit schedules."""
         if series.axis.resolution != ONE_MINUTE:
             raise ExtractionError(
                 "appliance-level extraction requires 1-minute data "
@@ -81,14 +98,22 @@ class ScheduleBasedExtractor(FlexibilityExtractor):
             )
             for entry in table.flexible_entries()
         }
+        return ScheduleDetection(detection=detection, table=table, schedules=schedules)
 
+    def formulate(
+        self,
+        series: TimeSeries,
+        detected: ScheduleDetection,
+        rng: np.random.Generator,
+    ) -> ExtractionResult:
+        """Step 2: habit-confined flex-offers from the detected activations."""
         modified = series.values.copy()
         offers: list[FlexOffer] = []
-        for act in detection.detections:
-            if act.appliance not in schedules:
+        for act in detected.detection.detections:
+            if act.appliance not in detected.schedules:
                 continue
             offer = self._formulate(
-                series.axis, modified, act, schedules[act.appliance], rng
+                series.axis, modified, act, detected.schedules[act.appliance], rng
             )
             if offer is not None:
                 offers.append(offer)
@@ -97,7 +122,11 @@ class ScheduleBasedExtractor(FlexibilityExtractor):
             modified=series.with_values(modified).with_name(f"{series.name}.modified"),
             original=series,
             extractor=self.name,
-            extras={"shortlist": table, "detection": detection, "schedules": schedules},
+            extras={
+                "shortlist": detected.table,
+                "detection": detected.detection,
+                "schedules": detected.schedules,
+            },
         )
 
     def _formulate(

@@ -19,6 +19,8 @@ import itertools
 from dataclasses import dataclass, field, replace
 from datetime import datetime, timedelta
 
+import numpy as np
+
 from repro.errors import ValidationError
 from repro.timeseries.axis import FIFTEEN_MINUTES
 
@@ -256,6 +258,21 @@ class FlexOffer:
             share_max = s.energy_max / s.duration
             bounds.extend((share_min, share_max) for _ in range(s.duration))
         return bounds
+
+    def slice_expansion_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`slice_expansion` as a pair of numpy vectors ``(mins, maxs)``.
+
+        The array form feeds the vectorized aggregation paths, which sum
+        many expanded profiles without Python-level per-interval loops.
+        """
+        durations = np.array([s.duration for s in self.slices])
+        mins = np.repeat(
+            np.array([s.energy_min for s in self.slices]) / durations, durations
+        )
+        maxs = np.repeat(
+            np.array([s.energy_max for s in self.slices]) / durations, durations
+        )
+        return mins, maxs
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         tmin, tmax = self.effective_total_bounds()

@@ -1,0 +1,37 @@
+"""Fleet-scale batched pipeline engine (simulate → extract → aggregate).
+
+The MIRABEL deployment unit is a *fleet* of metered households, not a
+single series.  This subsystem runs the extraction stages as chunked
+batches over whole fleets, with optional multiprocessing fan-out,
+per-stage wall-clock capture, and a benchmark harness that guards the
+batched-equals-sequential contract and the speedup baseline
+(``BENCH_fleet.json``).
+"""
+
+from repro.pipeline.bench import FIDELITY_RTOL, run_fleet_benchmark, stage_table_rows
+from repro.pipeline.fleet import (
+    SEED_STRIDE,
+    STAGES,
+    FleetPipeline,
+    FleetResult,
+    HouseholdOutput,
+    StageTimings,
+    canonical_offer,
+    offers_equivalent,
+    run_sequential,
+)
+
+__all__ = [
+    "FIDELITY_RTOL",
+    "run_fleet_benchmark",
+    "stage_table_rows",
+    "SEED_STRIDE",
+    "STAGES",
+    "FleetPipeline",
+    "FleetResult",
+    "HouseholdOutput",
+    "StageTimings",
+    "canonical_offer",
+    "offers_equivalent",
+    "run_sequential",
+]

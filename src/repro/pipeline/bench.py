@@ -1,0 +1,157 @@
+"""The fleet-pipeline benchmark: batched engine vs the sequential loop.
+
+Measures the 20-household × 7-day workload (configurable) three ways:
+
+* **baseline** — the seed-shaped sequential per-household loop running the
+  ``engine="reference"`` matcher (the original implementation, kept in
+  :mod:`repro.disaggregation.matching` for exactly this purpose);
+* **pipeline** — :class:`repro.pipeline.FleetPipeline` over the vectorized
+  engine, with per-stage wall-clock capture;
+* **equivalence** — the batched result must equal the sequential run of
+  the same engine bitwise (modulo offer ids), and must match the reference
+  engine's offers within a small relative tolerance (FFT vs direct
+  correlation round-off).
+
+The resulting report is written to ``BENCH_fleet.json`` so the repository
+carries a refreshable speedup baseline; re-run via ``repro bench`` or
+``pytest benchmarks/bench_fleet_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from datetime import datetime
+from pathlib import Path
+
+import numpy as np
+
+from repro.disaggregation.matching import MatchingConfig
+from repro.extraction.frequency_based import FrequencyBasedExtractor
+from repro.pipeline.fleet import (
+    FleetPipeline,
+    FleetResult,
+    offers_equivalent,
+    run_sequential,
+)
+from repro.simulation.dataset import generate_fleet
+from repro.workloads.scenarios import SCENARIO_START
+
+#: Relative tolerance for reference-vs-vectorized offer energies.  The two
+#: engines differ only in float round-off (FFT vs direct correlation).
+FIDELITY_RTOL = 1e-9
+
+
+def run_fleet_benchmark(
+    n_households: int = 20,
+    days: int = 7,
+    seed: int = 13,
+    workers: int | None = None,
+    chunk_size: int = 8,
+    out_path: Path | str | None = None,
+) -> tuple[dict, FleetResult]:
+    """Run the fleet benchmark; returns the report dict and timed result.
+
+    When ``out_path`` is given the report is also written there as JSON
+    (the repository's ``BENCH_fleet.json`` baseline).
+    """
+    t0 = time.perf_counter()
+    fleet = generate_fleet(n_households, SCENARIO_START, days, seed=seed)
+    simulate_seconds = time.perf_counter() - t0
+
+    vectorized = FrequencyBasedExtractor(matching=MatchingConfig(engine="vectorized"))
+    reference = FrequencyBasedExtractor(matching=MatchingConfig(engine="reference"))
+
+    # Equivalence pass first: it doubles as a warm-up (template caches,
+    # numpy/scipy imports) so neither timed run pays one-off costs.
+    sequential_vectorized = run_sequential(fleet, vectorized)
+    pipeline = FleetPipeline(vectorized, chunk_size=chunk_size, workers=workers)
+    pipeline_result = pipeline.run(fleet)
+    batched_equals_sequential = offers_equivalent(
+        pipeline_result.offers, sequential_vectorized.offers, rtol=0.0
+    )
+
+    # Timed baseline: the sequential per-household loop on the reference
+    # engine — the seed's execution shape.
+    t0 = time.perf_counter()
+    baseline_result = run_sequential(fleet, reference)
+    baseline_seconds = time.perf_counter() - t0
+
+    # Timed batched run (fresh pipeline object; caches stay warm, as they
+    # would across fleets in a long-lived service).
+    t0 = time.perf_counter()
+    timed_result = FleetPipeline(vectorized, chunk_size=chunk_size, workers=workers).run(
+        fleet
+    )
+    pipeline_seconds = time.perf_counter() - t0
+
+    reference_matches = offers_equivalent(
+        baseline_result.offers, timed_result.offers, rtol=FIDELITY_RTOL
+    )
+    speedup = baseline_seconds / pipeline_seconds if pipeline_seconds > 0 else float("inf")
+
+    report = {
+        "workload": {
+            "households": n_households,
+            "days": days,
+            "seed": seed,
+            "extractor": vectorized.name,
+            "chunk_size": chunk_size,
+            "workers": workers,
+        },
+        "simulate_seconds": round(simulate_seconds, 4),
+        "baseline": {
+            "engine": "reference",
+            "shape": "sequential per-household loop",
+            "wall_seconds": round(baseline_seconds, 4),
+            "offers": len(baseline_result.offers),
+        },
+        "pipeline": {
+            "engine": "vectorized",
+            "shape": "FleetPipeline (chunked batches)",
+            "wall_seconds": round(pipeline_seconds, 4),
+            "stages": {
+                stage: round(seconds, 4)
+                for stage, seconds in timed_result.timings.seconds.items()
+            },
+            "offers": len(timed_result.offers),
+            "aggregates": len(timed_result.aggregates),
+            "extracted_kwh": round(timed_result.total_extracted_kwh, 6),
+        },
+        "speedup": round(speedup, 2),
+        "equivalence": {
+            "batched_equals_sequential": batched_equals_sequential,
+            "reference_matches_vectorized": reference_matches,
+            "fidelity_rtol": FIDELITY_RTOL,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "generated": datetime.now().isoformat(timespec="seconds"),
+        },
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report, timed_result
+
+
+def stage_table_rows(report: dict, result: FleetResult) -> list[dict]:
+    """Human-readable rows for the CLI/bench stage table."""
+    rows = result.timings.rows()
+    rows.append(
+        {
+            "stage": "TOTAL (pipeline wall)",
+            "seconds": report["pipeline"]["wall_seconds"],
+            "share": "100%",
+        }
+    )
+    rows.append(
+        {
+            "stage": "sequential reference loop",
+            "seconds": report["baseline"]["wall_seconds"],
+            "share": f"{report['speedup']}x slower",
+        }
+    )
+    return rows

@@ -1,0 +1,399 @@
+"""Batched fleet execution: disaggregate → extract → aggregate at scale.
+
+The paper's MIRABEL vision concerns "flex-offers aggregated from thousands
+consumers" (§6); the per-household extractors only pay off operationally
+when they run over whole metered fleets.  :class:`FleetPipeline` is that
+engine: it takes N households, runs the extraction stages as chunked
+batches (optionally fanned out over worker processes), groups and
+aggregates the resulting offers fleet-wide, and captures wall-clock per
+stage.
+
+Determinism contract: the pipeline seeds each household's generator from
+its fleet index exactly like the sequential loop
+(:func:`run_sequential`), so batching, chunk sizes and worker counts never
+change the extracted offers — only how fast they arrive.  The property
+test and the fleet benchmark both assert this equivalence.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aggregation.aggregate import AggregatedFlexOffer, aggregate_all
+from repro.aggregation.grouping import GroupingParams, group_offers
+from repro.errors import ValidationError
+from repro.evaluation.comparison import SEED_STRIDE, input_series_for
+from repro.extraction.base import FlexibilityExtractor
+from repro.extraction.frequency_based import FrequencyBasedExtractor
+from repro.flexoffer.model import FlexOffer
+from repro.simulation.dataset import SimulatedDataset
+from repro.simulation.household import HouseholdTrace
+from repro.timeseries.series import TimeSeries
+
+#: Pipeline stages, in execution order.  ``disaggregate`` is only non-zero
+#: for extractors exposing the detect/formulate split (the appliance-level
+#: approaches); household-level extractors do all their work in ``extract``.
+STAGES: tuple[str, ...] = ("prepare", "disaggregate", "extract", "group", "aggregate")
+
+
+
+@dataclass
+class StageTimings:
+    """Per-stage wall-clock capture of one pipeline run.
+
+    With a worker fan-out, ``disaggregate``/``extract`` are the *summed*
+    in-worker seconds (CPU-time-like); ``fanout_wall`` then records the
+    coordinator-observed wall time of the whole fan-out block.
+    """
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, elapsed: float) -> None:
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
+
+    def merge(self, other: dict[str, float]) -> None:
+        for stage, elapsed in other.items():
+            self.add(stage, elapsed)
+
+    @property
+    def total(self) -> float:
+        """Total accounted seconds across the core stages."""
+        return float(sum(self.seconds.get(stage, 0.0) for stage in STAGES))
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """Stage table rows for reports (stage, seconds, share)."""
+        total = self.total or 1.0
+        rows: list[dict[str, float | str]] = []
+        for stage in STAGES:
+            elapsed = self.seconds.get(stage, 0.0)
+            rows.append(
+                {
+                    "stage": stage,
+                    "seconds": round(elapsed, 4),
+                    "share": f"{elapsed / total:.1%}",
+                }
+            )
+        for stage, elapsed in self.seconds.items():
+            if stage not in STAGES:
+                rows.append({"stage": stage, "seconds": round(elapsed, 4), "share": "—"})
+        return rows
+
+
+@dataclass(frozen=True)
+class HouseholdOutput:
+    """One household's share of a fleet run."""
+
+    index: int
+    household_id: str
+    offers: tuple[FlexOffer, ...]
+    summary: dict[str, float]
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Everything a fleet run produced: offers, aggregates, timings."""
+
+    households: tuple[HouseholdOutput, ...]
+    aggregates: tuple[AggregatedFlexOffer, ...]
+    timings: StageTimings
+
+    @property
+    def offers(self) -> list[FlexOffer]:
+        """All offers in household order (== sequential-loop order)."""
+        return [offer for household in self.households for offer in household.offers]
+
+    @property
+    def total_extracted_kwh(self) -> float:
+        """Fleet-wide extracted (profile-midpoint) energy."""
+        return float(sum(h.summary.get("extracted_kwh", 0.0) for h in self.households))
+
+
+def canonical_offer(offer: FlexOffer) -> tuple:
+    """An offer's identity-free content, for cross-run comparison.
+
+    Offer ids come from a process-global counter and differ between runs by
+    construction; everything else an extractor emits is captured here.
+    """
+    return (
+        offer.earliest_start,
+        offer.latest_start,
+        offer.resolution,
+        offer.consumer_id,
+        offer.appliance,
+        offer.source,
+        tuple((s.energy_min, s.energy_max, s.duration) for s in offer.slices),
+        offer.total_energy_min,
+        offer.total_energy_max,
+    )
+
+
+def _energies_close(a: float, b: float, rtol: float) -> bool:
+    if rtol == 0.0:
+        return a == b
+    return bool(np.isclose(a, b, rtol=rtol, atol=1e-12))
+
+
+def offers_equivalent(
+    left: list[FlexOffer], right: list[FlexOffer], rtol: float = 0.0
+) -> bool:
+    """True when both offer lists match pairwise modulo offer ids.
+
+    ``rtol`` relaxes the energy comparisons (0.0 demands bitwise equality);
+    time attributes and slice structure must always match exactly.
+    """
+    if len(left) != len(right):
+        return False
+    if rtol == 0.0:
+        # Bitwise path: offer identity is exactly canonical_offer, so the
+        # two notions of equality cannot drift apart.
+        return all(
+            canonical_offer(a) == canonical_offer(b) for a, b in zip(left, right)
+        )
+    for a, b in zip(left, right):
+        if canonical_offer(a)[:6] != canonical_offer(b)[:6]:
+            return False
+        if len(a.slices) != len(b.slices):
+            return False
+        for slice_a, slice_b in zip(a.slices, b.slices):
+            if slice_a.duration != slice_b.duration:
+                return False
+            if not _energies_close(slice_a.energy_min, slice_b.energy_min, rtol):
+                return False
+            if not _energies_close(slice_a.energy_max, slice_b.energy_max, rtol):
+                return False
+        for total_a, total_b in (
+            (a.total_energy_min, b.total_energy_min),
+            (a.total_energy_max, b.total_energy_max),
+        ):
+            if (total_a is None) != (total_b is None):
+                return False
+            if total_a is not None and not _energies_close(total_a, total_b, rtol):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# Worker entry points (module-level so they pickle under multiprocessing)
+# ---------------------------------------------------------------------- #
+
+#: Per-worker extractor, installed once by the pool initializer so the
+#: extractor (appliance database, warmed template/FFT caches) is pickled
+#: once per worker instead of once per chunk, and its caches stay warm
+#: across all chunks a worker processes.
+_WORKER_EXTRACTOR: FlexibilityExtractor | None = None
+
+
+def _init_worker(extractor: FlexibilityExtractor) -> None:
+    global _WORKER_EXTRACTOR
+    _WORKER_EXTRACTOR = extractor
+    # Forked workers inherit the parent's process-global offer counter, so
+    # without intervention two workers mint colliding offer ids.  Restart
+    # each worker's counter in a pid-disjoint namespace.
+    import itertools
+    import os
+
+    from repro.flexoffer import model as flexoffer_model
+
+    flexoffer_model._offer_counter = itertools.count(1 + os.getpid() * 1_000_000)
+
+
+def _run_chunk_in_worker(
+    seed: int, jobs: list[tuple[int, str, TimeSeries]]
+) -> tuple[list[HouseholdOutput], dict[str, float]]:
+    assert _WORKER_EXTRACTOR is not None, "worker pool initializer did not run"
+    return _run_chunk(_WORKER_EXTRACTOR, seed, jobs)
+
+
+def _run_chunk(
+    extractor: FlexibilityExtractor,
+    seed: int,
+    jobs: list[tuple[int, str, TimeSeries]],
+) -> tuple[list[HouseholdOutput], dict[str, float]]:
+    """Extract one chunk of households; returns outputs plus stage seconds."""
+    split = hasattr(extractor, "detect") and hasattr(extractor, "formulate")
+    timings = {"disaggregate": 0.0, "extract": 0.0}
+    outputs: list[HouseholdOutput] = []
+    for index, household_id, series in jobs:
+        rng = np.random.default_rng(seed + SEED_STRIDE * index)
+        if split:
+            t0 = time.perf_counter()
+            detected = extractor.detect(series)
+            timings["disaggregate"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            result = extractor.formulate(series, detected, rng)
+            timings["extract"] += time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            result = extractor.extract(series, rng)
+            timings["extract"] += time.perf_counter() - t0
+        outputs.append(
+            HouseholdOutput(
+                index=index,
+                household_id=household_id,
+                offers=tuple(result.offers),
+                summary=result.summary(),
+            )
+        )
+    return outputs, timings
+
+
+class FleetPipeline:
+    """Chunked, optionally multiprocessing, fleet extraction engine.
+
+    Parameters
+    ----------
+    extractor:
+        Any :class:`FlexibilityExtractor`; appliance-level extractors that
+        expose ``detect``/``formulate`` get their disaggregation stage
+        timed (and fanned out) separately.  Defaults to the frequency-based
+        appliance-level approach.
+    grouping:
+        Grid parameters for fleet-wide offer grouping before aggregation.
+    chunk_size:
+        Households per batch; bounds both task-submission overhead and
+        per-worker peak memory.
+    workers:
+        ``None``/``1`` runs in-process; larger values fan chunks out over a
+        process pool.  Results are independent of the worker count.
+    seed:
+        Base seed; household ``i`` always draws from
+        ``default_rng(seed + 7919·i)``, matching the evaluation harness.
+    """
+
+    def __init__(
+        self,
+        extractor: FlexibilityExtractor | None = None,
+        grouping: GroupingParams | None = None,
+        chunk_size: int = 8,
+        workers: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValidationError("chunk_size must be >= 1")
+        if workers is not None and workers < 1:
+            raise ValidationError("workers must be >= 1 (or None)")
+        self.extractor = extractor if extractor is not None else FrequencyBasedExtractor()
+        self.grouping = grouping
+        self.chunk_size = chunk_size
+        self.workers = workers
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # Stages
+    # ------------------------------------------------------------------ #
+
+    def _prepare(
+        self, traces: list[HouseholdTrace]
+    ) -> list[tuple[int, str, TimeSeries]]:
+        """Pick each household's input series at the extractor's granularity."""
+        return [
+            (index, trace.config.household_id, input_series_for(self.extractor, trace))
+            for index, trace in enumerate(traces)
+        ]
+
+    def run(self, fleet: SimulatedDataset | list[HouseholdTrace]) -> FleetResult:
+        """Run the full batched pipeline over a fleet.
+
+        Accepts a :class:`SimulatedDataset` or a plain list of traces and
+        returns the per-household offers, the fleet-wide aggregated offers
+        and the per-stage timings.
+        """
+        traces = list(fleet)
+        if not traces:
+            raise ValidationError("fleet must contain at least one household")
+        timings = StageTimings()
+
+        t0 = time.perf_counter()
+        jobs = self._prepare(traces)
+        timings.add("prepare", time.perf_counter() - t0)
+
+        chunks = [
+            jobs[first : first + self.chunk_size]
+            for first in range(0, len(jobs), self.chunk_size)
+        ]
+        outputs: list[HouseholdOutput] = []
+        if self.workers is None or self.workers == 1 or len(chunks) == 1:
+            for chunk in chunks:
+                chunk_outputs, chunk_timings = _run_chunk(self.extractor, self.seed, chunk)
+                outputs.extend(chunk_outputs)
+                timings.merge(chunk_timings)
+        else:
+            t0 = time.perf_counter()
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.extractor,),
+            ) as pool:
+                futures = [
+                    pool.submit(_run_chunk_in_worker, self.seed, chunk)
+                    for chunk in chunks
+                ]
+                for future in futures:
+                    chunk_outputs, chunk_timings = future.result()
+                    outputs.extend(chunk_outputs)
+                    timings.merge(chunk_timings)
+            timings.add("fanout_wall", time.perf_counter() - t0)
+        outputs.sort(key=lambda h: h.index)
+
+        all_offers = [offer for household in outputs for offer in household.offers]
+        t0 = time.perf_counter()
+        groups = group_offers(all_offers, self.grouping)
+        timings.add("group", time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        aggregates = aggregate_all(groups)
+        timings.add("aggregate", time.perf_counter() - t0)
+
+        return FleetResult(
+            households=tuple(outputs),
+            aggregates=tuple(aggregates),
+            timings=timings,
+        )
+
+
+def run_sequential(
+    fleet: SimulatedDataset | list[HouseholdTrace],
+    extractor: FlexibilityExtractor | None = None,
+    grouping: GroupingParams | None = None,
+    seed: int = 0,
+) -> FleetResult:
+    """The plain per-household loop the batched engine must reproduce.
+
+    One household at a time, no chunking, no stage split — the shape of the
+    seed pipeline.  Kept as the equivalence oracle for the property test
+    and the benchmark.
+    """
+    traces = list(fleet)
+    if not traces:
+        raise ValidationError("fleet must contain at least one household")
+    extractor = extractor if extractor is not None else FrequencyBasedExtractor()
+    timings = StageTimings()
+    outputs: list[HouseholdOutput] = []
+    t0 = time.perf_counter()
+    for index, trace in enumerate(traces):
+        rng = np.random.default_rng(seed + SEED_STRIDE * index)
+        series = input_series_for(extractor, trace)
+        result = extractor.extract(series, rng)
+        outputs.append(
+            HouseholdOutput(
+                index=index,
+                household_id=trace.config.household_id,
+                offers=tuple(result.offers),
+                summary=result.summary(),
+            )
+        )
+    timings.add("extract", time.perf_counter() - t0)
+    all_offers = [offer for household in outputs for offer in household.offers]
+    t0 = time.perf_counter()
+    groups = group_offers(all_offers, grouping)
+    timings.add("group", time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    aggregates = aggregate_all(groups)
+    timings.add("aggregate", time.perf_counter() - t0)
+    return FleetResult(
+        households=tuple(outputs), aggregates=tuple(aggregates), timings=timings
+    )

@@ -15,9 +15,15 @@ from datetime import datetime, timedelta
 import numpy as np
 
 from repro.appliances.database import ApplianceDatabase, default_database
-from repro.errors import ValidationError
-from repro.simulation.household import HouseholdConfig, HouseholdTrace, simulate_household
-from repro.timeseries.axis import FIFTEEN_MINUTES, TimeAxis
+from repro.errors import ResolutionError, ValidationError
+from repro.simulation.household import (
+    MINUTES_PER_DAY,
+    HouseholdConfig,
+    HouseholdTrace,
+    simulate_household,
+)
+from repro.timeseries.axis import FIFTEEN_MINUTES, ONE_MINUTE, TimeAxis
+from repro.timeseries.resample import _ratio as _resample_ratio
 from repro.timeseries.series import TimeSeries
 
 #: Ownership probabilities used when drawing random household configurations.
@@ -85,21 +91,58 @@ class SimulatedDataset:
         """The shared metering grid of the fleet."""
         return self.traces[0].metered(resolution).axis
 
+    def total_matrix(self) -> np.ndarray:
+        """The whole fleet's 1-minute consumption as one (H × T) array.
+
+        Row ``i`` is household ``i``'s total series; the matrix is built
+        once and cached, so fleet-level consumers (batched pipelines, the
+        aggregate accessors below) share a single contiguous buffer instead
+        of bouncing through per-household objects.
+        """
+        cached = getattr(self, "_total_matrix", None)
+        if cached is None:
+            # np.stack only checks lengths; enforce the full axis alignment
+            # the per-series summation used to guarantee.
+            base_axis = self.traces[0].axis
+            for trace in self.traces[1:]:
+                base_axis.require_aligned(trace.axis)
+            cached = np.stack([t.total.values for t in self.traces])
+            object.__setattr__(self, "_total_matrix", cached)
+        return cached
+
+    def metered_matrix(self, resolution: timedelta = FIFTEEN_MINUTES) -> np.ndarray:
+        """Per-household metered readings as one (H × intervals) array.
+
+        The whole fleet is downsampled in a single reshape-sum pass rather
+        than one :func:`downsample_sum` call per household.
+        """
+        ratio = _metering_ratio(self.traces[0].axis, resolution)
+        matrix = self.total_matrix()
+        coarse = matrix.shape[1] // ratio
+        return matrix.reshape(len(self.traces), coarse, ratio).sum(axis=2)
+
+    def true_flexible_matrix(self, resolution: timedelta = FIFTEEN_MINUTES) -> np.ndarray:
+        """Per-household ground-truth flexible energy as one (H × intervals) array."""
+        ratio = _metering_ratio(self.traces[0].axis, resolution)
+        matrix = np.stack([t.flexible_minutely_values() for t in self.traces])
+        coarse = matrix.shape[1] // ratio
+        return matrix.reshape(len(self.traces), coarse, ratio).sum(axis=2)
+
+    def _coarse_axis(self, resolution: timedelta, length: int) -> TimeAxis:
+        """The metering grid derived in O(1) from an already-built matrix."""
+        return TimeAxis(self.traces[0].axis.start, resolution, length)
+
     def aggregate_metered(self, resolution: timedelta = FIFTEEN_MINUTES) -> TimeSeries:
         """Fleet-total consumption on the metering grid."""
-        series = [t.metered(resolution) for t in self.traces]
-        total = series[0].copy()
-        for s in series[1:]:
-            total = total + s
-        return total.with_name("fleet-consumption")
+        matrix = self.metered_matrix(resolution)
+        axis = self._coarse_axis(resolution, matrix.shape[1])
+        return TimeSeries(axis, matrix.sum(axis=0), "fleet-consumption")
 
     def aggregate_true_flexible(self, resolution: timedelta = FIFTEEN_MINUTES) -> TimeSeries:
         """Fleet-total ground-truth flexible energy on the metering grid."""
-        series = [t.true_flexible(resolution) for t in self.traces]
-        total = series[0].copy()
-        for s in series[1:]:
-            total = total + s
-        return total.with_name("fleet-true-flexible")
+        matrix = self.true_flexible_matrix(resolution)
+        axis = self._coarse_axis(resolution, matrix.shape[1])
+        return TimeSeries(axis, matrix.sum(axis=0), "fleet-true-flexible")
 
     @property
     def flexible_share(self) -> float:
@@ -113,6 +156,20 @@ class SimulatedDataset:
         return flexible / total
 
 
+def _metering_ratio(axis: TimeAxis, resolution: timedelta) -> int:
+    """Fine intervals per metering interval, validated like downsampling.
+
+    Delegates to the resampling module's ratio check so fleet matrices and
+    :func:`downsample_sum` reject the same inputs with the same errors.
+    """
+    if axis.resolution != ONE_MINUTE:
+        raise ValidationError("fleet matrices require 1-minute traces")
+    ratio = _resample_ratio(resolution, ONE_MINUTE)
+    if axis.length % ratio != 0:
+        raise ResolutionError(f"length {axis.length} not divisible by ratio {ratio}")
+    return ratio
+
+
 def generate_fleet(
     n_households: int,
     start: datetime,
@@ -124,16 +181,31 @@ def generate_fleet(
 
     Each household gets an independent, deterministic child generator, so the
     dataset is reproducible and households are independent of fleet size
-    ordering.
+    ordering.  The per-household totals are written into one
+    (households × minutes) array whose rows back each trace's total series,
+    so fleet-level consumers operate on a single contiguous matrix.
     """
     if n_households < 1:
         raise ValidationError("n_households must be >= 1")
     database = database or default_database()
     root = np.random.default_rng(seed)
     child_seeds = root.integers(0, 2**63 - 1, size=n_households)
+    totals = np.empty((n_households, days * MINUTES_PER_DAY))
     traces = []
     for i in range(n_households):
         rng = np.random.default_rng(int(child_seeds[i]))
         config = random_household_config(f"hh-{i:04d}", rng)
-        traces.append(simulate_household(config, start, days, rng, database))
-    return SimulatedDataset(traces=traces, start=start, days=days)
+        trace = simulate_household(
+            config, start, days, rng, database, total_out=totals[i]
+        )
+        traces.append(trace)
+    # The trace totals are views into ``totals``; freeze the matrix AND the
+    # per-trace row views (a view created before its base is frozen stays
+    # writable) so any accidental in-place mutation of a household total —
+    # which would corrupt every fleet-level aggregate — fails loudly.
+    totals.flags.writeable = False
+    for trace in traces:
+        trace.total.values.flags.writeable = False
+    dataset = SimulatedDataset(traces=traces, start=start, days=days)
+    object.__setattr__(dataset, "_total_matrix", totals)
+    return dataset

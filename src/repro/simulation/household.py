@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta
+from functools import lru_cache
 
 import numpy as np
 
@@ -101,16 +102,21 @@ class HouseholdTrace:
             f"{self.config.household_id}-metered"
         )
 
+    def flexible_minutely_values(self) -> np.ndarray:
+        """Ground-truth flexible energy per minute (kWh) as a vector.
+
+        The single source of the flexible/inflexible split — the metering-
+        grid accessor below and the fleet matrices both derive from it.
+        """
+        values = np.zeros(self.axis.length)
+        for name, series in self.per_appliance.items():
+            if self._spec_flexible(name):
+                values += series.values
+        return values
+
     def true_flexible(self, resolution: timedelta = FIFTEEN_MINUTES) -> TimeSeries:
         """Ground-truth flexible energy on the metering grid."""
-        flexible_minutely = sum(
-            (
-                self.per_appliance[name]
-                for name in self.per_appliance
-                if self._spec_flexible(name)
-            ),
-            TimeSeries.zeros(self.axis),
-        )
+        flexible_minutely = TimeSeries(self.axis, self.flexible_minutely_values())
         return downsample_sum(flexible_minutely, resolution).with_name(
             f"{self.config.household_id}-true-flexible"
         )
@@ -132,6 +138,63 @@ class HouseholdTrace:
         return [a for a in self.activations if a.flexible]
 
 
+@dataclass(frozen=True)
+class _AxisProfile:
+    """Household-independent base-load components of one 1-minute axis.
+
+    Fleet generation simulates many households on the *same* axis; the
+    occupancy humps, weekend/workday midday damping and seasonal lighting
+    depend only on the axis, so they are computed once per axis and shared
+    across every household (and every fleet re-run within the process).
+    """
+
+    minute_index: np.ndarray
+    occupancy_units: np.ndarray   # 0.55·morning + 1.0·evening humps
+    damping: np.ndarray           # clipped midday damping/boost factor
+    lighting: np.ndarray          # winter-scaled evening lighting (kW)
+
+
+@lru_cache(maxsize=8)
+def _axis_profile(axis: TimeAxis) -> _AxisProfile:
+    minute_index = np.arange(axis.length)
+    offset = (axis.start.hour * 60 + axis.start.minute) % MINUTES_PER_DAY
+    minute_of_day = (minute_index + offset) % MINUTES_PER_DAY
+
+    # Occupancy humps: morning 06:00-09:00, evening 17:00-23:00.
+    morning = _hump(minute_of_day, centre=7.5 * 60, width=70.0)
+    evening = _hump(minute_of_day, centre=20.0 * 60, width=120.0)
+    occupancy_units = 0.55 * morning + 1.0 * evening
+
+    # Workday midday damping (house empty) and weekend boost, as a single
+    # per-minute factor: weekend days add 0.25·midday, workdays remove
+    # 0.55·midday.
+    day_numbers = minute_index // MINUTES_PER_DAY
+    midday = _hump(minute_of_day, centre=13.0 * 60, width=150.0)
+    n_days = int(day_numbers[-1]) + 1 if axis.length else 0
+    weekend = np.fromiter(
+        (
+            day_type((axis.start + timedelta(days=day_no)).date()).is_weekend
+            for day_no in range(n_days)
+        ),
+        dtype=bool,
+        count=n_days,
+    )
+    sign = np.where(weekend, 0.25, -0.55)
+    damping = np.clip(1.0 + sign[day_numbers] * midday, 0.0, None)
+
+    # Evening lighting, stronger in winter (proxy: month of the axis start).
+    month = axis.start.month
+    winter_factor = 1.0 + (0.5 if month in (11, 12, 1, 2) else 0.0)
+    lighting = (0.05 * winter_factor) * _hump(minute_of_day, centre=20.5 * 60, width=150.0)
+
+    return _AxisProfile(
+        minute_index=minute_index,
+        occupancy_units=occupancy_units,
+        damping=damping,
+        lighting=lighting,
+    )
+
+
 def base_load_series(
     config: HouseholdConfig, axis: TimeAxis, rng: np.random.Generator
 ) -> TimeSeries:
@@ -144,42 +207,20 @@ def base_load_series(
     """
     if axis.resolution != ONE_MINUTE:
         raise ValidationError("base load is generated on a 1-minute axis")
-    minute_index = np.arange(axis.length)
-    offset = (axis.start.hour * 60 + axis.start.minute) % MINUTES_PER_DAY
-    minute_of_day = (minute_index + offset) % MINUTES_PER_DAY
-
-    # Occupancy humps: morning 06:00-09:00, evening 17:00-23:00.
-    morning = _hump(minute_of_day, centre=7.5 * 60, width=70.0)
-    evening = _hump(minute_of_day, centre=20.0 * 60, width=120.0)
-    occupancy = 0.55 * morning + 1.0 * evening
-    occupancy *= config.activity_peak_kw * (0.7 + 0.3 * config.occupants)
-
-    # Workday midday damping (house empty) and weekend boost.
-    day_numbers = minute_index // MINUTES_PER_DAY
-    midday = _hump(minute_of_day, centre=13.0 * 60, width=150.0)
-    damping = np.ones(axis.length)
-    for day_no in np.unique(day_numbers):
-        date = (axis.start + timedelta(days=int(day_no))).date()
-        mask = day_numbers == day_no
-        if day_type(date).is_weekend:
-            damping[mask] += 0.25 * midday[mask]
-        else:
-            damping[mask] -= 0.55 * midday[mask]
-    occupancy *= np.clip(damping, 0.0, None)
+    profile = _axis_profile(axis)
+    occupancy = profile.occupancy_units * (
+        config.activity_peak_kw * (0.7 + 0.3 * config.occupants)
+    )
+    occupancy *= profile.damping
 
     # Fridge: square-wave compressor cycling, phase-jittered per household.
     period = 45
     duty = 1.0 / 3.0
     phase = int(rng.integers(0, period))
-    compressor_on = ((minute_index + phase) % period) < duty * period
+    compressor_on = ((profile.minute_index + phase) % period) < duty * period
     fridge = np.where(compressor_on, config.fridge_average_kw / duty, 0.0)
 
-    # Evening lighting, stronger in winter (proxy: month of the axis start).
-    month = axis.start.month
-    winter_factor = 1.0 + (0.5 if month in (11, 12, 1, 2) else 0.0)
-    lighting = 0.05 * winter_factor * _hump(minute_of_day, centre=20.5 * 60, width=150.0)
-
-    power_kw = config.standby_kw + occupancy + fridge + lighting
+    power_kw = config.standby_kw + occupancy + fridge + profile.lighting
     noise = rng.normal(1.0, config.noise_std_kw / max(config.standby_kw, 1e-6), axis.length)
     power_kw = np.clip(power_kw * np.clip(noise, 0.5, 1.5), 0.0, None)
     return TimeSeries(axis, power_kw / 60.0, name=f"{config.household_id}-base")
@@ -198,11 +239,14 @@ def simulate_household(
     days: int,
     rng: np.random.Generator,
     database: ApplianceDatabase | None = None,
+    total_out: np.ndarray | None = None,
 ) -> HouseholdTrace:
     """Simulate one household for ``days`` whole days from ``start``.
 
     Returns the full trace: 1-minute total, base load, per-appliance series
-    and the ground-truth activation log.
+    and the ground-truth activation log.  ``total_out``, when given, is a
+    preallocated vector (e.g. one row of a fleet matrix) that receives the
+    total series in place and backs the returned trace's total.
     """
     if days < 1:
         raise ValidationError("days must be >= 1")
@@ -232,7 +276,15 @@ def simulate_household(
         for name in specs
     }
     base = base_load_series(config, axis, rng)
-    total_values = base.values.copy()
+    if total_out is None:
+        total_values = base.values.copy()
+    else:
+        if total_out.shape != (axis.length,):
+            raise ValidationError(
+                f"total_out has shape {total_out.shape}, expected ({axis.length},)"
+            )
+        total_values = total_out
+        total_values[:] = base.values
     for series in per_appliance.values():
         total_values += series.values
     total = TimeSeries(axis, total_values, name=f"{config.household_id}-total")

@@ -1,0 +1,144 @@
+"""Unit tests of the fleet pipeline engine (repro.pipeline)."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.disaggregation.matching import MatchingConfig, match_pursuit
+from repro.errors import DataError, ValidationError
+from repro.extraction import (
+    FlexOfferParams,
+    FrequencyBasedExtractor,
+    PeakBasedExtractor,
+    ScheduleBasedExtractor,
+)
+from repro.pipeline import (
+    STAGES,
+    FleetPipeline,
+    StageTimings,
+    canonical_offer,
+    offers_equivalent,
+    run_sequential,
+)
+from repro.simulation.dataset import generate_fleet
+
+START = datetime(2012, 3, 5)
+
+
+@pytest.fixture(scope="module")
+def tiny_fleet():
+    return generate_fleet(4, START, 2, seed=7)
+
+
+class TestFleetPipeline:
+    def test_batched_equals_sequential_household_level(self, tiny_fleet):
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        batched = FleetPipeline(extractor, chunk_size=2).run(tiny_fleet)
+        sequential = run_sequential(tiny_fleet, extractor)
+        assert offers_equivalent(batched.offers, sequential.offers)
+        assert len(batched.households) == 4
+
+    def test_batched_equals_sequential_appliance_level(self, tiny_fleet):
+        extractor = FrequencyBasedExtractor()
+        batched = FleetPipeline(extractor, chunk_size=3).run(tiny_fleet)
+        sequential = run_sequential(tiny_fleet, extractor)
+        assert offers_equivalent(batched.offers, sequential.offers)
+
+    def test_chunk_size_invariance(self, tiny_fleet):
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        one = FleetPipeline(extractor, chunk_size=1).run(tiny_fleet)
+        big = FleetPipeline(extractor, chunk_size=64).run(tiny_fleet)
+        assert offers_equivalent(one.offers, big.offers)
+
+    def test_stage_timings_recorded(self, tiny_fleet):
+        result = FleetPipeline(FrequencyBasedExtractor()).run(tiny_fleet)
+        for stage in STAGES:
+            assert stage in result.timings.seconds
+        # Appliance-level extractors spend real time disaggregating.
+        assert result.timings.seconds["disaggregate"] > 0.0
+        assert result.timings.total > 0.0
+        rows = result.timings.rows()
+        assert [row["stage"] for row in rows[: len(STAGES)]] == list(STAGES)
+
+    def test_schedule_based_split_matches_extract(self, tiny_fleet):
+        # The detect/formulate split must be a pure refactor of extract().
+        trace = tiny_fleet.traces[0]
+        extractor = ScheduleBasedExtractor()
+        direct = extractor.extract(trace.total, np.random.default_rng(5))
+        detected = extractor.detect(trace.total)
+        split = extractor.formulate(trace.total, detected, np.random.default_rng(5))
+        assert offers_equivalent(direct.offers, split.offers)
+
+    def test_aggregates_cover_all_offers(self, tiny_fleet):
+        result = FleetPipeline(FrequencyBasedExtractor()).run(tiny_fleet)
+        member_count = sum(a.size for a in result.aggregates)
+        assert member_count == len(result.offers)
+
+    def test_worker_fanout_unique_offer_ids(self, tiny_fleet):
+        # Forked workers restart the offer counter in pid-disjoint
+        # namespaces; ids must never collide across chunks.
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        fanned = FleetPipeline(extractor, chunk_size=1, workers=2).run(tiny_fleet)
+        ids = [offer.offer_id for offer in fanned.offers]
+        assert len(set(ids)) == len(ids)
+        sequential = run_sequential(tiny_fleet, extractor)
+        assert offers_equivalent(fanned.offers, sequential.offers)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValidationError):
+            FleetPipeline().run([])
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            FleetPipeline(chunk_size=0)
+        with pytest.raises(ValidationError):
+            FleetPipeline(workers=0)
+
+
+class TestMatchingEngines:
+    def test_engine_validation(self):
+        with pytest.raises(DataError):
+            MatchingConfig(engine="turbo")
+
+    def test_engines_agree_on_clean_day(self, tiny_fleet):
+        trace = tiny_fleet.traces[0]
+        vectorized = match_pursuit(trace.total, trace_database(), MatchingConfig())
+        reference = match_pursuit(
+            trace.total, trace_database(), MatchingConfig(engine="reference")
+        )
+        assert len(vectorized.detections) == len(reference.detections)
+        for a, b in zip(vectorized.detections, reference.detections):
+            assert a.appliance == b.appliance
+            assert a.start == b.start
+            assert a.energy_kwh == pytest.approx(b.energy_kwh, rel=1e-9)
+        assert vectorized.explained_kwh == pytest.approx(
+            reference.explained_kwh, rel=1e-9
+        )
+
+
+def trace_database():
+    from repro.appliances.database import default_database
+
+    return default_database()
+
+
+class TestStageTimings:
+    def test_merge_and_total(self):
+        timings = StageTimings()
+        timings.add("extract", 1.0)
+        timings.merge({"extract": 0.5, "group": 0.25})
+        assert timings.seconds["extract"] == pytest.approx(1.5)
+        assert timings.total == pytest.approx(1.75)
+
+
+class TestCanonicalOffer:
+    def test_ignores_offer_id(self, tiny_fleet):
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        series = tiny_fleet.traces[0].metered()
+        first = extractor.extract(series, np.random.default_rng(3)).offers
+        second = extractor.extract(series, np.random.default_rng(3)).offers
+        assert [o.offer_id for o in first] != [o.offer_id for o in second]
+        assert list(map(canonical_offer, first)) == list(map(canonical_offer, second))
