@@ -58,12 +58,12 @@ def test_fleet_pipeline_worker_fanout_equivalent(report):
     # on a small fleet must reproduce the inline result exactly.
     from datetime import datetime
 
-    from repro.extraction import FlexOfferParams, PeakBasedExtractor
+    from repro.api import create_extractor
     from repro.pipeline import FleetPipeline, offers_equivalent, run_sequential
     from repro.simulation.dataset import generate_fleet
 
     fleet = generate_fleet(4, datetime(2012, 3, 5), 2, seed=3)
-    extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+    extractor = create_extractor("peak-based", flexible_share=0.05)
     fanned = FleetPipeline(extractor, chunk_size=1, workers=2).run(fleet)
     sequential = run_sequential(fleet, extractor)
     assert offers_equivalent(fanned.offers, sequential.offers)

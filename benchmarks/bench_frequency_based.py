@@ -14,12 +14,12 @@ import numpy as np
 import pytest
 
 from repro.evaluation.groundtruth import match_activations
-from repro.extraction.frequency_based import FrequencyBasedExtractor
+from repro.api import create_extractor
 
 
 def test_frequency_shortlist(benchmark, report, bench_nilm_trace):
     trace = bench_nilm_trace
-    extractor = FrequencyBasedExtractor()
+    extractor = create_extractor("frequency-based")
 
     def extract():
         return extractor.extract(trace.total, np.random.default_rng(0))
@@ -61,7 +61,7 @@ def test_frequency_shortlist(benchmark, report, bench_nilm_trace):
 
 def test_frequency_based_event_accuracy(benchmark, report, bench_nilm_trace):
     trace = bench_nilm_trace
-    extractor = FrequencyBasedExtractor()
+    extractor = create_extractor("frequency-based")
     result = benchmark.pedantic(
         lambda: extractor.extract(trace.total, np.random.default_rng(0)),
         rounds=1, iterations=1,
@@ -85,7 +85,7 @@ def test_frequency_based_event_accuracy(benchmark, report, bench_nilm_trace):
 
 def test_frequency_based_offers(benchmark, report, bench_nilm_trace):
     trace = bench_nilm_trace
-    extractor = FrequencyBasedExtractor()
+    extractor = create_extractor("frequency-based")
     result = benchmark.pedantic(
         lambda: extractor.extract(trace.total, np.random.default_rng(0)),
         rounds=1, iterations=1,

@@ -1,110 +1,19 @@
 """Regenerate the paper's figures as ASCII plots in the terminal.
 
-Figure 1 (the EV flex-offer), Figure 4 (basic extraction, min/max areas) and
-Figure 5 (peak detection walkthrough with every printed number) — all from
-the library, no plotting dependencies.
-
-Usage::
-
-    python examples/paper_figures.py
+Thin shim: the renderers live in the installable :mod:`repro.examples`
+package (so ``repro figures`` works from a wheel); this script keeps the
+historical ``python examples/paper_figures.py`` entry point working from a
+repository checkout.
 """
 
 from __future__ import annotations
 
-from datetime import datetime
-
-import numpy as np
-
-from repro import BasicExtractor, FlexOfferParams, PeakBasedExtractor, figure1_flexoffer
-from repro.extraction.peaks import detect_peaks, filter_peaks, selection_probabilities
-from repro.workloads.paper_day import figure5_day
-
-BAR_WIDTH = 60
-
-
-def bar(value: float, scale: float, char: str = "#") -> str:
-    return char * max(0, int(round(value / scale * BAR_WIDTH)))
-
-
-def show_figure1() -> None:
-    print("=" * 72)
-    print("Figure 1 — flex-offer of an electric vehicle")
-    print("=" * 72)
-    offer = figure1_flexoffer(datetime(2012, 3, 5))
-    tmin, _ = offer.effective_total_bounds()
-    print(f"  earliest start : {offer.earliest_start:%H:%M}  (paper: 10 PM)")
-    print(f"  latest start   : {offer.latest_start:%H:%M}  (paper: 5 AM)")
-    print(f"  latest end     : {offer.latest_end:%H:%M}  (paper: 7 AM)")
-    print(f"  profile        : {offer.profile_intervals} x 15 min = "
-          f"{offer.duration} (paper: 2 h)")
-    print(f"  required energy: {tmin:.0f} kWh (paper: 50 kWh)")
-    print(f"  start-time flexibility: {offer.time_flexibility}")
-    print("  profile (kWh per 15-min slice):")
-    for i, sl in enumerate(offer.slices):
-        print(f"    slice {i}: {bar(sl.energy_min, 10)} {sl.energy_min:.2f}")
-
-
-def show_figure4() -> None:
-    print()
-    print("=" * 72)
-    print("Figure 4 — flex-offers extracted with the basic approach")
-    print("=" * 72)
-    day = figure5_day()
-    extractor = BasicExtractor(params=FlexOfferParams(flexible_share=0.05))
-    result = extractor.extract(day.series, np.random.default_rng(4))
-    print(f"  input day: {day.series.total():.2f} kWh; flexible share 5% -> "
-          f"{result.extracted_energy:.3f} kWh in {len(result.offers)} offers")
-    scale = max(sum(s.energy_max for s in o.slices) for o in result.offers)
-    for k, offer in enumerate(result.offers, start=1):
-        lo = sum(s.energy_min for s in offer.slices)
-        hi = sum(s.energy_max for s in offer.slices)
-        print(f"\n  offer {k}: starts {offer.earliest_start:%H:%M}, "
-              f"{len(offer.slices)} slices, flex {offer.time_flexibility}")
-        print(f"    min (light area) {bar(lo, scale, '#')} {lo:.3f} kWh")
-        print(f"    max (dark area)  {bar(hi, scale, '@')} {hi:.3f} kWh")
-
-
-def show_figure5() -> None:
-    print()
-    print("=" * 72)
-    print("Figure 5 — peak-based extraction walkthrough")
-    print("=" * 72)
-    day = figure5_day()
-    series = day.series
-    mean = series.mean()
-    print(f"  daily consumption: {series.total():.2f} kWh (paper: 39.02)")
-    print(f"  average line     : {mean:.4f} kWh/interval")
-    print()
-    # The day as an hourly ASCII profile with the mean line marked.
-    hourly = series.values.reshape(24, 4).sum(axis=1)
-    scale = hourly.max()
-    for hour in range(24):
-        marker = "|" if hourly[hour] > 4 * mean else " "
-        print(f"  {hour:02d}:00 {marker} {bar(hourly[hour], scale)}")
-    peaks = detect_peaks(series.values)
-    print(f"\n  peaks detected (size = energy of the above-average run):")
-    for i, peak in enumerate(peaks, start=1):
-        t = series.axis.time_at(peak.first)
-        print(f"    peak {i}: {t:%H:%M}  size = {peak.size:.2f} kWh")
-    flexible = 0.05 * series.total()
-    print(f"\n  flexible part of the day: 39.02 x 0.05 = {flexible:.3f} kWh")
-    survivors = filter_peaks(peaks, flexible)
-    probs = selection_probabilities(survivors)
-    discarded = [i + 1 for i, p in enumerate(peaks) if p not in survivors]
-    print(f"  peaks {', '.join(map(str, discarded))} discarded (size below {flexible:.3f})")
-    for peak, prob in zip(survivors, probs):
-        number = peaks.index(peak) + 1
-        print(f"  peak {number} survives: size {peak.size:.2f}, "
-              f"selection probability = {prob:.0%} "
-              f"(paper: {'29%' if number == 6 else '71%'})")
-    result = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05)).extract(
-        series, np.random.default_rng(7)
-    )
-    offer = result.offers[0]
-    print(f"\n  extracted flex-offer: starts {offer.earliest_start:%H:%M}, "
-          f"{len(offer.slices)} slices, "
-          f"{result.extracted_energy:.3f} kWh, flex {offer.time_flexibility}")
-
+from repro.examples.paper_figures import (  # noqa: F401  (re-exported API)
+    bar,
+    show_figure1,
+    show_figure4,
+    show_figure5,
+)
 
 if __name__ == "__main__":
     show_figure1()

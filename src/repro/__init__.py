@@ -7,19 +7,26 @@ paper builds on: the flex-offer model, aggregation, scheduling, forecasting,
 and a ground-truth household simulator standing in for the project's
 unavailable trial data.
 
-Quickstart::
+Quickstart (declarative, via the unified API)::
+
+    from repro import FlexibilityService, RunSpec, ExtractorSpec
+
+    spec = RunSpec(extractors=(ExtractorSpec("peak-based"),))
+    report = FlexibilityService().run(spec)
+    print(report.table_rows())
+
+or imperative, one approach on one series::
 
     import numpy as np
-    from repro import PeakBasedExtractor, FlexOfferParams
+    from repro import create_extractor
     from repro.workloads import figure5_day
 
-    day = figure5_day()
-    extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
-    result = extractor.extract(day.series, np.random.default_rng(0))
+    extractor = create_extractor("peak-based", flexible_share=0.05)
+    result = extractor.extract(figure5_day().series, np.random.default_rng(0))
     print(result.offers)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record.
+See README.md for the approach registry table and the spec-file grammar,
+and PERFORMANCE.md for the fleet-pipeline speedup baseline.
 """
 
 from repro.errors import (
@@ -42,6 +49,16 @@ from repro.extraction import (
     PeakBasedExtractor,
     RandomBaselineExtractor,
     ScheduleBasedExtractor,
+)
+from repro.api import (
+    ExtractorSpec,
+    FlexibilityService,
+    PipelineSpec,
+    RunReport,
+    RunSpec,
+    ScenarioSpec,
+    available_extractors,
+    create_extractor,
 )
 from repro.flexoffer import FlexOffer, ProfileSlice, ScheduledFlexOffer, figure1_flexoffer
 from repro.pipeline import FleetPipeline, FleetResult, run_sequential
@@ -71,6 +88,14 @@ __all__ = [
     "ProfileSlice",
     "ScheduledFlexOffer",
     "figure1_flexoffer",
+    "ExtractorSpec",
+    "FlexibilityService",
+    "PipelineSpec",
+    "RunReport",
+    "RunSpec",
+    "ScenarioSpec",
+    "available_extractors",
+    "create_extractor",
     "FleetPipeline",
     "FleetResult",
     "run_sequential",

@@ -1,0 +1,72 @@
+"""`repro.api` — the declarative service surface of the reproduction.
+
+Three layers, one import::
+
+    from repro.api import (
+        available_extractors, create_extractor,   # extractor registry
+        RunSpec, ExtractorSpec,                   # declarative run specs
+        FlexibilityService, RunReport,            # the façade
+    )
+
+* the **registry** (:mod:`repro.api.registry`) maps stable string names to
+  the paper's extraction approaches — the only place string-driven callers
+  construct extractors;
+* the **spec layer** (:mod:`repro.api.spec`) describes any
+  simulate→extract→group→aggregate run as frozen, versioned, JSON
+  round-trippable dataclasses;
+* the **service** (:mod:`repro.api.service`) executes specs through the
+  fleet pipeline, the evaluation harness or the benchmark, and returns a
+  serialisable :class:`~repro.api.service.RunReport`.
+
+The CLI (``repro run --spec run.json``) is a thin shell over this package.
+"""
+
+from repro.api.registry import (
+    ExtractorEntry,
+    available_extractors,
+    create_extractor,
+    entry_for,
+    get_entry,
+    input_series_for,
+    register_extractor,
+    registry_rows,
+)
+from repro.api.service import (
+    REPORT_VERSION,
+    ExtractorRunReport,
+    FlexibilityService,
+    RunReport,
+)
+from repro.api.spec import (
+    RUN_KINDS,
+    SPEC_VERSION,
+    ExtractorSpec,
+    PipelineSpec,
+    RunSpec,
+    ScenarioSpec,
+    load_run_spec,
+    save_run_spec,
+)
+
+__all__ = [
+    "ExtractorEntry",
+    "available_extractors",
+    "create_extractor",
+    "entry_for",
+    "get_entry",
+    "input_series_for",
+    "register_extractor",
+    "registry_rows",
+    "REPORT_VERSION",
+    "ExtractorRunReport",
+    "FlexibilityService",
+    "RunReport",
+    "RUN_KINDS",
+    "SPEC_VERSION",
+    "ExtractorSpec",
+    "PipelineSpec",
+    "RunSpec",
+    "ScenarioSpec",
+    "load_run_spec",
+    "save_run_spec",
+]

@@ -1,0 +1,348 @@
+"""One façade over every entry point: ``FlexibilityService.run(spec)``.
+
+The CLI, notebooks and future network services all drive the system the
+same way: build (or load) a :class:`~repro.api.spec.RunSpec`, hand it to
+:class:`FlexibilityService`, get a :class:`RunReport` back.  The service
+routes by spec kind:
+
+``fleet``
+    One :class:`~repro.pipeline.FleetPipeline` run per extractor spec over
+    the simulated scenario fleet — offers, fleet-wide aggregates and
+    per-stage timings per approach.
+``compare``
+    The evaluation harness (:func:`repro.evaluation.comparison
+    .compare_on_traces`): every approach on every household, scored
+    against simulation ground truth.
+``bench``
+    The fleet benchmark (:func:`repro.pipeline.run_fleet_benchmark`):
+    batched engine vs the sequential reference loop, speedup and
+    equivalence checks included.
+
+:class:`RunReport` serialises through the extended :mod:`repro.flexoffer.io`
+wire format (offers + aggregates + stage timings + summaries) and
+round-trips losslessly through JSON, so a run's complete output can be
+stored next to the spec that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Any
+
+from repro.api.registry import get_entry
+from repro.api.spec import RunSpec, load_run_spec
+from repro.errors import DataError, RegistryError
+from repro.flexoffer.io import (
+    aggregated_from_dict,
+    aggregated_to_dict,
+    flexoffer_from_dict,
+    flexoffer_to_dict,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.aggregation.aggregate import AggregatedFlexOffer
+    from repro.extraction.base import ExtractionResult
+    from repro.flexoffer.model import FlexOffer
+    from repro.timeseries.series import TimeSeries
+
+#: Wire-format version of run reports; bump on incompatible change.
+REPORT_VERSION = 1
+
+
+def _frozen(mapping: Mapping[str, Any]) -> Mapping[str, Any]:
+    return MappingProxyType(dict(mapping))
+
+
+@dataclass(frozen=True)
+class ExtractorRunReport:
+    """One approach's share of a run: offers, aggregates, timings, summary."""
+
+    extractor: str
+    households: int
+    offers: tuple["FlexOffer", ...] = ()
+    aggregates: tuple["AggregatedFlexOffer", ...] = ()
+    stage_seconds: Mapping[str, float] = field(default_factory=dict)
+    summary: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "offers", tuple(self.offers))
+        object.__setattr__(self, "aggregates", tuple(self.aggregates))
+        object.__setattr__(self, "stage_seconds", _frozen(self.stage_seconds))
+        object.__setattr__(self, "summary", _frozen(self.summary))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "extractor": self.extractor,
+            "households": self.households,
+            "offers": [flexoffer_to_dict(o) for o in self.offers],
+            "aggregates": [aggregated_to_dict(a) for a in self.aggregates],
+            "stage_seconds": dict(self.stage_seconds),
+            "summary": dict(self.summary),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExtractorRunReport":
+        try:
+            return cls(
+                extractor=data["extractor"],
+                households=data["households"],
+                offers=tuple(flexoffer_from_dict(o) for o in data["offers"]),
+                aggregates=tuple(
+                    aggregated_from_dict(a) for a in data["aggregates"]
+                ),
+                stage_seconds=data.get("stage_seconds", {}),
+                summary=data.get("summary", {}),
+            )
+        except KeyError as exc:
+            raise DataError(f"extractor run report missing field: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Everything a :class:`FlexibilityService` run produced, serialisable."""
+
+    spec: RunSpec
+    results: tuple[ExtractorRunReport, ...]
+    extras: Mapping[str, Any] = field(default_factory=dict)
+    version: int = REPORT_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "results", tuple(self.results))
+        object.__setattr__(self, "extras", _frozen(self.extras))
+
+    def get(self, extractor: str) -> ExtractorRunReport:
+        """The report of one approach, by registry name."""
+        for result in self.results:
+            if result.extractor == extractor:
+                return result
+        known = ", ".join(r.extractor for r in self.results)
+        raise KeyError(f"no result for {extractor!r} (have: {known})")
+
+    @property
+    def total_offers(self) -> int:
+        return sum(len(r.offers) for r in self.results)
+
+    def table_rows(self) -> list[dict[str, Any]]:
+        """One human-readable row per approach (CLI output)."""
+        rows: list[dict[str, Any]] = []
+        for result in self.results:
+            row: dict[str, Any] = {"extractor": result.extractor}
+            for key, value in result.summary.items():
+                row[key] = round(value, 4) if isinstance(value, float) else value
+            if result.stage_seconds:
+                row["seconds"] = round(sum(result.stage_seconds.values()), 4)
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Wire format
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "spec": self.spec.to_dict(),
+            "results": [r.to_dict() for r in self.results],
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunReport":
+        version = data.get("version", REPORT_VERSION)
+        if version != REPORT_VERSION:
+            raise DataError(f"unsupported run-report format version {version}")
+        try:
+            return cls(
+                spec=RunSpec.from_dict(data["spec"]),
+                results=tuple(
+                    ExtractorRunReport.from_dict(r) for r in data["results"]
+                ),
+                extras=data.get("extras", {}),
+                version=version,
+            )
+        except KeyError as exc:
+            raise DataError(f"run report missing field: {exc}") from exc
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunReport":
+        return cls.from_json(Path(path).read_text())
+
+
+class FlexibilityService:
+    """The single programmatic entry point for spec-driven runs.
+
+    Stateless by design (every run is fully described by its spec), so one
+    service instance can serve many concurrent callers; it is also the
+    natural seam for future network transports (REST/queue workers call
+    ``run`` with deserialised specs).
+    """
+
+    def run(self, spec: RunSpec) -> RunReport:
+        """Execute a run spec end to end and return its report."""
+        if spec.kind == "fleet":
+            return self._run_fleet(spec)
+        if spec.kind == "compare":
+            return self._run_compare(spec)
+        return self._run_bench(spec)
+
+    def run_file(self, path: str | Path) -> RunReport:
+        """Load a spec JSON file and execute it."""
+        return self.run(load_run_spec(path))
+
+    # ------------------------------------------------------------------ #
+    # Kind routers (heavy imports stay lazy so `import repro.api` is cheap
+    # and the registry decorators never see a half-initialised package)
+    # ------------------------------------------------------------------ #
+
+    def _simulate(self, spec: RunSpec):
+        from repro.simulation.dataset import generate_fleet
+
+        scenario = spec.scenario
+        return generate_fleet(
+            scenario.households, scenario.start, scenario.days, seed=scenario.seed
+        )
+
+    def _run_fleet(self, spec: RunSpec) -> RunReport:
+        from repro.pipeline.fleet import FleetPipeline
+
+        fleet = self._simulate(spec)
+        results = []
+        for extractor_spec in spec.extractors:
+            pipeline = FleetPipeline(
+                extractor=extractor_spec.create(),
+                grouping=spec.pipeline.grouping_params(),
+                chunk_size=spec.pipeline.chunk_size,
+                workers=spec.pipeline.workers,
+                seed=spec.scenario.seed,
+            )
+            fleet_result = pipeline.run(fleet)
+            results.append(
+                ExtractorRunReport(
+                    extractor=extractor_spec.name,
+                    households=spec.scenario.households,
+                    offers=tuple(fleet_result.offers),
+                    aggregates=fleet_result.aggregates,
+                    stage_seconds=fleet_result.timings.seconds,
+                    summary={
+                        "offers": float(len(fleet_result.offers)),
+                        "aggregates": float(len(fleet_result.aggregates)),
+                        "extracted_kwh": fleet_result.total_extracted_kwh,
+                    },
+                )
+            )
+        return RunReport(spec=spec, results=tuple(results))
+
+    def _run_compare(self, spec: RunSpec) -> RunReport:
+        from repro.evaluation.comparison import compare_on_traces
+
+        fleet = self._simulate(spec)
+        extractors = [e.create() for e in spec.extractors]
+        comparison = compare_on_traces(
+            fleet.traces, extractors, seed=spec.scenario.seed
+        )
+        rows = {row["extractor"]: row for row in comparison.mean_rows()}
+        results = tuple(
+            ExtractorRunReport(
+                extractor=extractor_spec.name,
+                households=spec.scenario.households,
+                summary={
+                    k: v for k, v in rows[extractor.name].items() if k != "extractor"
+                },
+            )
+            for extractor_spec, extractor in zip(spec.extractors, extractors)
+        )
+        return RunReport(spec=spec, results=results)
+
+    def _run_bench(self, spec: RunSpec) -> RunReport:
+        from repro.errors import SpecError
+        from repro.pipeline.bench import run_fleet_benchmark
+
+        # The benchmark pins its own extractor pair (vectorized-vs-reference
+        # frequency-based); a spec naming anything else would be recorded as
+        # run when it never was — reject it instead of silently ignoring it.
+        names = [e.name for e in spec.extractors]
+        if names != ["frequency-based"] or dict(spec.extractors[0].params):
+            raise SpecError(
+                "kind='bench' runs the pinned frequency-based benchmark; the "
+                "spec must name exactly one parameterless 'frequency-based' "
+                f"extractor (got: {', '.join(names)})"
+            )
+        report, timed_result = run_fleet_benchmark(
+            n_households=spec.scenario.households,
+            days=spec.scenario.days,
+            seed=spec.scenario.seed,
+            workers=spec.pipeline.workers,
+            chunk_size=spec.pipeline.chunk_size,
+        )
+        result = ExtractorRunReport(
+            extractor=report["workload"]["extractor"],
+            households=spec.scenario.households,
+            offers=tuple(timed_result.offers),
+            aggregates=timed_result.aggregates,
+            stage_seconds=timed_result.timings.seconds,
+            summary={
+                "offers": float(len(timed_result.offers)),
+                "aggregates": float(len(timed_result.aggregates)),
+                "extracted_kwh": timed_result.total_extracted_kwh,
+                "speedup": float(report["speedup"]),
+            },
+        )
+        return RunReport(spec=spec, results=(result,), extras={"bench": report})
+
+    # ------------------------------------------------------------------ #
+    # Single-series extraction (the `repro extract` backend)
+    # ------------------------------------------------------------------ #
+
+    def extract(
+        self,
+        approach: str,
+        series: "TimeSeries",
+        *,
+        seed: int = 0,
+        **params: Any,
+    ) -> "ExtractionResult":
+        """Run one registered approach on one series, grid-validated.
+
+        Raises :class:`~repro.errors.RegistryError` before extraction when
+        the series resolution does not meet the approach's declared input
+        grid (e.g. appliance-level approaches hard-require 1-minute data).
+        """
+        import numpy as np
+
+        self.validate_input_grid(approach, series)
+        from repro.api.registry import create_extractor
+
+        extractor = create_extractor(approach, **params)
+        return extractor.extract(series, np.random.default_rng(seed))
+
+    @staticmethod
+    def validate_input_grid(approach: str, series: "TimeSeries") -> None:
+        """Check a series' resolution against an approach's declared grid."""
+        from repro.timeseries.axis import FIFTEEN_MINUTES, ONE_MINUTE
+
+        entry = get_entry(approach)
+        if not entry.strict_grid:
+            return
+        required = ONE_MINUTE if entry.input == "total" else FIFTEEN_MINUTES
+        if series.axis.resolution != required:
+            have = series.axis.resolution
+            raise RegistryError(
+                f"approach {approach!r} requires input on the "
+                f"{int(required.total_seconds() // 60)}-minute grid, got "
+                f"{have} resolution; resample the series or use "
+                f"`repro simulate --grid total` for 1-minute data"
+            )

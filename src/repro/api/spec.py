@@ -1,0 +1,317 @@
+"""Declarative, versioned run specs: describe a whole run as data.
+
+MIRABEL's vision (paper §6) is a *system* that continuously turns metered
+series into flex-offers; operating such a system means a run must be
+describable, storable and replayable without code.  A :class:`RunSpec` is
+that description: which fleet to simulate (:class:`ScenarioSpec`), which
+registered approaches to run with which parameters
+(:class:`ExtractorSpec`), and how to batch/group the fleet execution
+(:class:`PipelineSpec`).
+
+All spec classes are frozen dataclasses with strict ``to_dict`` /
+``from_dict`` / JSON round-trips: unknown keys, wrong types and
+unsupported versions raise :class:`~repro.errors.SpecError` naming the
+offending path, and ``RunSpec.from_dict(spec.to_dict()) == spec`` holds
+for every valid spec (property-tested).
+
+Example spec file (``examples/specs/smoke.json``)::
+
+    {
+      "version": 1,
+      "kind": "fleet",
+      "scenario": {"households": 2, "days": 1, "seed": 7},
+      "extractors": [
+        {"name": "peak-based", "params": {"flexible_share": 0.05}},
+        {"name": "frequency-based"}
+      ],
+      "pipeline": {"chunk_size": 4}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field, fields, replace
+from datetime import datetime, timedelta
+from pathlib import Path
+from types import MappingProxyType
+from typing import Any
+
+from repro.errors import SpecError
+
+#: Wire-format version of the spec layer; bump on incompatible change.
+SPEC_VERSION = 1
+
+#: Run kinds the service knows how to route (see repro.api.service).
+RUN_KINDS: tuple[str, ...] = ("fleet", "compare", "bench")
+
+#: Default scenario anchor — Monday 2012-03-05, the paper-week start shared
+#: with repro.workloads.scenarios.SCENARIO_START (duplicated here so the
+#: spec layer stays import-light).
+DEFAULT_START = datetime(2012, 3, 5)
+
+
+def _require_keys(data: Mapping[str, Any], allowed: tuple[str, ...], where: str) -> None:
+    if not isinstance(data, Mapping):
+        raise SpecError(f"{where}: expected a mapping, got {type(data).__name__}")
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise SpecError(
+            f"{where}: unknown key(s) {', '.join(repr(k) for k in unknown)}; "
+            f"allowed: {', '.join(allowed)}"
+        )
+
+
+def _require_type(value: Any, types: tuple[type, ...], where: str) -> Any:
+    if isinstance(value, bool) and bool not in types:
+        raise SpecError(f"{where}: expected {_type_names(types)}, got bool")
+    if not isinstance(value, types):
+        raise SpecError(
+            f"{where}: expected {_type_names(types)}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _type_names(types: tuple[type, ...]) -> str:
+    return "/".join(t.__name__ for t in types)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """Which simulated fleet a run operates on.
+
+    The simulation is fully deterministic in (households, days, seed,
+    start), so a scenario spec *is* the dataset identity.
+    """
+
+    households: int = 4
+    days: int = 7
+    seed: int = 0
+    start: datetime = DEFAULT_START
+
+    def __post_init__(self) -> None:
+        if self.households < 1:
+            raise SpecError("scenario.households must be >= 1")
+        if self.days < 1:
+            raise SpecError("scenario.days must be >= 1")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "households": self.households,
+            "days": self.days,
+            "seed": self.seed,
+            "start": self.start.isoformat(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        _require_keys(data, ("households", "days", "seed", "start"), "scenario")
+        kwargs: dict[str, Any] = {}
+        for key in ("households", "days", "seed"):
+            if key in data:
+                kwargs[key] = _require_type(data[key], (int,), f"scenario.{key}")
+        if "start" in data:
+            raw = _require_type(data["start"], (str,), "scenario.start")
+            try:
+                kwargs["start"] = datetime.fromisoformat(raw)
+            except ValueError as exc:
+                raise SpecError(f"scenario.start: {exc}") from exc
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class ExtractorSpec:
+    """One registered approach plus its flat parameter overrides.
+
+    ``params`` values must be JSON scalars (or lists thereof); they are
+    routed through :func:`repro.api.registry.create_extractor`, which
+    owns the name→class mapping and parameter validation.
+    """
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError("extractor.name must be a non-empty string")
+        if not isinstance(self.params, Mapping):
+            raise SpecError("extractor.params must be a mapping")
+        # Freeze the parameter mapping so the spec is immutable end to end.
+        # (MappingProxyType compares by underlying dict, so dataclass
+        # equality — and the round-trip property — still hold.)
+        object.__setattr__(self, "params", MappingProxyType(dict(self.params)))
+
+    def create(self):
+        """Instantiate via the registry (the only construction path)."""
+        from repro.api.registry import create_extractor
+
+        return create_extractor(self.name, **dict(self.params))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExtractorSpec":
+        _require_keys(data, ("name", "params"), "extractor")
+        if "name" not in data:
+            raise SpecError("extractor: missing required key 'name'")
+        name = _require_type(data["name"], (str,), "extractor.name")
+        params = data.get("params", {})
+        _require_type(params, (Mapping,), "extractor.params")
+        return cls(name=name, params=dict(params))
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineSpec:
+    """How the fleet execution is batched, fanned out and grouped.
+
+    Mirrors :class:`repro.pipeline.FleetPipeline` plus the
+    :class:`repro.aggregation.grouping.GroupingParams` grid, in
+    JSON-scalar units (minutes for the grouping tolerances).
+    """
+
+    chunk_size: int = 8
+    workers: int | None = None
+    start_tolerance_minutes: int = 120
+    flexibility_tolerance_minutes: int = 240
+    max_group_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise SpecError("pipeline.chunk_size must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise SpecError("pipeline.workers must be >= 1 (or null)")
+        if self.start_tolerance_minutes < 1:
+            raise SpecError("pipeline.start_tolerance_minutes must be >= 1")
+        if self.flexibility_tolerance_minutes < 1:
+            raise SpecError("pipeline.flexibility_tolerance_minutes must be >= 1")
+        if self.max_group_size < 1:
+            raise SpecError("pipeline.max_group_size must be >= 1")
+
+    def grouping_params(self):
+        """The grouping grid as the aggregation layer's own dataclass."""
+        from repro.aggregation.grouping import GroupingParams
+
+        return GroupingParams(
+            start_tolerance=timedelta(minutes=self.start_tolerance_minutes),
+            flexibility_tolerance=timedelta(minutes=self.flexibility_tolerance_minutes),
+            max_group_size=self.max_group_size,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "chunk_size": self.chunk_size,
+            "workers": self.workers,
+            "start_tolerance_minutes": self.start_tolerance_minutes,
+            "flexibility_tolerance_minutes": self.flexibility_tolerance_minutes,
+            "max_group_size": self.max_group_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PipelineSpec":
+        allowed = tuple(f.name for f in fields(cls))
+        _require_keys(data, allowed, "pipeline")
+        kwargs: dict[str, Any] = {}
+        for key in allowed:
+            if key not in data:
+                continue
+            value = data[key]
+            if key == "workers" and value is None:
+                kwargs[key] = None
+            else:
+                kwargs[key] = _require_type(value, (int,), f"pipeline.{key}")
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class RunSpec:
+    """A complete, replayable simulate→extract→group→aggregate run."""
+
+    kind: str = "fleet"
+    scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
+    extractors: tuple[ExtractorSpec, ...] = (ExtractorSpec("frequency-based"),)
+    pipeline: PipelineSpec = field(default_factory=PipelineSpec)
+    name: str = ""
+    version: int = SPEC_VERSION
+
+    def __post_init__(self) -> None:
+        if self.version != SPEC_VERSION:
+            raise SpecError(
+                f"unsupported run-spec version {self.version!r} "
+                f"(this build reads version {SPEC_VERSION})"
+            )
+        if self.kind not in RUN_KINDS:
+            raise SpecError(
+                f"kind must be one of {', '.join(RUN_KINDS)}, got {self.kind!r}"
+            )
+        if not isinstance(self.extractors, tuple):
+            object.__setattr__(self, "extractors", tuple(self.extractors))
+        if not self.extractors:
+            raise SpecError("a run spec needs at least one extractor")
+
+    def with_overrides(self, **changes: Any) -> "RunSpec":
+        """A copy with top-level fields replaced (CLI flag overrides)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "kind": self.kind,
+            "name": self.name,
+            "scenario": self.scenario.to_dict(),
+            "extractors": [e.to_dict() for e in self.extractors],
+            "pipeline": self.pipeline.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        _require_keys(
+            data,
+            ("version", "kind", "name", "scenario", "extractors", "pipeline"),
+            "run spec",
+        )
+        kwargs: dict[str, Any] = {}
+        if "version" in data:
+            kwargs["version"] = _require_type(data["version"], (int,), "run spec.version")
+        if "kind" in data:
+            kwargs["kind"] = _require_type(data["kind"], (str,), "run spec.kind")
+        if "name" in data:
+            kwargs["name"] = _require_type(data["name"], (str,), "run spec.name")
+        if "scenario" in data:
+            kwargs["scenario"] = ScenarioSpec.from_dict(data["scenario"])
+        if "extractors" in data:
+            raw = _require_type(data["extractors"], (list, tuple), "run spec.extractors")
+            kwargs["extractors"] = tuple(ExtractorSpec.from_dict(e) for e in raw)
+        if "pipeline" in data:
+            kwargs["pipeline"] = PipelineSpec.from_dict(data["pipeline"])
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip
+    # ------------------------------------------------------------------ #
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"run spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def load_run_spec(path: str | Path) -> RunSpec:
+    """Read a :class:`RunSpec` from a JSON file."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise SpecError(f"cannot read run spec {path}: {exc}") from exc
+    return RunSpec.from_json(text)
+
+
+def save_run_spec(spec: RunSpec, path: str | Path) -> None:
+    """Write a :class:`RunSpec` to a JSON file."""
+    Path(path).write_text(spec.to_json() + "\n")

@@ -1,16 +1,22 @@
-"""Command-line interface: simulate, extract, evaluate, reproduce figures.
+"""Command-line interface: a thin shell over :mod:`repro.api`.
 
 Installed as the ``repro`` console script::
 
-    repro simulate --households 5 --days 7 --out data/
-    repro extract  --input data/hh-0000.csv --approach peak-based --share 0.05 \
-                   --out offers.json
-    repro evaluate --households 6 --days 7
-    repro bench    --households 20 --days 7 --out BENCH_fleet.json
+    repro simulate   --households 5 --days 7 --out data/
+    repro extract    --input data/hh-0000.csv --approach peak-based \
+                     --param flexible_share=0.05 --out offers.json
+    repro run        --spec examples/specs/smoke.json --out report.json
+    repro approaches
+    repro evaluate   --households 6 --days 7
+    repro bench      --households 20 --days 7 --out BENCH_fleet.json
     repro figures
 
-Each subcommand is a thin shell over the library; everything it does is
-available programmatically (see README).
+Every subcommand routes through the same service surface programmatic
+callers use: extractors are resolved by name via the registry
+(``repro approaches`` lists them), whole runs are described by declarative
+:class:`~repro.api.spec.RunSpec` JSON files, and
+:class:`~repro.api.service.FlexibilityService` executes them.  The CLI
+itself only parses flags, loads/saves files and prints tables.
 """
 
 from __future__ import annotations
@@ -20,26 +26,25 @@ import sys
 from datetime import datetime
 from pathlib import Path
 
-import numpy as np
-
-from repro.errors import ReproError
-from repro.evaluation.comparison import compare_on_traces
-from repro.evaluation.realism import format_table
-from repro.extraction import (
-    BasicExtractor,
-    FlexOfferParams,
-    PeakBasedExtractor,
-    RandomBaselineExtractor,
+from repro.api import (
+    ExtractorSpec,
+    FlexibilityService,
+    PipelineSpec,
+    RunSpec,
+    ScenarioSpec,
+    available_extractors,
+    load_run_spec,
+    registry_rows,
 )
+from repro.errors import ReproError
+from repro.evaluation.comparison import DEFAULT_SUITE
+from repro.evaluation.realism import format_table
 from repro.flexoffer.io import save_flexoffers
-from repro.pipeline import run_fleet_benchmark, stage_table_rows
+from repro.pipeline import stage_table_rows
 from repro.simulation import generate_fleet
 from repro.timeseries.io import load_series_csv, save_series_csv
 
-_APPROACHES = {
-    "basic": BasicExtractor,
-    "peak-based": PeakBasedExtractor,
-}
+_SERVICE = FlexibilityService()
 
 
 def _parse_date(text: str) -> datetime:
@@ -47,6 +52,22 @@ def _parse_date(text: str) -> datetime:
         return datetime.fromisoformat(text)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"bad date {text!r}: {exc}") from exc
+
+
+def _parse_param(text: str) -> tuple[str, object]:
+    """Parse one ``key=value`` extractor parameter (JSON-style scalars)."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"bad parameter {text!r}: expected key=value"
+        )
+    import json
+
+    try:
+        value: object = json.loads(raw)
+    except ValueError:
+        value = raw  # bare strings stay strings
+    return key, value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,19 +84,53 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--days", type=int, default=7)
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--start", type=_parse_date, default=datetime(2012, 3, 5))
+    sim.add_argument(
+        "--grid", choices=("metered", "total"), default="metered",
+        help="which series to write: 15-minute metered (default) or "
+        "1-minute total (the appliance-level approaches' input)",
+    )
     sim.add_argument("--out", type=Path, required=True, help="output directory")
 
     ext = sub.add_parser("extract", help="extract flex-offers from a CSV series")
     ext.add_argument("--input", type=Path, required=True, help="timestamp,value CSV")
-    ext.add_argument("--approach", choices=sorted(_APPROACHES), default="peak-based")
-    ext.add_argument("--share", type=float, default=0.05, help="flexible share")
+    ext.add_argument(
+        "--approach", choices=available_extractors(), default="peak-based",
+        help="any registered approach (see `repro approaches`)",
+    )
+    ext.add_argument("--share", type=float, default=None,
+                     help="flexible share (shorthand for --param flexible_share=X)")
+    ext.add_argument(
+        "--param", type=_parse_param, action="append", default=[],
+        metavar="KEY=VALUE",
+        help="extractor parameter, repeatable (e.g. --param engine=reference)",
+    )
+    ext.add_argument(
+        "--reference", type=Path, default=None,
+        help="one-tariff reference CSV (required by the multi-tariff approach)",
+    )
     ext.add_argument("--seed", type=int, default=0)
     ext.add_argument("--out", type=Path, required=True, help="offers JSON path")
+
+    run = sub.add_parser(
+        "run", help="execute a declarative run spec (simulate→extract→aggregate)"
+    )
+    run.add_argument("--spec", type=Path, required=True, help="RunSpec JSON file")
+    run.add_argument("--out", type=Path, default=None,
+                     help="write the full RunReport JSON here")
+    run.add_argument("--workers", type=int, default=None,
+                     help="override the spec's worker fan-out")
+
+    sub.add_parser("approaches", help="list every registered extraction approach")
 
     ev = sub.add_parser("evaluate", help="run the approach comparison")
     ev.add_argument("--households", type=int, default=4)
     ev.add_argument("--days", type=int, default=7)
     ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument(
+        "--approaches", default=None,
+        help="comma-separated registry names, or 'suite' for the full "
+        "default comparison suite (default: basic,peak-based)",
+    )
     ev.add_argument("--include-random", action="store_true",
                     help="include the random baseline")
 
@@ -99,18 +154,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     args.out.mkdir(parents=True, exist_ok=True)
     fleet = generate_fleet(args.households, args.start, args.days, seed=args.seed)
     for trace in fleet:
+        series = trace.total if args.grid == "total" else trace.metered()
         path = args.out / f"{trace.config.household_id}.csv"
-        save_series_csv(trace.metered(), path)
-        print(f"wrote {path} ({trace.metered().total():.1f} kWh)")
+        save_series_csv(series, path)
+        print(f"wrote {path} ({series.total():.1f} kWh, {args.grid} grid)")
     return 0
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
     series = load_series_csv(args.input, name=args.input.stem)
-    extractor = _APPROACHES[args.approach](
-        params=FlexOfferParams(flexible_share=args.share)
-    )
-    result = extractor.extract(series, np.random.default_rng(args.seed))
+    params = dict(args.param)
+    if args.share is not None:
+        params["flexible_share"] = args.share
+    if args.reference is not None:
+        params["reference"] = load_series_csv(args.reference, name=args.reference.stem)
+    result = _SERVICE.extract(args.approach, series, seed=args.seed, **params)
     save_flexoffers(result.offers, args.out)
     print(
         f"{args.approach}: {len(result.offers)} offers, "
@@ -122,22 +180,57 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_evaluate(args: argparse.Namespace) -> int:
-    fleet = generate_fleet(
-        args.households, datetime(2012, 3, 5), args.days, seed=args.seed
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = load_run_spec(args.spec)
+    if args.workers is not None:
+        spec = spec.with_overrides(
+            pipeline=PipelineSpec.from_dict(
+                {**spec.pipeline.to_dict(), "workers": args.workers}
+            )
+        )
+    label = spec.name or args.spec.stem
+    print(
+        f"run {label!r}: kind={spec.kind}, "
+        f"{spec.scenario.households} households x {spec.scenario.days} days, "
+        f"approaches: {', '.join(e.name for e in spec.extractors)}"
     )
-    extractors = [
-        BasicExtractor(params=FlexOfferParams(flexible_share=0.05)),
-        PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05)),
-    ]
-    if args.include_random:
-        extractors.insert(0, RandomBaselineExtractor())
-    result = compare_on_traces(fleet.traces, extractors)
-    print(format_table(result.mean_rows()))
+    report = _SERVICE.run(spec)
+    print(format_table(report.table_rows()))
+    if args.out is not None:
+        report.save(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_approaches(_args: argparse.Namespace) -> int:
+    print(format_table(registry_rows()))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    if args.approaches == "suite":
+        names = list(DEFAULT_SUITE)
+    elif args.approaches:
+        names = [n.strip() for n in args.approaches.split(",") if n.strip()]
+    else:
+        names = ["basic", "peak-based"]
+    if args.include_random and "random-baseline" not in names:
+        names.insert(0, "random-baseline")
+    spec = RunSpec(
+        kind="compare",
+        scenario=ScenarioSpec(
+            households=args.households, days=args.days, seed=args.seed
+        ),
+        extractors=tuple(ExtractorSpec(name) for name in names),
+    )
+    report = _SERVICE.run(spec)
+    print(format_table(report.table_rows()))
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.pipeline import run_fleet_benchmark
+
     print(
         f"Fleet benchmark: {args.households} households x {args.days} days "
         f"(seed {args.seed}, workers {args.workers or 1}) ..."
@@ -164,19 +257,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(_args: argparse.Namespace) -> int:
-    # Reuse the example renderer; imported lazily to keep CLI start fast.
-    import importlib.util
+    # The renderers ship inside the wheel (repro.examples); imported lazily
+    # to keep CLI start fast, with a library-only fallback for stripped
+    # installs (e.g. a vendored copy without the examples subpackage).
+    import importlib
 
-    path = Path(__file__).resolve().parents[2] / "examples" / "paper_figures.py"
-    if path.exists():
-        spec = importlib.util.spec_from_file_location("paper_figures", path)
-        module = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(module)  # type: ignore[union-attr]
+    try:
+        module = importlib.import_module("repro.examples.paper_figures")
+    except ImportError:
+        module = None
+    if module is not None:
         module.show_figure1()
         module.show_figure4()
         module.show_figure5()
         return 0
-    # Installed without the examples directory: print the core walkthrough.
+    # Examples absent: print the core Figure 5 walkthrough from the library.
     from repro.extraction.peaks import detect_peaks, filter_peaks, selection_probabilities
     from repro.workloads.paper_day import figure5_day
 
@@ -196,6 +291,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "extract": _cmd_extract,
+        "run": _cmd_run,
+        "approaches": _cmd_approaches,
         "evaluate": _cmd_evaluate,
         "bench": _cmd_bench,
         "figures": _cmd_figures,

@@ -38,3 +38,13 @@ class AggregationError(ReproError):
 
 class DataError(ReproError):
     """Input data is malformed (wrong shape, NaNs, negative energy, ...)."""
+
+
+class RegistryError(ReproError):
+    """An extractor was requested from the registry with an unknown name or
+    unknown/missing parameters (see :mod:`repro.api.registry`)."""
+
+
+class SpecError(ReproError):
+    """A declarative run spec is malformed: unknown keys, wrong types, or an
+    unsupported version (see :mod:`repro.api.spec`)."""

@@ -13,36 +13,38 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import create_extractor
+from repro.api.registry import input_series_for as _registry_input_series_for
 from repro.evaluation.realism import RealismReport, realism_report
 from repro.extraction.base import FlexibilityExtractor
-from repro.extraction.basic import BasicExtractor
-from repro.extraction.frequency_based import FrequencyBasedExtractor
-from repro.extraction.params import FlexOfferParams
-from repro.extraction.peaks import PeakBasedExtractor
-from repro.extraction.random_baseline import RandomBaselineExtractor
-from repro.extraction.schedule_based import ScheduleBasedExtractor
 from repro.flexoffer.model import FlexOffer
 from repro.simulation.household import HouseholdTrace
-from repro.timeseries.axis import FIFTEEN_MINUTES, ONE_MINUTE
 
 #: Seed stride between households; shared with repro.pipeline so batched
 #: runs reproduce this harness's per-household rng streams exactly.
 SEED_STRIDE = 7919
 
+#: Registry names of the default comparison suite, in report order.
+DEFAULT_SUITE: tuple[str, ...] = (
+    "random-baseline",
+    "basic",
+    "peak-based",
+    "frequency-based",
+    "schedule-based",
+)
+
 
 def default_suite(flexible_share: float = 0.05) -> list[FlexibilityExtractor]:
     """The comparison suite: both household approaches, both appliance
-    approaches, and the random baseline.  (The multi-tariff approach needs
-    paired tariff data and is evaluated separately — see the multitariff
-    bench.)"""
-    params = FlexOfferParams(flexible_share=flexible_share)
-    return [
-        RandomBaselineExtractor(),
-        BasicExtractor(params=params),
-        PeakBasedExtractor(params=params),
-        FrequencyBasedExtractor(params=params),
-        ScheduleBasedExtractor(params=params),
-    ]
+    approaches, and the random baseline, resolved via the registry.  (The
+    multi-tariff approach needs paired tariff data and is evaluated
+    separately — see the multitariff bench.)"""
+    extractors: list[FlexibilityExtractor] = [create_extractor("random-baseline")]
+    extractors.extend(
+        create_extractor(name, flexible_share=flexible_share)
+        for name in DEFAULT_SUITE[1:]
+    )
+    return extractors
 
 
 @dataclass(frozen=True)
@@ -75,11 +77,10 @@ def input_series_for(extractor: FlexibilityExtractor, trace: HouseholdTrace):
 
     Appliance-level approaches consume the 1-minute series (the paper's §4
     granularity requirement); household-level approaches and the random
-    baseline consume the 15-minute metering series.
+    baseline consume the 15-minute metering series.  The decision comes
+    from each approach's registry entry (its declared ``input`` kind).
     """
-    if isinstance(extractor, (FrequencyBasedExtractor, ScheduleBasedExtractor)):
-        return trace.total
-    return trace.metered()
+    return _registry_input_series_for(extractor, trace)
 
 
 def compare_on_traces(

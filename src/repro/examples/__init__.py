@@ -1,0 +1,11 @@
+"""Packaged, wheel-installable examples.
+
+Unlike the repository's top-level ``examples/`` scripts (which need a
+checkout), these modules ship inside the ``repro`` package so CLI
+subcommands — ``repro figures`` — can load them with a plain
+:func:`importlib.import_module` from any install.
+"""
+
+from repro.examples.paper_figures import show_figure1, show_figure4, show_figure5
+
+__all__ = ["show_figure1", "show_figure4", "show_figure5"]

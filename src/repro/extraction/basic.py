@@ -18,12 +18,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.registry import register_extractor
 from repro.errors import ExtractionError
 from repro.extraction.base import ExtractionResult, FlexibilityExtractor
 from repro.extraction.params import FlexOfferParams
 from repro.timeseries.series import TimeSeries
 
 
+@register_extractor(
+    "basic",
+    input="metered",
+    level="household",
+    summary="One flex-offer per fixed-length period, share-based split (§3.1)",
+)
 @dataclass(frozen=True)
 class BasicExtractor(FlexibilityExtractor):
     """One flex-offer per fixed-length period, share-based energy split.

@@ -24,6 +24,7 @@ import numpy as np
 from repro.appliances.database import ApplianceDatabase, default_database
 from repro.disaggregation.baseline import remove_baseline
 from repro.disaggregation.frequency import FrequencyTable, estimate_frequencies
+from repro.api.registry import register_extractor
 from repro.disaggregation.matching import DetectionResult, MatchingConfig, match_pursuit
 from repro.errors import ExtractionError
 from repro.extraction.base import ExtractionResult, FlexibilityExtractor
@@ -63,6 +64,13 @@ class FrequencyDetection:
     table: FrequencyTable
 
 
+@register_extractor(
+    "frequency-based",
+    input="total",
+    strict_grid=True,
+    level="appliance",
+    summary="Disaggregate, estimate usage frequencies, emit per-run offers (§4.1)",
+)
 @dataclass(frozen=True)
 class FrequencyBasedExtractor(FlexibilityExtractor):
     """Two-step appliance-level extraction: detect appliances, emit offers.

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.registry import register_extractor
 from repro.errors import ExtractionError
 from repro.extraction.base import ExtractionResult, FlexibilityExtractor
 from repro.extraction.params import FlexOfferParams
@@ -62,6 +63,12 @@ def typical_daily_profiles_by_day_type(
     return profiles
 
 
+@register_extractor(
+    "multi-tariff",
+    input="metered",
+    level="household",
+    summary="Detect tariff-induced load shifting vs a one-tariff reference (§3.3)",
+)
 @dataclass(frozen=True)
 class MultiTariffExtractor(FlexibilityExtractor):
     """Detect tariff-induced load shifting by comparison with typical days.

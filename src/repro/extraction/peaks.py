@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.registry import register_extractor
 from repro.errors import ExtractionError
 from repro.extraction.base import ExtractionResult, FlexibilityExtractor
 from repro.extraction.params import FlexOfferParams
@@ -112,6 +113,12 @@ def select_peak(peaks: list[Peak], rng: np.random.Generator) -> Peak:
     return peaks[int(rng.choice(len(peaks), p=probs))]
 
 
+@register_extractor(
+    "peak-based",
+    input="metered",
+    level="household",
+    summary="One flex-offer per day on a size-sampled consumption peak (§3.2)",
+)
 @dataclass(frozen=True)
 class PeakBasedExtractor(FlexibilityExtractor):
     """One flex-offer per day, positioned on a size-sampled consumption peak.

@@ -19,12 +19,19 @@ from datetime import timedelta
 
 import numpy as np
 
+from repro.api.registry import register_extractor
 from repro.errors import ExtractionError
 from repro.extraction.base import ExtractionResult, FlexibilityExtractor
 from repro.flexoffer.model import FlexOffer, ProfileSlice, next_offer_id
 from repro.timeseries.series import TimeSeries
 
 
+@register_extractor(
+    "wind-production",
+    input="metered",
+    level="production",
+    summary="Production offers on high-output runs of a wind forecast (§6)",
+)
 @dataclass(frozen=True)
 class WindProductionExtractor(FlexibilityExtractor):
     """Extract production flex-offers from a (forecast) production series.
@@ -105,6 +112,12 @@ class WindProductionExtractor(FlexibilityExtractor):
         )
 
 
+@register_extractor(
+    "dispatchable-production",
+    input="metered",
+    level="production",
+    summary="One deep-band offer per day for a dispatchable producer (§6)",
+)
 @dataclass(frozen=True)
 class DispatchableProductionExtractor(FlexibilityExtractor):
     """Production offers for a conventional (dispatchable) producer.

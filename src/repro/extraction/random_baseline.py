@@ -20,11 +20,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.registry import register_extractor
 from repro.extraction.base import ExtractionResult, FlexibilityExtractor
 from repro.flexoffer.generators import RandomGeneratorConfig, random_flexoffers
 from repro.timeseries.series import TimeSeries
 
 
+@register_extractor(
+    "random-baseline",
+    input="metered",
+    level="baseline",
+    summary="Uniformly random offers, blind to consumption (the pre-paper baseline)",
+)
 @dataclass(frozen=True)
 class RandomBaselineExtractor(FlexibilityExtractor):
     """Uniformly random flex-offers, blind to the input series shape."""

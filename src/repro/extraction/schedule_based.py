@@ -24,6 +24,7 @@ from repro.appliances.database import ApplianceDatabase, default_database
 from repro.disaggregation.baseline import remove_baseline
 from repro.disaggregation.frequency import FrequencyTable, estimate_frequencies
 from repro.disaggregation.matching import DetectionResult, MatchingConfig, match_pursuit
+from repro.api.registry import register_extractor
 from repro.disaggregation.schedule_mining import MinedSchedule, count_day_types, mine_schedule
 from repro.errors import ExtractionError
 from repro.extraction.base import ExtractionResult, FlexibilityExtractor
@@ -49,6 +50,13 @@ class ScheduleDetection:
     schedules: dict[str, MinedSchedule]
 
 
+@register_extractor(
+    "schedule-based",
+    input="total",
+    strict_grid=True,
+    level="appliance",
+    summary="Disaggregate and confine flexibility to mined habit windows (§4.2)",
+)
 @dataclass(frozen=True)
 class ScheduleBasedExtractor(FlexibilityExtractor):
     """Appliance-level extraction with habit-confined time flexibility.

@@ -101,6 +101,34 @@ def schedule_from_dict(data: dict[str, Any]) -> ScheduledFlexOffer:
         raise DataError(f"schedule dict missing field: {exc}") from exc
 
 
+def aggregated_to_dict(aggregate: "AggregatedFlexOffer") -> dict[str, Any]:
+    """Encode an aggregated flex-offer (aggregate + members + offsets).
+
+    Part of the extended wire format used by run reports
+    (:mod:`repro.api.service`): the full aggregation output round-trips, so
+    a stored report supports later disaggregation.
+    """
+    return {
+        "offer": flexoffer_to_dict(aggregate.offer),
+        "members": [flexoffer_to_dict(m) for m in aggregate.members],
+        "member_offsets": list(aggregate.member_offsets),
+    }
+
+
+def aggregated_from_dict(data: dict[str, Any]) -> "AggregatedFlexOffer":
+    """Decode an aggregated flex-offer from its dict encoding."""
+    from repro.aggregation.aggregate import AggregatedFlexOffer
+
+    try:
+        return AggregatedFlexOffer(
+            offer=flexoffer_from_dict(data["offer"]),
+            members=tuple(flexoffer_from_dict(m) for m in data["members"]),
+            member_offsets=tuple(int(o) for o in data["member_offsets"]),
+        )
+    except KeyError as exc:
+        raise DataError(f"aggregated flex-offer dict missing field: {exc}") from exc
+
+
 def save_flexoffers(offers: list[FlexOffer], path: str | Path) -> None:
     """Write a list of flex-offers to a JSON file."""
     payload = [flexoffer_to_dict(o) for o in offers]

@@ -27,8 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.disaggregation.matching import MatchingConfig
-from repro.extraction.frequency_based import FrequencyBasedExtractor
+from repro.api.registry import create_extractor
 from repro.pipeline.fleet import (
     FleetPipeline,
     FleetResult,
@@ -60,8 +59,8 @@ def run_fleet_benchmark(
     fleet = generate_fleet(n_households, SCENARIO_START, days, seed=seed)
     simulate_seconds = time.perf_counter() - t0
 
-    vectorized = FrequencyBasedExtractor(matching=MatchingConfig(engine="vectorized"))
-    reference = FrequencyBasedExtractor(matching=MatchingConfig(engine="reference"))
+    vectorized = create_extractor("frequency-based", engine="vectorized")
+    reference = create_extractor("frequency-based", engine="reference")
 
     # Equivalence pass first: it doubles as a warm-up (template caches,
     # numpy/scipy imports) so neither timed run pays one-off costs.

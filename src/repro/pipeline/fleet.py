@@ -25,10 +25,10 @@ import numpy as np
 
 from repro.aggregation.aggregate import AggregatedFlexOffer, aggregate_all
 from repro.aggregation.grouping import GroupingParams, group_offers
+from repro.api.registry import create_extractor
 from repro.errors import ValidationError
 from repro.evaluation.comparison import SEED_STRIDE, input_series_for
 from repro.extraction.base import FlexibilityExtractor
-from repro.extraction.frequency_based import FrequencyBasedExtractor
 from repro.flexoffer.model import FlexOffer
 from repro.simulation.dataset import SimulatedDataset
 from repro.simulation.household import HouseholdTrace
@@ -276,7 +276,9 @@ class FleetPipeline:
             raise ValidationError("chunk_size must be >= 1")
         if workers is not None and workers < 1:
             raise ValidationError("workers must be >= 1 (or None)")
-        self.extractor = extractor if extractor is not None else FrequencyBasedExtractor()
+        self.extractor = (
+            extractor if extractor is not None else create_extractor("frequency-based")
+        )
         self.grouping = grouping
         self.chunk_size = chunk_size
         self.workers = workers
@@ -370,7 +372,7 @@ def run_sequential(
     traces = list(fleet)
     if not traces:
         raise ValidationError("fleet must contain at least one household")
-    extractor = extractor if extractor is not None else FrequencyBasedExtractor()
+    extractor = extractor if extractor is not None else create_extractor("frequency-based")
     timings = StageTimings()
     outputs: list[HouseholdOutput] = []
     t0 = time.perf_counter()

@@ -1,0 +1,197 @@
+"""Run-spec layer: strict validation and lossless dict/JSON round-trips.
+
+The round-trip property — ``RunSpec.from_dict(spec.to_dict()) == spec`` for
+*every* valid spec — is what makes a spec file a faithful run identity, so
+it is property-tested with hypothesis over generated spec trees, including
+a full JSON serialisation in the loop.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    RUN_KINDS,
+    SPEC_VERSION,
+    ExtractorSpec,
+    PipelineSpec,
+    RunSpec,
+    ScenarioSpec,
+    load_run_spec,
+    save_run_spec,
+)
+from repro.errors import SpecError
+
+# --------------------------------------------------------------------- #
+# Strategies: JSON-representable spec trees
+# --------------------------------------------------------------------- #
+
+json_scalars = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.booleans(),
+    st.text(max_size=20),
+    st.none(),
+)
+
+param_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=20), json_scalars, max_size=4
+)
+
+scenario_specs = st.builds(
+    ScenarioSpec,
+    households=st.integers(min_value=1, max_value=1000),
+    days=st.integers(min_value=1, max_value=365),
+    seed=st.integers(min_value=0, max_value=2**31),
+    start=st.datetimes(
+        min_value=datetime(2000, 1, 1), max_value=datetime(2030, 12, 31)
+    ),
+)
+
+extractor_specs = st.builds(
+    ExtractorSpec,
+    name=st.text(min_size=1, max_size=30),
+    params=param_dicts,
+)
+
+pipeline_specs = st.builds(
+    PipelineSpec,
+    chunk_size=st.integers(min_value=1, max_value=256),
+    workers=st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+    start_tolerance_minutes=st.integers(min_value=1, max_value=1440),
+    flexibility_tolerance_minutes=st.integers(min_value=1, max_value=1440),
+    max_group_size=st.integers(min_value=1, max_value=512),
+)
+
+run_specs = st.builds(
+    RunSpec,
+    kind=st.sampled_from(RUN_KINDS),
+    scenario=scenario_specs,
+    extractors=st.lists(extractor_specs, min_size=1, max_size=4).map(tuple),
+    pipeline=pipeline_specs,
+    name=st.text(max_size=30),
+)
+
+
+class TestRoundTripProperties:
+    @given(spec=run_specs)
+    @settings(max_examples=200, deadline=None)
+    def test_dict_round_trip(self, spec: RunSpec):
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=run_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_json_round_trip(self, spec: RunSpec):
+        assert RunSpec.from_json(spec.to_json()) == spec
+        # And the dict encoding itself survives a JSON round-trip unchanged.
+        assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()
+
+    @given(spec=scenario_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_scenario_round_trip(self, spec: ScenarioSpec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=pipeline_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_pipeline_round_trip(self, spec: PipelineSpec):
+        assert PipelineSpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=run_specs)
+    @settings(max_examples=50, deadline=None)
+    def test_file_round_trip(self, spec: RunSpec, tmp_path_factory):
+        path = tmp_path_factory.mktemp("specs") / "spec.json"
+        save_run_spec(spec, path)
+        assert load_run_spec(path) == spec
+
+
+class TestStrictValidation:
+    def test_unknown_top_level_key(self):
+        with pytest.raises(SpecError, match="run spec: unknown key\\(s\\) 'frobnicate'"):
+            RunSpec.from_dict({"kind": "fleet", "frobnicate": 1})
+
+    def test_unknown_nested_key_names_the_path(self):
+        with pytest.raises(SpecError, match="scenario: unknown key\\(s\\) 'household'"):
+            RunSpec.from_dict({"scenario": {"household": 3}})
+
+    def test_unsupported_version(self):
+        with pytest.raises(SpecError, match="unsupported run-spec version 99"):
+            RunSpec.from_dict({"version": 99})
+
+    def test_bad_kind(self):
+        with pytest.raises(SpecError, match="kind must be one of fleet, compare, bench"):
+            RunSpec.from_dict({"kind": "party"})
+
+    def test_wrong_type_reports_path_and_types(self):
+        with pytest.raises(SpecError, match="scenario.households: expected int, got str"):
+            RunSpec.from_dict({"scenario": {"households": "four"}})
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(SpecError, match="scenario.days: expected int, got bool"):
+            RunSpec.from_dict({"scenario": {"days": True}})
+
+    def test_bad_start_date(self):
+        with pytest.raises(SpecError, match="scenario.start"):
+            RunSpec.from_dict({"scenario": {"start": "not-a-date"}})
+
+    def test_extractor_missing_name(self):
+        with pytest.raises(SpecError, match="missing required key 'name'"):
+            ExtractorSpec.from_dict({"params": {}})
+
+    def test_extractors_must_be_non_empty(self):
+        with pytest.raises(SpecError, match="at least one extractor"):
+            RunSpec.from_dict({"extractors": []})
+
+    def test_params_must_be_mapping(self):
+        with pytest.raises(SpecError, match="extractor.params"):
+            ExtractorSpec.from_dict({"name": "basic", "params": [1, 2]})
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            RunSpec.from_json("{nope")
+
+    def test_scenario_bounds(self):
+        with pytest.raises(SpecError, match="households must be >= 1"):
+            ScenarioSpec(households=0)
+        with pytest.raises(SpecError, match="days must be >= 1"):
+            ScenarioSpec(days=0)
+
+    def test_pipeline_bounds(self):
+        with pytest.raises(SpecError, match="chunk_size"):
+            PipelineSpec(chunk_size=0)
+        with pytest.raises(SpecError, match="workers"):
+            PipelineSpec(workers=0)
+
+
+class TestSpecBehaviour:
+    def test_defaults_build_a_valid_fleet_spec(self):
+        spec = RunSpec()
+        assert spec.kind == "fleet"
+        assert spec.version == SPEC_VERSION
+        assert spec.extractors[0].name == "frequency-based"
+
+    def test_extractor_params_are_immutable(self):
+        spec = ExtractorSpec("basic", {"flexible_share": 0.05})
+        with pytest.raises(TypeError):
+            spec.params["flexible_share"] = 0.5  # type: ignore[index]
+
+    def test_with_overrides_replaces_fields(self):
+        spec = RunSpec()
+        changed = spec.with_overrides(name="nightly")
+        assert changed.name == "nightly"
+        assert changed.scenario == spec.scenario
+
+    def test_pipeline_grouping_params_units(self):
+        from datetime import timedelta
+
+        grouping = PipelineSpec(start_tolerance_minutes=30).grouping_params()
+        assert grouping.start_tolerance == timedelta(minutes=30)
+
+    def test_extractor_spec_create_goes_through_registry(self):
+        extractor = ExtractorSpec("peak-based", {"flexible_share": 0.1}).create()
+        assert extractor.name == "peak-based"
+        assert extractor.params.flexible_share == 0.1
