@@ -304,6 +304,28 @@ class FlexibilityService:
         return RunReport(spec=spec, results=(result,), extras={"bench": report})
 
     # ------------------------------------------------------------------ #
+    # Conformance (the `repro conformance` backend)
+    # ------------------------------------------------------------------ #
+
+    def conformance(
+        self,
+        scenarios: tuple[str, ...] | list[str] | None = None,
+        extractors: tuple[str, ...] | list[str] | None = None,
+        invariants: tuple[str, ...] | list[str] | None = None,
+    ):
+        """Run the scenario-matrix invariant harness (repro.conformance).
+
+        Crosses every registered extractor with every compatible scenario
+        of the conformance matrix (optionally restricted by name) and
+        returns the :class:`~repro.conformance.runner.ConformanceReport`.
+        """
+        from repro.conformance import run_conformance
+
+        return run_conformance(
+            scenarios=scenarios, extractors=extractors, invariants=invariants
+        )
+
+    # ------------------------------------------------------------------ #
     # Single-series extraction (the `repro extract` backend)
     # ------------------------------------------------------------------ #
 

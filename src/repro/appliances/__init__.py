@@ -4,6 +4,8 @@ from repro.appliances.database import (
     TABLE1_NAMES,
     ApplianceDatabase,
     default_database,
+    extended_database,
+    heat_pump_spec,
     table1_database,
 )
 from repro.appliances.model import (
@@ -25,6 +27,8 @@ __all__ = [
     "TABLE1_NAMES",
     "ApplianceDatabase",
     "default_database",
+    "extended_database",
+    "heat_pump_spec",
     "table1_database",
     "ApplianceCategory",
     "ApplianceSpec",

@@ -333,3 +333,38 @@ def table1_database() -> ApplianceDatabase:
 def default_database() -> ApplianceDatabase:
     """Table 1 plus common household appliances (the simulator's catalogue)."""
     return ApplianceDatabase(tuple(_table1_specs() + _household_extras()))
+
+
+def heat_pump_spec() -> ApplianceSpec:
+    """An air-source heat pump running long thermostat-driven cycles.
+
+    Kept out of :func:`default_database` on purpose: adding a spec changes
+    the disaggregators' candidate sets (and with them the pinned detection
+    results of the default scenarios), so the heat pump lives in
+    :func:`extended_database` and is opted into by the scenarios that own
+    it — e.g. the conformance matrix's heat-pump-heavy winter fleet.
+    """
+    return ApplianceSpec(
+        name="heat-pump",
+        manufacturer="Generic",
+        category=ApplianceCategory.HEATING,
+        energy_min_kwh=3.0,
+        energy_max_kwh=6.0,
+        # Compressor boost, long steady plateau, defrost tail.
+        shape=phased_shape([(20, 1.6), (130, 1.0), (30, 0.6)]),
+        flexible=True,
+        # Thermal inertia of the building buys a few hours of shiftability.
+        time_flexibility=timedelta(hours=3),
+        frequency=UsageFrequency(10.0),
+        schedule=UsageSchedule(
+            windows=(
+                (DailyWindow(time(4, 0), time(8, 0)), 2.0),
+                (DailyWindow(time(15, 0), time(21, 0)), 1.5),
+            )
+        ),
+    )
+
+
+def extended_database() -> ApplianceDatabase:
+    """The default catalogue plus the heat pump (scenario opt-in)."""
+    return ApplianceDatabase(tuple(_table1_specs() + _household_extras() + [heat_pump_spec()]))

@@ -9,6 +9,7 @@ Installed as the ``repro`` console script::
     repro approaches
     repro evaluate   --households 6 --days 7
     repro bench      --households 20 --days 7 --out BENCH_fleet.json
+    repro conformance --out conformance.json
     repro figures
 
 Every subcommand routes through the same service surface programmatic
@@ -146,6 +147,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", type=Path, default=None,
                        help="write the JSON report here (e.g. BENCH_fleet.json)")
 
+    conf = sub.add_parser(
+        "conformance",
+        help="run the scenario-matrix invariant harness over every "
+        "registered extractor",
+    )
+    conf.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="restrict to one matrix scenario (repeatable; default: all)",
+    )
+    conf.add_argument(
+        "--extractor", action="append", default=None, metavar="NAME",
+        help="restrict to one registered approach (repeatable; default: all)",
+    )
+    conf.add_argument(
+        "--invariant", action="append", default=None, metavar="NAME",
+        help="restrict to one invariant (repeatable; default: full library)",
+    )
+    conf.add_argument("--list", action="store_true",
+                      help="list the matrix scenarios and invariants, then exit")
+    conf.add_argument("--out", type=Path, default=None,
+                      help="write the full ConformanceReport JSON here")
+
     sub.add_parser("figures", help="print the paper's figures (ASCII)")
     return parser
 
@@ -256,6 +279,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.conformance import INVARIANTS, scenario_matrix
+
+    if args.list:
+        rows = [
+            {
+                "scenario": s.name,
+                "tags": ",".join(sorted(s.tags)),
+                "description": s.description,
+            }
+            for s in scenario_matrix()
+        ]
+        print(format_table(rows))
+        print(f"\ninvariants: {', '.join(INVARIANTS)}")
+        return 0
+    report = _SERVICE.conformance(
+        scenarios=args.scenario,
+        extractors=args.extractor,
+        invariants=args.invariant,
+    )
+    print(format_table(report.table_rows()))
+    summary = report.summary()
+    print(
+        f"\n{summary['cells']} cells: {summary['passed']} passed, "
+        f"{summary['failed']} failed, {summary['violations']} violations"
+    )
+    for violation in report.violations():
+        print(f"  {violation}", file=sys.stderr)
+    if args.out is not None:
+        report.save(args.out)
+        print(f"wrote {args.out}")
+    return 0 if report.passed else 1
+
+
 def _cmd_figures(_args: argparse.Namespace) -> int:
     # The renderers ship inside the wheel (repro.examples); imported lazily
     # to keep CLI start fast, with a library-only fallback for stripped
@@ -295,6 +352,7 @@ def main(argv: list[str] | None = None) -> int:
         "approaches": _cmd_approaches,
         "evaluate": _cmd_evaluate,
         "bench": _cmd_bench,
+        "conformance": _cmd_conformance,
         "figures": _cmd_figures,
     }
     try:

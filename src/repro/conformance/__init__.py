@@ -1,0 +1,64 @@
+"""Conformance subsystem: prove every registered extractor on every workload.
+
+The paper's central claim is that flexibility extraction works
+*automatically* across heterogeneous household behaviours.  This package
+turns that claim into machinery:
+
+* :mod:`repro.conformance.matrix` — a declarative **scenario matrix**: named,
+  cached, deterministic fleet workloads (seasonal, DST week, gap-ridden
+  metering, EV-heavy, heat-pump winter, PV prosumers, weekend-skewed,
+  100-household scale, tariff-switch) crossed with every approach in the
+  extractor registry, with explicit per-cell compatibility rules.
+* :mod:`repro.conformance.invariants` — a reusable **invariant library**:
+  flex-offer policy validity, energy conservation, N-to-1
+  aggregate/disaggregate round-trips, batched-pipeline ≡ sequential-loop
+  (exact, offer ids included), vectorized ≡ reference matching engine, and
+  run-report JSON round-trip determinism.
+* :mod:`repro.conformance.runner` — the **runner**: executes every
+  compatible (scenario × extractor) cell and emits a structured, JSON
+  round-trippable :class:`~repro.conformance.runner.ConformanceReport`.
+
+Every future extractor registered via
+:func:`repro.api.registry.register_extractor` and every scenario added to
+the matrix gets this correctness contract for free — the pytest tier-2
+suite (``tests/test_conformance_matrix.py``) and the ``repro conformance``
+CLI subcommand both enumerate the matrix dynamically.
+"""
+
+from repro.conformance.invariants import (
+    INVARIANTS,
+    CellRun,
+    InvariantResult,
+    run_invariants,
+)
+from repro.conformance.matrix import (
+    ConformanceScenario,
+    incompatibility,
+    matrix_cells,
+    scenario_matrix,
+    scenario_names,
+)
+from repro.conformance.runner import (
+    CellReport,
+    ConformanceReport,
+    check_cell,
+    run_cell,
+    run_conformance,
+)
+
+__all__ = [
+    "INVARIANTS",
+    "CellRun",
+    "InvariantResult",
+    "run_invariants",
+    "ConformanceScenario",
+    "incompatibility",
+    "matrix_cells",
+    "scenario_matrix",
+    "scenario_names",
+    "CellReport",
+    "ConformanceReport",
+    "check_cell",
+    "run_cell",
+    "run_conformance",
+]

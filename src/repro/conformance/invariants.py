@@ -1,0 +1,397 @@
+"""The reusable invariant library of the conformance matrix.
+
+Each invariant is a pure function ``CellRun -> InvariantResult`` checking
+one facet of the extraction contract (paper §2/Figure 2 plus the system
+guarantees added by the pipeline and API layers):
+
+``offer-validity``
+    Every emitted flex-offer and fleet aggregate passes the §3.1 policy
+    checks (:mod:`repro.flexoffer.validate`), with production-level offers
+    allowed their negative-energy sign convention; ids are unique.
+``energy-conservation``
+    For conservative approaches, per-household ``|extracted − removed|``
+    stays within tolerance and the offer profile midpoints account for
+    exactly the reported extracted energy.
+``aggregate-roundtrip``
+    Aggregation partitions the offers exactly, and every aggregate's
+    schedules (min/max energy at earliest start, midpoint at latest start)
+    disaggregate into feasible member schedules that reproduce the
+    aggregate's per-interval energy — the N-to-1 contract of paper [4].
+``batched-equals-sequential``
+    The batched :class:`~repro.pipeline.FleetPipeline` result is *exactly*
+    the sequential reference loop's — offer ids included (deterministic
+    per-household id scopes).
+``engine-fidelity``
+    For approaches with a pluggable matching engine, the vectorized engine
+    reproduces the reference engine's offers within float round-off.
+``report-roundtrip``
+    The cell's output survives the RunSpec→RunReport JSON wire format
+    losslessly and deterministically.
+
+Invariants never raise on contract violations — they return them as
+messages — so one broken cell cannot hide the rest of the matrix.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.flexoffer.model import FlexOffer
+from repro.flexoffer.schedule import default_schedule
+from repro.flexoffer.validate import PolicyLimits, check_all
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.registry import ExtractorEntry
+    from repro.conformance.matrix import ConformanceScenario
+    from repro.extraction.base import FlexibilityExtractor
+    from repro.pipeline.fleet import FleetResult
+    from repro.simulation.dataset import SimulatedDataset
+
+#: Registry levels whose approaches do not remove energy from the input
+#: (the random baseline invents offers; production offers describe a
+#: forecast, they do not modify it).
+NON_CONSERVATIVE_LEVELS: frozenset[str] = frozenset({"baseline", "production"})
+
+#: Absolute per-household tolerance on |extracted − removed| (kWh).
+CONSERVATION_TOLERANCE_KWH = 1e-6
+
+#: Schedule probes of the aggregate round-trip: (energy level, start kind).
+_ROUNDTRIP_PROBES: tuple[tuple[float, str], ...] = (
+    (0.0, "earliest"),
+    (1.0, "earliest"),
+    (0.5, "latest"),
+)
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Outcome of one invariant on one cell."""
+
+    name: str
+    status: str  # "pass" | "fail" | "skipped"
+    violations: tuple[str, ...] = ()
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in ("pass", "fail", "skipped"):
+            raise ValueError(f"bad invariant status {self.status!r}")
+        object.__setattr__(self, "violations", tuple(self.violations))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "violations": list(self.violations),
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InvariantResult":
+        return cls(
+            name=data["name"],
+            status=data["status"],
+            violations=tuple(data.get("violations", ())),
+            detail=data.get("detail", ""),
+        )
+
+
+def _passed(name: str, detail: str = "") -> InvariantResult:
+    return InvariantResult(name=name, status="pass", detail=detail)
+
+
+def _skipped(name: str, detail: str) -> InvariantResult:
+    return InvariantResult(name=name, status="skipped", detail=detail)
+
+
+def _outcome(name: str, violations: list[str], detail: str = "") -> InvariantResult:
+    if violations:
+        return InvariantResult(
+            name=name, status="fail", violations=tuple(violations), detail=detail
+        )
+    return _passed(name, detail)
+
+
+@dataclass(frozen=True)
+class CellRun:
+    """Everything the invariants may inspect about one executed cell."""
+
+    scenario: "ConformanceScenario"
+    entry: "ExtractorEntry"
+    fleet: "SimulatedDataset"
+    result: "FleetResult"
+    #: The sequential-loop rerun, or ``None`` for per-household approaches
+    #: (which have no single shared pipeline extractor to compare against).
+    sequential: "FleetResult | None"
+    #: Build a fresh extractor of this cell's approach, with overrides
+    #: (used by the engine-fidelity invariant to flip ``engine``).
+    make_extractor: Callable[..., "FlexibilityExtractor"] = field(repr=False, default=None)
+
+
+# ---------------------------------------------------------------------- #
+# Invariants
+# ---------------------------------------------------------------------- #
+
+
+def check_offer_validity(run: CellRun) -> InvariantResult:
+    """Policy validity of every offer and every fleet aggregate."""
+    offers = list(run.result.offers)
+    if run.entry.level == "production":
+        limits = PolicyLimits(min_total_energy=float("-inf"))
+    else:
+        limits = PolicyLimits()
+    violations = list(check_all(offers, limits))
+    # Aggregates: profile lengths may exceed one day (members embed at
+    # offsets) and production aggregates stay sign-flipped.
+    aggregate_limits = PolicyLimits(max_slices=None, min_total_energy=float("-inf"))
+    seen: set[str] = {o.offer_id for o in offers}
+    for aggregate in run.result.aggregates:
+        violations.extend(aggregate_limits.check(aggregate.offer))
+        if aggregate.offer.offer_id in seen:
+            violations.append(f"duplicate aggregate id: {aggregate.offer.offer_id}")
+        seen.add(aggregate.offer.offer_id)
+    return _outcome(
+        "offer-validity",
+        violations,
+        detail=f"{len(offers)} offers, {len(run.result.aggregates)} aggregates",
+    )
+
+
+def check_energy_conservation(run: CellRun) -> InvariantResult:
+    """Extracted offer energy equals the energy removed from the input."""
+    if run.entry.level in NON_CONSERVATIVE_LEVELS:
+        return _skipped(
+            "energy-conservation",
+            f"{run.entry.level}-level approaches do not remove input energy",
+        )
+    violations: list[str] = []
+    for household in run.result.households:
+        error = household.summary.get("conservation_error_kwh")
+        if error is None:
+            violations.append(
+                f"{household.household_id}: summary lacks conservation_error_kwh"
+            )
+        elif error > CONSERVATION_TOLERANCE_KWH:
+            violations.append(
+                f"{household.household_id}: conservation error {error:.3e} kWh "
+                f"exceeds {CONSERVATION_TOLERANCE_KWH:.0e}"
+            )
+    midpoint_total = float(
+        sum(s.midpoint for offer in run.result.offers for s in offer.slices)
+    )
+    reported_total = float(
+        sum(h.summary.get("extracted_kwh", 0.0) for h in run.result.households)
+    )
+    if abs(midpoint_total - reported_total) > CONSERVATION_TOLERANCE_KWH * max(
+        1.0, abs(reported_total)
+    ):
+        violations.append(
+            f"offer midpoints sum to {midpoint_total:.6f} kWh but households "
+            f"report {reported_total:.6f} kWh extracted"
+        )
+    return _outcome(
+        "energy-conservation",
+        violations,
+        detail=f"fleet extracted {reported_total:.3f} kWh",
+    )
+
+
+def _roundtrip_one(aggregate, level: float, start_kind: str) -> list[str]:
+    """One schedule probe of one aggregate; returns violation messages."""
+    offer = aggregate.offer
+    start = offer.earliest_start if start_kind == "earliest" else offer.latest_start
+    label = f"{offer.offer_id} (level={level}, start={start_kind})"
+    try:
+        schedule = default_schedule(offer, start=start, level=level)
+        parts = _disaggregate(aggregate, schedule)
+    except ReproError as exc:
+        return [f"{label}: round-trip raised {type(exc).__name__}: {exc}"]
+    if len(parts) != len(aggregate.members):
+        return [f"{label}: {len(parts)} member schedules for {len(aggregate.members)} members"]
+    target = schedule.interval_energies()
+    reconstructed = np.zeros_like(target)
+    for part, offset in zip(parts, aggregate.member_offsets):
+        energies = part.interval_energies()
+        reconstructed[offset : offset + len(energies)] += energies
+    if not np.allclose(reconstructed, target, rtol=1e-9, atol=1e-9):
+        worst = float(np.max(np.abs(reconstructed - target)))
+        return [f"{label}: member energies miss the aggregate schedule by {worst:.3e} kWh"]
+    return []
+
+
+def _disaggregate(aggregate, schedule):
+    from repro.aggregation.aggregate import disaggregate_schedule
+
+    return disaggregate_schedule(aggregate, schedule)
+
+
+def check_aggregate_roundtrip(run: CellRun) -> InvariantResult:
+    """Aggregation partitions the offers and disaggregation is lossless."""
+    violations: list[str] = []
+    offers = list(run.result.offers)
+    member_ids = [m.offer_id for a in run.result.aggregates for m in a.members]
+    if sorted(member_ids) != sorted(o.offer_id for o in offers):
+        violations.append(
+            f"aggregates carry {len(member_ids)} members for {len(offers)} offers "
+            f"(partition broken)"
+        )
+    for aggregate in run.result.aggregates:
+        for level, start_kind in _ROUNDTRIP_PROBES:
+            violations.extend(_roundtrip_one(aggregate, level, start_kind))
+    return _outcome(
+        "aggregate-roundtrip",
+        violations,
+        detail=f"{len(run.result.aggregates)} aggregates x {len(_ROUNDTRIP_PROBES)} probes",
+    )
+
+
+def check_batched_equals_sequential(run: CellRun) -> InvariantResult:
+    """The batched pipeline reproduces the sequential loop exactly."""
+    from repro.pipeline.fleet import results_identical
+
+    if run.sequential is None:
+        return _skipped(
+            "batched-equals-sequential",
+            "per-household extractor parameters; no shared pipeline extractor",
+        )
+    violations: list[str] = []
+    if not results_identical(run.result, run.sequential):
+        batched, sequential = run.result, run.sequential
+        if len(batched.offers) != len(sequential.offers):
+            violations.append(
+                f"offer counts differ: batched {len(batched.offers)} vs "
+                f"sequential {len(sequential.offers)}"
+            )
+        else:
+            for index, (a, b) in enumerate(zip(batched.offers, sequential.offers)):
+                if a != b:
+                    violations.append(
+                        f"offer {index} differs: {a.offer_id} vs {b.offer_id}"
+                    )
+                    break
+            else:
+                violations.append("aggregates or household summaries differ")
+    return _outcome(
+        "batched-equals-sequential",
+        violations,
+        detail="exact equality, offer ids included",
+    )
+
+
+def check_engine_fidelity(run: CellRun) -> InvariantResult:
+    """The vectorized matching engine matches the reference engine."""
+    import dataclasses
+
+    from repro.api.registry import input_series_for
+    from repro.pipeline.bench import FIDELITY_RTOL
+    from repro.pipeline.fleet import offers_equivalent
+
+    if "matching" not in {f.name for f in dataclasses.fields(run.entry.cls)}:
+        return _skipped(
+            "engine-fidelity", "approach has no pluggable matching engine"
+        )
+    trace = run.fleet.traces[0]
+    reference = run.make_extractor(engine="reference")
+    series = input_series_for(reference, trace)
+    rng = np.random.default_rng(run.scenario.seed)  # household 0's stream
+    reference_offers = reference.extract(series, rng).offers
+    vectorized_offers: list[FlexOffer] = list(run.result.households[0].offers)
+    violations: list[str] = []
+    if not offers_equivalent(vectorized_offers, reference_offers, rtol=FIDELITY_RTOL):
+        violations.append(
+            f"household 0: vectorized engine emitted {len(vectorized_offers)} "
+            f"offers, reference engine {len(reference_offers)}; profiles differ "
+            f"beyond rtol={FIDELITY_RTOL:g}"
+        )
+    return _outcome(
+        "engine-fidelity",
+        violations,
+        detail=f"household 0, rtol={FIDELITY_RTOL:g}",
+    )
+
+
+def check_report_roundtrip(run: CellRun) -> InvariantResult:
+    """The cell's full output survives the JSON wire format losslessly."""
+    from repro.api.service import ExtractorRunReport, RunReport
+    from repro.api.spec import ExtractorSpec, RunSpec, ScenarioSpec
+
+    cell_report = ExtractorRunReport(
+        extractor=run.entry.name,
+        households=len(run.fleet.traces),
+        offers=tuple(run.result.offers),
+        aggregates=run.result.aggregates,
+        stage_seconds=run.result.timings.seconds,
+        summary={
+            "offers": float(len(run.result.offers)),
+            "aggregates": float(len(run.result.aggregates)),
+            "extracted_kwh": run.result.total_extracted_kwh,
+        },
+    )
+    spec = RunSpec(
+        kind="fleet",
+        name=f"conformance:{run.scenario.name}",
+        scenario=ScenarioSpec(
+            households=len(run.fleet.traces),
+            days=run.fleet.days,
+            seed=run.scenario.seed,
+            start=run.fleet.start,
+        ),
+        extractors=(ExtractorSpec(run.entry.name),),
+    )
+    report = RunReport(spec=spec, results=(cell_report,))
+    violations: list[str] = []
+    try:
+        text = report.to_json()
+        reloaded = RunReport.from_json(text)
+        if reloaded.to_json() != text:
+            violations.append("serialise→parse→serialise is not a fixed point")
+        if reloaded.to_dict() != report.to_dict():
+            violations.append("round-tripped report differs from the original")
+        if json.loads(text)["version"] != report.version:
+            violations.append("wire format lost the report version")
+    except ReproError as exc:
+        violations.append(f"round-trip raised {type(exc).__name__}: {exc}")
+    return _outcome(
+        "report-roundtrip",
+        violations,
+        detail=f"{len(cell_report.offers)} offers through the wire format",
+    )
+
+
+#: The invariant library, in report order.  Adding an entry here enrolls it
+#: on every cell of the matrix.
+INVARIANTS: dict[str, Callable[[CellRun], InvariantResult]] = {
+    "offer-validity": check_offer_validity,
+    "energy-conservation": check_energy_conservation,
+    "aggregate-roundtrip": check_aggregate_roundtrip,
+    "batched-equals-sequential": check_batched_equals_sequential,
+    "engine-fidelity": check_engine_fidelity,
+    "report-roundtrip": check_report_roundtrip,
+}
+
+
+def validate_invariant_names(names: tuple[str, ...] | list[str]) -> None:
+    """Raise (naming the alternatives) on any unknown invariant name."""
+    unknown = [n for n in names if n not in INVARIANTS]
+    if unknown:
+        raise ReproError(
+            f"unknown invariant(s) {', '.join(map(repr, unknown))}; "
+            f"available: {', '.join(INVARIANTS)}"
+        )
+
+
+def run_invariants(
+    run: CellRun, names: tuple[str, ...] | list[str] | None = None
+) -> tuple[InvariantResult, ...]:
+    """Run the (selected) invariant library over one executed cell."""
+    if names is None:
+        selected = INVARIANTS
+    else:
+        validate_invariant_names(names)
+        selected = {n: INVARIANTS[n] for n in names}
+    return tuple(check(run) for check in selected.values())

@@ -15,9 +15,11 @@ from repro.flexoffer.io import (
 )
 from repro.flexoffer.model import (
     FlexOffer,
+    OfferIdFactory,
     ProfileSlice,
     figure1_flexoffer,
     next_offer_id,
+    offer_id_scope,
     uniform_profile,
 )
 from repro.flexoffer.schedule import (
@@ -39,9 +41,11 @@ __all__ = [
     "schedule_from_dict",
     "schedule_to_dict",
     "FlexOffer",
+    "OfferIdFactory",
     "ProfileSlice",
     "figure1_flexoffer",
     "next_offer_id",
+    "offer_id_scope",
     "uniform_profile",
     "ScheduledFlexOffer",
     "add_to_series",

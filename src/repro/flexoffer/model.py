@@ -16,20 +16,78 @@ machinery applies to both.
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from datetime import datetime, timedelta
+from typing import Iterator
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.timeseries.axis import FIFTEEN_MINUTES
 
-_offer_counter = itertools.count(1)
+
+class OfferIdFactory:
+    """A deterministic flex-offer id source.
+
+    Ids are ``{prefix}-{namespace}-{n}`` (or ``{prefix}-{n}`` without a
+    namespace) with ``n`` counting from 1 per factory.  Two factories with
+    the same namespace mint identical id sequences, which is what lets
+    batched, sequential and multiprocessing fleet runs produce *exactly*
+    equal offers — ids included — instead of "equal modulo offer ids".
+    """
+
+    __slots__ = ("namespace", "_counter")
+
+    def __init__(self, namespace: str = "") -> None:
+        self.namespace = namespace
+        self._counter = itertools.count(1)
+
+    def next_id(self, prefix: str = "fo") -> str:
+        n = next(self._counter)
+        if self.namespace:
+            return f"{prefix}-{self.namespace}-{n}"
+        return f"{prefix}-{n}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OfferIdFactory(namespace={self.namespace!r})"
+
+
+#: The process-global default factory: unique-per-process ids, the historical
+#: behaviour of loose ``FlexOffer`` construction outside any id scope.
+_GLOBAL_FACTORY = OfferIdFactory()
+
+#: The currently installed factory (swapped by :func:`offer_id_scope`).
+_CURRENT_FACTORY: OfferIdFactory = _GLOBAL_FACTORY
 
 
 def next_offer_id(prefix: str = "fo") -> str:
-    """Generate a process-unique flex-offer identifier."""
-    return f"{prefix}-{next(_offer_counter)}"
+    """Generate a flex-offer identifier from the active id factory.
+
+    Outside any :func:`offer_id_scope` this draws from a process-global
+    counter (unique per process, different between runs); inside a scope it
+    draws from the scope's deterministic factory.
+    """
+    return _CURRENT_FACTORY.next_id(prefix)
+
+
+@contextmanager
+def offer_id_scope(namespace: str = "") -> Iterator[OfferIdFactory]:
+    """Install a fresh deterministic id factory for the duration of the block.
+
+    Every offer built inside the block gets ids ``{prefix}-{namespace}-{n}``
+    with ``n`` restarting at 1, regardless of process history — so any two
+    runs that enter the same scopes in the same order mint identical ids.
+    Scopes nest; the previous factory is restored on exit.
+    """
+    global _CURRENT_FACTORY
+    previous = _CURRENT_FACTORY
+    factory = OfferIdFactory(namespace)
+    _CURRENT_FACTORY = factory
+    try:
+        yield factory
+    finally:
+        _CURRENT_FACTORY = previous
 
 
 @dataclass(frozen=True, slots=True)

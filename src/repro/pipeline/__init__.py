@@ -18,6 +18,7 @@ from repro.pipeline.fleet import (
     StageTimings,
     canonical_offer,
     offers_equivalent,
+    results_identical,
     run_sequential,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "StageTimings",
     "canonical_offer",
     "offers_equivalent",
+    "results_identical",
     "run_sequential",
 ]

@@ -10,9 +10,14 @@ stage.
 
 Determinism contract: the pipeline seeds each household's generator from
 its fleet index exactly like the sequential loop
-(:func:`run_sequential`), so batching, chunk sizes and worker counts never
-change the extracted offers — only how fast they arrive.  The property
-test and the fleet benchmark both assert this equivalence.
+(:func:`run_sequential`), and both mint offer ids inside per-household
+:func:`~repro.flexoffer.model.offer_id_scope` namespaces (``h{index}`` for
+extraction, ``fleet`` for the aggregation stage).  Batching, chunk sizes
+and worker counts therefore never change the extracted offers — not even
+their ids — only how fast they arrive.  The property test, the fleet
+benchmark and the conformance matrix all assert this equivalence; use
+:func:`results_identical` for the strict ids-included comparison and
+:func:`offers_equivalent` for the id-free (or tolerance-relaxed) one.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from repro.api.registry import create_extractor
 from repro.errors import ValidationError
 from repro.evaluation.comparison import SEED_STRIDE, input_series_for
 from repro.extraction.base import FlexibilityExtractor
-from repro.flexoffer.model import FlexOffer
+from repro.flexoffer.model import FlexOffer, offer_id_scope
 from repro.simulation.dataset import SimulatedDataset
 from repro.simulation.household import HouseholdTrace
 from repro.timeseries.series import TimeSeries
@@ -176,6 +181,28 @@ def offers_equivalent(
     return True
 
 
+def results_identical(left: FleetResult, right: FleetResult) -> bool:
+    """True when two fleet runs are *exactly* equal — offer ids included.
+
+    Both run paths mint ids in deterministic per-household namespaces, so
+    batched vs sequential (any chunk size, any worker count) must agree on
+    everything except wall-clock timings.  This is the strict form of
+    :func:`offers_equivalent`; the conformance matrix asserts it on every
+    registered extractor.
+    """
+    if len(left.households) != len(right.households):
+        return False
+    for a, b in zip(left.households, right.households):
+        if (a.index, a.household_id, a.offers, a.summary) != (
+            b.index,
+            b.household_id,
+            b.offers,
+            b.summary,
+        ):
+            return False
+    return left.aggregates == right.aggregates
+
+
 # ---------------------------------------------------------------------- #
 # Worker entry points (module-level so they pickle under multiprocessing)
 # ---------------------------------------------------------------------- #
@@ -188,17 +215,11 @@ _WORKER_EXTRACTOR: FlexibilityExtractor | None = None
 
 
 def _init_worker(extractor: FlexibilityExtractor) -> None:
+    # Offer ids need no per-worker fixup: extraction runs inside
+    # per-household offer_id_scope namespaces, so the ids a worker mints
+    # depend only on the household index — never on pids or fork order.
     global _WORKER_EXTRACTOR
     _WORKER_EXTRACTOR = extractor
-    # Forked workers inherit the parent's process-global offer counter, so
-    # without intervention two workers mint colliding offer ids.  Restart
-    # each worker's counter in a pid-disjoint namespace.
-    import itertools
-    import os
-
-    from repro.flexoffer import model as flexoffer_model
-
-    flexoffer_model._offer_counter = itertools.count(1 + os.getpid() * 1_000_000)
 
 
 def _run_chunk_in_worker(
@@ -219,17 +240,18 @@ def _run_chunk(
     outputs: list[HouseholdOutput] = []
     for index, household_id, series in jobs:
         rng = np.random.default_rng(seed + SEED_STRIDE * index)
-        if split:
-            t0 = time.perf_counter()
-            detected = extractor.detect(series)
-            timings["disaggregate"] += time.perf_counter() - t0
-            t0 = time.perf_counter()
-            result = extractor.formulate(series, detected, rng)
-            timings["extract"] += time.perf_counter() - t0
-        else:
-            t0 = time.perf_counter()
-            result = extractor.extract(series, rng)
-            timings["extract"] += time.perf_counter() - t0
+        with offer_id_scope(f"h{index}"):
+            if split:
+                t0 = time.perf_counter()
+                detected = extractor.detect(series)
+                timings["disaggregate"] += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                result = extractor.formulate(series, detected, rng)
+                timings["extract"] += time.perf_counter() - t0
+            else:
+                t0 = time.perf_counter()
+                result = extractor.extract(series, rng)
+                timings["extract"] += time.perf_counter() - t0
         outputs.append(
             HouseholdOutput(
                 index=index,
@@ -347,7 +369,8 @@ class FleetPipeline:
         timings.add("group", time.perf_counter() - t0)
 
         t0 = time.perf_counter()
-        aggregates = aggregate_all(groups)
+        with offer_id_scope("fleet"):
+            aggregates = aggregate_all(groups)
         timings.add("aggregate", time.perf_counter() - t0)
 
         return FleetResult(
@@ -379,7 +402,8 @@ def run_sequential(
     for index, trace in enumerate(traces):
         rng = np.random.default_rng(seed + SEED_STRIDE * index)
         series = input_series_for(extractor, trace)
-        result = extractor.extract(series, rng)
+        with offer_id_scope(f"h{index}"):
+            result = extractor.extract(series, rng)
         outputs.append(
             HouseholdOutput(
                 index=index,
@@ -394,7 +418,8 @@ def run_sequential(
     groups = group_offers(all_offers, grouping)
     timings.add("group", time.perf_counter() - t0)
     t0 = time.perf_counter()
-    aggregates = aggregate_all(groups)
+    with offer_id_scope("fleet"):
+        aggregates = aggregate_all(groups)
     timings.add("aggregate", time.perf_counter() - t0)
     return FleetResult(
         households=tuple(outputs), aggregates=tuple(aggregates), timings=timings

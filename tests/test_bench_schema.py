@@ -1,0 +1,108 @@
+"""Golden-schema guards for benchmark output artefacts.
+
+Two machine-readable bench artefacts are load-bearing outside this repo:
+``BENCH_fleet.json`` (the committed fleet-pipeline speedup baseline) and
+the ``--bench-json`` table dump ``benchmarks/conftest.py`` writes for CI
+archiving.  Their *schemas* are pinned here — a drifted key, a renamed
+stage or a silently dropped section fails loudly instead of breaking
+downstream consumers at read time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN = Path(__file__).parent / "data" / "golden"
+
+
+def type_schema(value):
+    """A value's recursive shape: dict keys → schemas, lists → first element.
+
+    Numbers collapse to ``"number"`` (ints and floats drift freely in JSON),
+    every other leaf keeps its JSON type name.
+    """
+    if isinstance(value, dict):
+        return {key: type_schema(item) for key, item in sorted(value.items())}
+    if isinstance(value, list):
+        return [type_schema(value[0])] if value else []
+    if isinstance(value, bool):
+        return "bool"
+    if value is None:
+        return "null"
+    if isinstance(value, (int, float)):
+        return "number"
+    return type(value).__name__
+
+
+class TestFleetBenchBaseline:
+    def test_bench_fleet_json_schema_matches_golden(self):
+        report = json.loads((REPO_ROOT / "BENCH_fleet.json").read_text())
+        golden = json.loads((GOLDEN / "bench_fleet_schema.json").read_text())
+        assert type_schema(report) == golden
+
+    def test_bench_fleet_json_semantics(self):
+        report = json.loads((REPO_ROOT / "BENCH_fleet.json").read_text())
+        assert report["speedup"] > 1.0
+        assert report["equivalence"]["batched_equals_sequential"] is True
+        assert report["equivalence"]["reference_matches_vectorized"] is True
+        assert report["baseline"]["offers"] == report["pipeline"]["offers"]
+        stages = report["pipeline"]["stages"]
+        assert {"prepare", "disaggregate", "extract", "group", "aggregate"} <= set(
+            stages
+        )
+
+
+class TestBenchJsonWriter:
+    @pytest.fixture(scope="class")
+    def records(self, tmp_path_factory):
+        """Run the smallest bench under ``--bench-json`` in a subprocess."""
+        out = tmp_path_factory.mktemp("bench") / "tables.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "benchmarks/bench_fig1_flexoffer.py",
+                "-q",
+                "--bench-json",
+                str(out),
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        return json.loads(out.read_text())
+
+    def test_every_record_matches_golden_schema(self, records):
+        golden = json.loads((GOLDEN / "bench_json_record_schema.json").read_text())
+        assert records, "--bench-json wrote no records"
+        for record in records:
+            schema = type_schema(record)
+            # Rows/lines are optional per record; the invariant is the
+            # envelope: nodeid + title always present, payload keys known.
+            assert set(schema) == set(golden)
+            assert schema["test"] == golden["test"]
+            assert schema["title"] == golden["title"]
+
+    def test_records_carry_table_payload(self, records):
+        assert any(record["rows"] for record in records)
+        for record in records:
+            assert record["test"].startswith("benchmarks/")
+            assert record["title"]
+            if record["rows"]:
+                first_keys = set(record["rows"][0])
+                assert all(set(row) == first_keys for row in record["rows"])

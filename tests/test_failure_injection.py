@@ -7,14 +7,18 @@ crashes, no silent nonsense — either empty results or explicit errors.
 
 from __future__ import annotations
 
+import re
 from datetime import datetime
 
 import numpy as np
 import pytest
 
+from repro.api.registry import create_extractor
+from repro.api.service import FlexibilityService
 from repro.disaggregation.baseline import remove_baseline
 from repro.disaggregation.matching import match_pursuit
 from repro.appliances.database import default_database
+from repro.errors import DataError, RegistryError
 from repro.extraction import (
     BasicExtractor,
     FlexOfferParams,
@@ -126,6 +130,91 @@ class TestMultiTariffDegenerate:
         extractor = MultiTariffExtractor(reference=flat, scheme=night_tariff())
         result = extractor.extract(flat, rng)
         assert result.offers == []
+
+
+class TestRegistryFailureInjection:
+    """Registry-constructed extractors on bad params and bad inputs.
+
+    The registry is the construction surface for every string-driven
+    caller (CLI, run specs, conformance matrix); its error messages are
+    operator-facing contract and are pinned verbatim.
+    """
+
+    def test_unknown_approach_suggests_and_lists(self):
+        with pytest.raises(
+            RegistryError,
+            match=re.escape(
+                "unknown extractor 'frequenzy-based' "
+                "(did you mean 'frequency-based'?); available: "
+            ),
+        ):
+            create_extractor("frequenzy-based")
+
+    def test_unknown_parameter_names_accepted_set(self):
+        with pytest.raises(
+            RegistryError,
+            match=re.escape(
+                "extractor 'peak-based' has no parameter 'bogus'; accepted: "
+            ),
+        ):
+            create_extractor("peak-based", bogus=1)
+
+    def test_missing_required_parameter(self):
+        with pytest.raises(
+            RegistryError,
+            match=re.escape(
+                "extractor 'multi-tariff' requires parameter(s) 'reference' "
+                "(e.g. the multi-tariff approach needs a one-tariff "
+                "reference series of the same consumer)"
+            ),
+        ):
+            create_extractor("multi-tariff")
+
+    def test_bad_value_routed_into_nested_config(self):
+        with pytest.raises(
+            RegistryError,
+            match=re.escape(
+                "extractor 'basic': flexible_share must be in (0, 1], got -2.0"
+            ),
+        ):
+            create_extractor("basic", flexible_share=-2.0)
+
+    def test_bad_engine_through_registry(self):
+        with pytest.raises(
+            RegistryError,
+            match=re.escape(
+                "extractor 'frequency-based': engine must be one of "
+                "('vectorized', 'reference'), got 'turbo'"
+            ),
+        ):
+            create_extractor("frequency-based", engine="turbo")
+
+    def test_wrong_input_grid_rejected_before_extraction(self, fleet):
+        metered = fleet.traces[0].metered()  # 15-minute grid
+        with pytest.raises(
+            RegistryError,
+            match=re.escape(
+                "approach 'frequency-based' requires input on the "
+                "1-minute grid, got 0:15:00 resolution"
+            ),
+        ):
+            FlexibilityService().extract("frequency-based", metered)
+
+    def test_nan_laden_series_rejected_at_the_door(self):
+        # NaN never reaches an extractor: the series type refuses to hold it
+        # (gap channels are explicit masks, see timeseries.clean).
+        axis = axis_for_days(START, 1)
+        values = np.full(axis.length, 0.3)
+        values[10] = np.nan
+        with pytest.raises(DataError, match=re.escape("values contain NaN")):
+            TimeSeries(axis, values)
+
+    def test_registry_extractors_survive_dead_meters(self, rng):
+        dead = TimeSeries.zeros(axis_for_days(START, 2))
+        for name in ("basic", "peak-based"):
+            result = create_extractor(name, flexible_share=0.05).extract(dead, rng)
+            assert result.offers == []
+            assert result.energy_conservation_error() < 1e-9
 
 
 class TestTinyHorizons:

@@ -9,9 +9,11 @@ import pytest
 from repro.errors import ValidationError
 from repro.flexoffer.model import (
     FlexOffer,
+    OfferIdFactory,
     ProfileSlice,
     figure1_flexoffer,
     next_offer_id,
+    offer_id_scope,
     uniform_profile,
 )
 from repro.timeseries.axis import FIFTEEN_MINUTES
@@ -163,6 +165,43 @@ class TestQueries:
     def test_offer_ids_unique(self):
         ids = {next_offer_id() for _ in range(100)}
         assert len(ids) == 100
+
+
+class TestOfferIdScopes:
+    """The seedable id factory behind deterministic pipeline equality."""
+
+    def test_factory_is_deterministic(self):
+        first = OfferIdFactory("h3")
+        second = OfferIdFactory("h3")
+        assert [first.next_id() for _ in range(3)] == [
+            second.next_id() for _ in range(3)
+        ]
+        assert first.next_id("agg") == "agg-h3-4"
+
+    def test_scope_restarts_and_restores(self):
+        outside = next_offer_id()
+        with offer_id_scope("unit"):
+            assert next_offer_id() == "fo-unit-1"
+            assert next_offer_id("agg") == "agg-unit-2"
+            with offer_id_scope("inner"):
+                assert next_offer_id() == "fo-inner-1"
+            assert next_offer_id() == "fo-unit-3"
+        # The global counter resumes exactly where it left off.
+        assert next_offer_id() != outside
+        assert next_offer_id().startswith("fo-")
+
+    def test_scoped_offers_reproducible(self):
+        def build():
+            with offer_id_scope("rep"):
+                return figure1_flexoffer(datetime(2012, 3, 5))
+
+        assert build().offer_id == build().offer_id
+
+    def test_scope_restored_on_error(self):
+        with pytest.raises(RuntimeError):
+            with offer_id_scope("boom"):
+                raise RuntimeError("kaboom")
+        assert "boom" not in next_offer_id()
 
 
 class TestFigure1:

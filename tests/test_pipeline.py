@@ -21,6 +21,7 @@ from repro.pipeline import (
     StageTimings,
     canonical_offer,
     offers_equivalent,
+    results_identical,
     run_sequential,
 )
 from repro.simulation.dataset import generate_fleet
@@ -39,6 +40,8 @@ class TestFleetPipeline:
         batched = FleetPipeline(extractor, chunk_size=2).run(tiny_fleet)
         sequential = run_sequential(tiny_fleet, extractor)
         assert offers_equivalent(batched.offers, sequential.offers)
+        # Deterministic per-household id scopes: exact equality, ids included.
+        assert results_identical(batched, sequential)
         assert len(batched.households) == 4
 
     def test_batched_equals_sequential_appliance_level(self, tiny_fleet):
@@ -46,6 +49,7 @@ class TestFleetPipeline:
         batched = FleetPipeline(extractor, chunk_size=3).run(tiny_fleet)
         sequential = run_sequential(tiny_fleet, extractor)
         assert offers_equivalent(batched.offers, sequential.offers)
+        assert results_identical(batched, sequential)
 
     def test_chunk_size_invariance(self, tiny_fleet):
         extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
@@ -77,15 +81,16 @@ class TestFleetPipeline:
         member_count = sum(a.size for a in result.aggregates)
         assert member_count == len(result.offers)
 
-    def test_worker_fanout_unique_offer_ids(self, tiny_fleet):
-        # Forked workers restart the offer counter in pid-disjoint
-        # namespaces; ids must never collide across chunks.
+    def test_worker_fanout_deterministic_offer_ids(self, tiny_fleet):
+        # Workers mint ids inside per-household scopes, so a fanned-out run
+        # is bit-identical to the in-process sequential loop — ids included.
         extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
         fanned = FleetPipeline(extractor, chunk_size=1, workers=2).run(tiny_fleet)
         ids = [offer.offer_id for offer in fanned.offers]
         assert len(set(ids)) == len(ids)
         sequential = run_sequential(tiny_fleet, extractor)
         assert offers_equivalent(fanned.offers, sequential.offers)
+        assert results_identical(fanned, sequential)
 
     def test_empty_fleet_rejected(self):
         with pytest.raises(ValidationError):
