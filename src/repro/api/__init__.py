@@ -44,6 +44,7 @@ from repro.api.spec import (
     PipelineSpec,
     RunSpec,
     ScenarioSpec,
+    ScheduleSpec,
     load_run_spec,
     save_run_spec,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "PipelineSpec",
     "RunSpec",
     "ScenarioSpec",
+    "ScheduleSpec",
     "load_run_spec",
     "save_run_spec",
 ]

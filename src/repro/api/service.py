@@ -41,12 +41,15 @@ from repro.flexoffer.io import (
     aggregated_to_dict,
     flexoffer_from_dict,
     flexoffer_to_dict,
+    schedule_result_from_dict,
+    schedule_result_to_dict,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.aggregation.aggregate import AggregatedFlexOffer
     from repro.extraction.base import ExtractionResult
     from repro.flexoffer.model import FlexOffer
+    from repro.scheduling.greedy import ScheduleResult
     from repro.timeseries.series import TimeSeries
 
 #: Wire-format version of run reports; bump on incompatible change.
@@ -59,7 +62,12 @@ def _frozen(mapping: Mapping[str, Any]) -> Mapping[str, Any]:
 
 @dataclass(frozen=True)
 class ExtractorRunReport:
-    """One approach's share of a run: offers, aggregates, timings, summary."""
+    """One approach's share of a run: offers, aggregates, timings, summary.
+
+    ``schedule`` carries the schedule-stage output when the run placed the
+    fleet aggregates against a target; the wire format omits the key when
+    absent, so pre-schedule reports keep loading unchanged.
+    """
 
     extractor: str
     households: int
@@ -67,6 +75,7 @@ class ExtractorRunReport:
     aggregates: tuple["AggregatedFlexOffer", ...] = ()
     stage_seconds: Mapping[str, float] = field(default_factory=dict)
     summary: Mapping[str, Any] = field(default_factory=dict)
+    schedule: "ScheduleResult | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "offers", tuple(self.offers))
@@ -75,7 +84,7 @@ class ExtractorRunReport:
         object.__setattr__(self, "summary", _frozen(self.summary))
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        encoded = {
             "extractor": self.extractor,
             "households": self.households,
             "offers": [flexoffer_to_dict(o) for o in self.offers],
@@ -83,9 +92,13 @@ class ExtractorRunReport:
             "stage_seconds": dict(self.stage_seconds),
             "summary": dict(self.summary),
         }
+        if self.schedule is not None:
+            encoded["schedule"] = schedule_result_to_dict(self.schedule)
+        return encoded
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExtractorRunReport":
+        schedule = data.get("schedule")
         try:
             return cls(
                 extractor=data["extractor"],
@@ -96,6 +109,7 @@ class ExtractorRunReport:
                 ),
                 stage_seconds=data.get("stage_seconds", {}),
                 summary=data.get("summary", {}),
+                schedule=None if schedule is None else schedule_result_from_dict(schedule),
             )
         except KeyError as exc:
             raise DataError(f"extractor run report missing field: {exc}") from exc
@@ -216,10 +230,32 @@ class FlexibilityService:
             scenario.households, scenario.start, scenario.days, seed=scenario.seed
         )
 
+    def _build_target(self, spec: RunSpec) -> "TimeSeries":
+        """Synthesise the schedule stage's target series from the spec."""
+        import numpy as np
+
+        from repro.simulation.res import simulate_wind_production
+        from repro.timeseries.axis import axis_for_days
+        from repro.timeseries.series import TimeSeries
+
+        schedule = spec.pipeline.schedule
+        axis = axis_for_days(spec.scenario.start, spec.scenario.days)
+        if schedule.target == "wind":
+            series = simulate_wind_production(
+                axis, np.random.default_rng(schedule.target_seed)
+            )
+        else:
+            series = TimeSeries.full(axis, 1.0, name="flat-target")
+        if schedule.target_kwh is not None and series.total() > 0:
+            series = series * (schedule.target_kwh / series.total())
+        return series
+
     def _run_fleet(self, spec: RunSpec) -> RunReport:
         from repro.pipeline.fleet import FleetPipeline
 
         fleet = self._simulate(spec)
+        schedule_spec = spec.pipeline.schedule
+        target = self._build_target(spec) if schedule_spec is not None else None
         results = []
         for extractor_spec in spec.extractors:
             pipeline = FleetPipeline(
@@ -228,8 +264,16 @@ class FlexibilityService:
                 chunk_size=spec.pipeline.chunk_size,
                 workers=spec.pipeline.workers,
                 seed=spec.scenario.seed,
+                schedule=None if schedule_spec is None else schedule_spec.config(),
             )
-            fleet_result = pipeline.run(fleet)
+            fleet_result = pipeline.run(fleet, target=target)
+            summary = {
+                "offers": float(len(fleet_result.offers)),
+                "aggregates": float(len(fleet_result.aggregates)),
+                "extracted_kwh": fleet_result.total_extracted_kwh,
+            }
+            if fleet_result.schedule is not None:
+                summary.update(fleet_result.schedule.summary())
             results.append(
                 ExtractorRunReport(
                     extractor=extractor_spec.name,
@@ -237,11 +281,8 @@ class FlexibilityService:
                     offers=tuple(fleet_result.offers),
                     aggregates=fleet_result.aggregates,
                     stage_seconds=fleet_result.timings.seconds,
-                    summary={
-                        "offers": float(len(fleet_result.offers)),
-                        "aggregates": float(len(fleet_result.aggregates)),
-                        "extracted_kwh": fleet_result.total_extracted_kwh,
-                    },
+                    summary=summary,
+                    schedule=fleet_result.schedule,
                 )
             )
         return RunReport(spec=spec, results=tuple(results))
@@ -312,17 +353,23 @@ class FlexibilityService:
         scenarios: tuple[str, ...] | list[str] | None = None,
         extractors: tuple[str, ...] | list[str] | None = None,
         invariants: tuple[str, ...] | list[str] | None = None,
+        workers: int | None = None,
     ):
         """Run the scenario-matrix invariant harness (repro.conformance).
 
         Crosses every registered extractor with every compatible scenario
         of the conformance matrix (optionally restricted by name) and
         returns the :class:`~repro.conformance.runner.ConformanceReport`.
+        ``workers`` > 1 fans cells out over a process pool; the report is
+        identical to the in-process run.
         """
         from repro.conformance import run_conformance
 
         return run_conformance(
-            scenarios=scenarios, extractors=extractors, invariants=invariants
+            scenarios=scenarios,
+            extractors=extractors,
+            invariants=invariants,
+            workers=workers,
         )
 
     # ------------------------------------------------------------------ #

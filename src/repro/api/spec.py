@@ -162,13 +162,112 @@ class ExtractorSpec:
         return cls(name=name, params=dict(params))
 
 
+#: Target-series kinds the schedule stage can synthesise declaratively.
+SCHEDULE_TARGETS: tuple[str, ...] = ("wind", "flat")
+
+#: Placement orders / engines — mirror ``repro.scheduling.greedy`` (kept in
+#: sync by a test; duplicated here so the spec layer stays import-light).
+SCHEDULE_ORDERS: tuple[str, ...] = ("least-flexible-first", "largest-first", "as-given")
+SCHEDULE_ENGINES: tuple[str, ...] = ("vectorized", "reference")
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleSpec:
+    """The declarative schedule stage: place fleet aggregates on a target.
+
+    The target series is synthesised deterministically from the spec —
+    ``"wind"`` simulates RES production on the scenario's metering axis
+    from ``target_seed``, ``"flat"`` is a constant series — and
+    ``target_kwh`` (when given) rescales its total energy.  The remaining
+    fields mirror :class:`repro.scheduling.greedy.ScheduleConfig`.
+    """
+
+    target: str = "wind"
+    target_seed: int = 2
+    target_kwh: float | None = None
+    order: str = "least-flexible-first"
+    engine: str = "vectorized"
+    improve_iterations: int = 0
+    improve_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target not in SCHEDULE_TARGETS:
+            raise SpecError(
+                f"schedule.target must be one of {', '.join(SCHEDULE_TARGETS)}, "
+                f"got {self.target!r}"
+            )
+        if self.order not in SCHEDULE_ORDERS:
+            raise SpecError(
+                f"schedule.order must be one of {', '.join(SCHEDULE_ORDERS)}, "
+                f"got {self.order!r}"
+            )
+        if self.engine not in SCHEDULE_ENGINES:
+            raise SpecError(
+                f"schedule.engine must be one of {', '.join(SCHEDULE_ENGINES)}, "
+                f"got {self.engine!r}"
+            )
+        if self.target_kwh is not None and self.target_kwh <= 0:
+            raise SpecError("schedule.target_kwh must be > 0 (or null)")
+        if self.improve_iterations < 0:
+            raise SpecError("schedule.improve_iterations must be >= 0")
+
+    def config(self):
+        """The stage configuration as the scheduling layer's own dataclass."""
+        from repro.scheduling.greedy import ScheduleConfig
+
+        return ScheduleConfig(
+            order=self.order,
+            engine=self.engine,
+            improve_iterations=self.improve_iterations,
+            improve_seed=self.improve_seed,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "target": self.target,
+            "target_seed": self.target_seed,
+            "target_kwh": self.target_kwh,
+            "order": self.order,
+            "engine": self.engine,
+            "improve_iterations": self.improve_iterations,
+            "improve_seed": self.improve_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScheduleSpec":
+        allowed = tuple(f.name for f in fields(cls))
+        _require_keys(data, allowed, "pipeline.schedule")
+        kwargs: dict[str, Any] = {}
+        for key in ("target", "order", "engine"):
+            if key in data:
+                kwargs[key] = _require_type(
+                    data[key], (str,), f"pipeline.schedule.{key}"
+                )
+        for key in ("target_seed", "improve_iterations", "improve_seed"):
+            if key in data:
+                kwargs[key] = _require_type(
+                    data[key], (int,), f"pipeline.schedule.{key}"
+                )
+        if "target_kwh" in data and data["target_kwh"] is not None:
+            kwargs["target_kwh"] = float(
+                _require_type(
+                    data["target_kwh"], (int, float), "pipeline.schedule.target_kwh"
+                )
+            )
+        return cls(**kwargs)
+
+
 @dataclass(frozen=True, slots=True)
 class PipelineSpec:
-    """How the fleet execution is batched, fanned out and grouped.
+    """How the fleet execution is batched, fanned out, grouped — and,
+    optionally, scheduled.
 
     Mirrors :class:`repro.pipeline.FleetPipeline` plus the
     :class:`repro.aggregation.grouping.GroupingParams` grid, in
-    JSON-scalar units (minutes for the grouping tolerances).
+    JSON-scalar units (minutes for the grouping tolerances).  A non-null
+    ``schedule`` enables the market-facing schedule stage; the key is
+    omitted from the wire format when absent so pre-schedule spec files and
+    goldens keep loading unchanged.
     """
 
     chunk_size: int = 8
@@ -176,6 +275,7 @@ class PipelineSpec:
     start_tolerance_minutes: int = 120
     flexibility_tolerance_minutes: int = 240
     max_group_size: int = 64
+    schedule: ScheduleSpec | None = None
 
     def __post_init__(self) -> None:
         if self.chunk_size < 1:
@@ -200,13 +300,16 @@ class PipelineSpec:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        encoded: dict[str, Any] = {
             "chunk_size": self.chunk_size,
             "workers": self.workers,
             "start_tolerance_minutes": self.start_tolerance_minutes,
             "flexibility_tolerance_minutes": self.flexibility_tolerance_minutes,
             "max_group_size": self.max_group_size,
         }
+        if self.schedule is not None:
+            encoded["schedule"] = self.schedule.to_dict()
+        return encoded
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PipelineSpec":
@@ -217,7 +320,9 @@ class PipelineSpec:
             if key not in data:
                 continue
             value = data[key]
-            if key == "workers" and value is None:
+            if key == "schedule":
+                kwargs[key] = None if value is None else ScheduleSpec.from_dict(value)
+            elif key == "workers" and value is None:
                 kwargs[key] = None
             else:
                 kwargs[key] = _require_type(value, (int,), f"pipeline.{key}")

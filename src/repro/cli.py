@@ -136,16 +136,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="include the random baseline")
 
     bench = sub.add_parser(
-        "bench", help="run the fleet-pipeline benchmark and print the stage table"
+        "bench",
+        help="run a benchmark suite: the fleet pipeline (with its stage "
+        "table) or the scheduling engine",
     )
-    bench.add_argument("--households", type=int, default=20)
+    bench.add_argument(
+        "--suite", choices=("fleet", "schedule"), default="fleet",
+        help="'fleet' = batched extract→aggregate→schedule pipeline vs the "
+        "sequential loop; 'schedule' = vectorized vs reference placement "
+        "engine on aggregated offers",
+    )
+    bench.add_argument("--households", type=int, default=20,
+                       help="fleet size (fleet suite)")
     bench.add_argument("--days", type=int, default=7)
     bench.add_argument("--seed", type=int, default=13)
     bench.add_argument("--workers", type=int, default=None,
-                       help="fan extraction out over N worker processes")
-    bench.add_argument("--chunk-size", type=int, default=8)
+                       help="fan extraction out over N worker processes (fleet suite)")
+    bench.add_argument("--chunk-size", type=int, default=8,
+                       help="households per batch (fleet suite)")
+    bench.add_argument("--aggregates", type=int, default=220,
+                       help="aggregated offers to place (schedule suite)")
     bench.add_argument("--out", type=Path, default=None,
-                       help="write the JSON report here (e.g. BENCH_fleet.json)")
+                       help="write the JSON report here (e.g. BENCH_fleet.json "
+                       "or BENCH_schedule.json)")
 
     conf = sub.add_parser(
         "conformance",
@@ -166,8 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conf.add_argument("--list", action="store_true",
                       help="list the matrix scenarios and invariants, then exit")
+    conf.add_argument("--workers", type=int, default=None,
+                      help="fan matrix cells out over N worker processes "
+                      "(the report is identical to the in-process run)")
     conf.add_argument("--out", type=Path, default=None,
                       help="write the full ConformanceReport JSON here")
+    conf.add_argument("--markdown", type=Path, default=None,
+                      help="write the report as a markdown table here "
+                      "(e.g. for the CI job summary)")
 
     sub.add_parser("figures", help="print the paper's figures (ASCII)")
     return parser
@@ -252,6 +271,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite == "schedule":
+        return _cmd_bench_schedule(args)
     from repro.pipeline import run_fleet_benchmark
 
     print(
@@ -267,12 +288,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         out_path=args.out,
     )
     print(format_table(stage_table_rows(report, result)))
+    schedule = report["schedule"]
     equivalence = report["equivalence"]
     print(
-        f"\nspeedup: {report['speedup']}x over the sequential reference loop; "
+        f"\nschedule stage: {schedule['placed']} aggregates placed on a "
+        f"{schedule['target_kwh']:.1f} kWh target "
+        f"({schedule['improvement']:.1%} imbalance reduction)"
+    )
+    print(
+        f"speedup: {report['speedup']}x over the sequential reference loop; "
         f"batched == sequential: {equivalence['batched_equals_sequential']}; "
         f"reference matches within {equivalence['fidelity_rtol']:g}: "
         f"{equivalence['reference_matches_vectorized']}"
+    )
+    if args.out is not None:
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_bench_schedule(args: argparse.Namespace) -> int:
+    from repro.scheduling import run_schedule_benchmark, schedule_table_rows
+
+    print(
+        f"Schedule benchmark: {args.aggregates} aggregated offers x "
+        f"{args.days} day target (seed {args.seed}) ..."
+    )
+    report, _ = run_schedule_benchmark(
+        n_aggregates=args.aggregates,
+        days=args.days,
+        seed=args.seed,
+        out_path=args.out,
+    )
+    print(format_table(schedule_table_rows(report)))
+    equivalence = report["equivalence"]
+    print(
+        f"\ngreedy speedup: {report['greedy']['speedup']}x; placements "
+        f"identical: {equivalence['placements_identical']}; cost within "
+        f"{equivalence['fidelity_rtol']:g}: {equivalence['cost_match']}"
     )
     if args.out is not None:
         print(f"wrote {args.out}")
@@ -298,6 +350,7 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         scenarios=args.scenario,
         extractors=args.extractor,
         invariants=args.invariant,
+        workers=args.workers,
     )
     print(format_table(report.table_rows()))
     summary = report.summary()
@@ -310,6 +363,9 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     if args.out is not None:
         report.save(args.out)
         print(f"wrote {args.out}")
+    if args.markdown is not None:
+        report.save_markdown(args.markdown)
+        print(f"wrote {args.markdown}")
     return 0 if report.passed else 1
 
 

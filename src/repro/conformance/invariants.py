@@ -24,6 +24,10 @@ guarantees added by the pipeline and API layers):
 ``engine-fidelity``
     For approaches with a pluggable matching engine, the vectorized engine
     reproduces the reference engine's offers within float round-off.
+``scheduling-feasibility``
+    The schedule stage (greedy placement of the fleet aggregates) and a
+    stochastic-improvement pass over it respect every offer's time window
+    and slice bounds, partition the aggregates, and never regress cost.
 ``report-roundtrip``
     The cell's output survives the RunSpec→RunReport JSON wire format
     losslessly and deterministically.
@@ -315,6 +319,99 @@ def check_engine_fidelity(run: CellRun) -> InvariantResult:
     )
 
 
+def _schedule_violations(label: str, result) -> list[str]:
+    """Bounds/partition checks on one scheduling run (shared by probes)."""
+    violations: list[str] = []
+    tolerance = 1e-9
+    demand = np.zeros_like(result.demand.values)
+    axis = result.demand.axis
+    for schedule in result.schedules:
+        offer = schedule.offer
+        prefix = f"{label}: {offer.offer_id}"
+        if not offer.earliest_start <= schedule.start <= offer.latest_start:
+            violations.append(
+                f"{prefix} starts at {schedule.start} outside "
+                f"[{offer.earliest_start}, {offer.latest_start}]"
+            )
+        if (schedule.start - offer.earliest_start) % offer.resolution:
+            violations.append(
+                f"{prefix} start {schedule.start} is off the offer's grid"
+            )
+        for i, (energy, sl) in enumerate(zip(schedule.slice_energies, offer.slices)):
+            if not sl.energy_min - tolerance <= energy <= sl.energy_max + tolerance:
+                violations.append(
+                    f"{prefix} slice {i} energy {energy} outside "
+                    f"[{sl.energy_min}, {sl.energy_max}]"
+                )
+        tmin, tmax = offer.effective_total_bounds()
+        if not tmin - tolerance <= schedule.total_energy <= tmax + tolerance:
+            violations.append(
+                f"{prefix} total {schedule.total_energy} outside [{tmin}, {tmax}]"
+            )
+        first = axis.index_of(schedule.start)
+        energies = schedule.interval_energies()
+        demand[first : first + len(energies)] += energies
+    if not np.allclose(demand, result.demand.values, rtol=1e-9, atol=1e-9):
+        worst = float(np.max(np.abs(demand - result.demand.values)))
+        violations.append(
+            f"{label}: demand plan misses the summed placements by {worst:.3e} kWh"
+        )
+    return violations
+
+
+def check_scheduling_feasibility(run: CellRun) -> InvariantResult:
+    """Greedy and stochastic scheduler output respects every offer's bounds.
+
+    The cell's schedule stage (greedy placement of the fleet aggregates on
+    the scenario target) and a stochastic-improvement pass over it must
+    both produce placements inside each offer's time window and slice
+    energy bounds and partition the aggregates into placed + unplaced; the
+    stochastic pass must never cost more than its input.  (Greedy cost may
+    legitimately exceed the do-nothing baseline: every offer's minimum
+    energy must run somewhere, even when the target is already soaked up.)
+    """
+    from repro.scheduling.stochastic import improve_schedule
+
+    schedule = run.result.schedule
+    if schedule is None:
+        return _skipped(
+            "scheduling-feasibility", "cell ran without a schedule stage"
+        )
+    violations: list[str] = []
+    scheduled_ids = sorted(
+        [s.offer.offer_id for s in schedule.schedules]
+        + [o.offer_id for o in schedule.unplaced]
+    )
+    aggregate_ids = sorted(a.offer.offer_id for a in run.result.aggregates)
+    if scheduled_ids != aggregate_ids:
+        violations.append(
+            f"schedule covers {len(scheduled_ids)} aggregates of "
+            f"{len(aggregate_ids)} (partition broken)"
+        )
+    violations.extend(_schedule_violations("greedy", schedule))
+    try:
+        improved = improve_schedule(
+            schedule, np.random.default_rng(run.scenario.seed), iterations=60
+        )
+    except ReproError as exc:
+        violations.append(f"stochastic improver raised {type(exc).__name__}: {exc}")
+    else:
+        violations.extend(_schedule_violations("stochastic", improved))
+        if improved.cost > schedule.cost + 1e-9:
+            violations.append(
+                f"stochastic cost {improved.cost:.6f} worse than its input "
+                f"{schedule.cost:.6f}"
+            )
+    return _outcome(
+        "scheduling-feasibility",
+        violations,
+        detail=(
+            f"{len(schedule.schedules)} placed, {len(schedule.unplaced)} "
+            f"unplaced, improvement {schedule.improvement:.1%}"
+        ),
+    )
+
+
 def check_report_roundtrip(run: CellRun) -> InvariantResult:
     """The cell's full output survives the JSON wire format losslessly."""
     from repro.api.service import ExtractorRunReport, RunReport
@@ -331,6 +428,7 @@ def check_report_roundtrip(run: CellRun) -> InvariantResult:
             "aggregates": float(len(run.result.aggregates)),
             "extracted_kwh": run.result.total_extracted_kwh,
         },
+        schedule=run.result.schedule,
     )
     spec = RunSpec(
         kind="fleet",
@@ -371,6 +469,7 @@ INVARIANTS: dict[str, Callable[[CellRun], InvariantResult]] = {
     "aggregate-roundtrip": check_aggregate_roundtrip,
     "batched-equals-sequential": check_batched_equals_sequential,
     "engine-fidelity": check_engine_fidelity,
+    "scheduling-feasibility": check_scheduling_feasibility,
     "report-roundtrip": check_report_roundtrip,
 }
 

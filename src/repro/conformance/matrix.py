@@ -129,6 +129,12 @@ def scenario_matrix() -> tuple[ConformanceScenario, ...]:
             tags=frozenset({"appliance", "calendar"}),
         ),
         ConformanceScenario(
+            name="dst-fallback-week",
+            description="The 2012 European autumn fall-back week (Mon..Sun over 10-28)",
+            build=w.dst_fallback_fleet,
+            tags=frozenset({"appliance", "calendar"}),
+        ),
+        ConformanceScenario(
             name="gap-ridden-metering",
             description="Meters with 30-180 min dead windows (outages read zero)",
             build=w.gap_ridden_fleet,

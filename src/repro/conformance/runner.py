@@ -38,11 +38,19 @@ from repro.pipeline.fleet import (
     FleetResult,
     HouseholdOutput,
     StageTimings,
+    fleet_schedule_target,
     run_sequential,
+    schedule_aggregates,
 )
+from repro.scheduling.greedy import ScheduleConfig
 
 #: Wire-format version of conformance reports; bump on incompatible change.
 CONFORMANCE_VERSION = 1
+
+#: Every cell runs the schedule stage with this configuration (greedy
+#: placement only; the scheduling-feasibility invariant exercises the
+#: stochastic improver separately on the greedy output).
+CELL_SCHEDULE_CONFIG = ScheduleConfig()
 
 
 @dataclass(frozen=True)
@@ -208,14 +216,50 @@ class ConformanceReport:
     def load(cls, path: str | Path) -> "ConformanceReport":
         return cls.from_json(Path(path).read_text())
 
+    def to_markdown(self) -> str:
+        """The report as a GitHub-flavoured markdown table (CI job summary)."""
+        summary = self.summary()
+        headline = "✅ conformance passed" if self.passed else "❌ conformance FAILED"
+        lines = [
+            "## Conformance matrix",
+            "",
+            f"{headline} — {summary['cells']} cells, "
+            f"{summary['passed']} passed, {summary['failed']} failed, "
+            f"{summary['violations']} violations",
+            "",
+            "| scenario | extractor | offers | aggregates | kWh | status |",
+            "|---|---|---:|---:|---:|---|",
+        ]
+        for row in self.table_rows():
+            status = row["status"]
+            if row["skipped"]:
+                status += f" ({row['skipped']} skipped)"
+            lines.append(
+                f"| {row['scenario']} | {row['extractor']} | {row['offers']} "
+                f"| {row['aggregates']} | {row['kwh']} | {status} |"
+            )
+        violations = self.violations()
+        if violations:
+            lines += ["", "### Violations", ""]
+            lines += [f"- `{message}`" for message in violations]
+        return "\n".join(lines) + "\n"
+
+    def save_markdown(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_markdown())
+
 
 # ---------------------------------------------------------------------- #
 # Cell execution
 # ---------------------------------------------------------------------- #
 
 
+def cell_schedule_target(scenario: ConformanceScenario, fleet):
+    """The deterministic schedule-stage target of a scenario's cells."""
+    return fleet_schedule_target(fleet, seed=scenario.seed + 1)
+
+
 def _run_per_household(
-    scenario: ConformanceScenario, entry: ExtractorEntry, fleet
+    scenario: ConformanceScenario, entry: ExtractorEntry, fleet, target
 ) -> FleetResult:
     """Sequential run with a household-specific extractor per trace.
 
@@ -252,6 +296,7 @@ def _run_per_household(
         households=tuple(outputs),
         aggregates=tuple(aggregates),
         timings=StageTimings(),
+        schedule=schedule_aggregates(aggregates, target, CELL_SCHEDULE_CONFIG),
     )
 
 
@@ -268,6 +313,7 @@ def run_cell(
     is not selected, halving restricted runs.
     """
     fleet = scenario.build()
+    target = cell_schedule_target(scenario, fleet)
     params = scenario.params_for(entry.name)
     needs_sequential = invariants is None or "batched-equals-sequential" in invariants
 
@@ -279,7 +325,7 @@ def run_cell(
                 entry.name, **{**params, **dict(per_household(0)), **overrides}
             )
 
-        result = _run_per_household(scenario, entry, fleet)
+        result = _run_per_household(scenario, entry, fleet, target)
         sequential = None
     else:
 
@@ -288,11 +334,20 @@ def run_cell(
 
         extractor = make_extractor()
         pipeline = FleetPipeline(
-            extractor, chunk_size=scenario.chunk_size, seed=scenario.seed
+            extractor,
+            chunk_size=scenario.chunk_size,
+            seed=scenario.seed,
+            schedule=CELL_SCHEDULE_CONFIG,
         )
-        result = pipeline.run(fleet)
+        result = pipeline.run(fleet, target=target)
         sequential = (
-            run_sequential(fleet, extractor, seed=scenario.seed)
+            run_sequential(
+                fleet,
+                extractor,
+                seed=scenario.seed,
+                target=target,
+                schedule_config=CELL_SCHEDULE_CONFIG,
+            )
             if needs_sequential
             else None
         )
@@ -352,10 +407,34 @@ def _crashed_cell_report(
     )
 
 
+def _run_cell_to_dict(
+    scenario_name: str,
+    extractor_name: str,
+    invariants: tuple[str, ...] | None,
+) -> dict[str, Any]:
+    """Worker entry point: execute one cell, return its report as a dict.
+
+    Module-level (so it pickles under multiprocessing) and dict-valued (so
+    the parent rebuilds the exact :class:`CellReport` the in-process path
+    would have produced — the worker-fanout ≡ in-process contract).
+    """
+    from repro.api.registry import get_entry
+    from repro.conformance.matrix import get_scenario
+
+    scenario = get_scenario(scenario_name)
+    entry = get_entry(extractor_name)
+    try:
+        report = check_cell(run_cell(scenario, entry, invariants), invariants)
+    except Exception as exc:  # noqa: BLE001 - isolation is the contract
+        report = _crashed_cell_report(scenario, entry, exc)
+    return report.to_dict()
+
+
 def run_conformance(
     scenarios: tuple[str, ...] | list[str] | None = None,
     extractors: tuple[str, ...] | list[str] | None = None,
     invariants: tuple[str, ...] | list[str] | None = None,
+    workers: int | None = None,
 ) -> ConformanceReport:
     """Run every compatible cell of the (sub)matrix and report.
 
@@ -363,14 +442,45 @@ def run_conformance(
     the default is the full matrix under the full invariant library.
     Unknown names fail fast (before any cell executes); a cell whose
     execution raises becomes a failing cell report instead of aborting
-    the matrix.
+    the matrix.  ``workers`` > 1 fans cells out over a process pool —
+    every cell is deterministic, so the report is identical to the
+    in-process run (cells arrive in matrix order regardless of which
+    worker finishes first).
     """
+    from repro.errors import ValidationError
+
     if invariants is not None:
         validate_invariant_names(invariants)
+    if workers is not None and workers < 1:
+        raise ValidationError("workers must be >= 1 (or None)")
+    cells = matrix_cells(scenarios, extractors)
+    selected = None if invariants is None else tuple(invariants)
+
+    if workers is not None and workers > 1 and len(cells) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_cell_to_dict, scenario.name, entry.name, selected)
+                for scenario, entry in cells
+            ]
+            reports = []
+            for (scenario, entry), future in zip(cells, futures):
+                try:
+                    reports.append(CellReport.from_dict(future.result()))
+                except Exception as exc:  # noqa: BLE001 - isolation is the contract
+                    # Python-level cell failures come back as failing
+                    # reports from the worker; this catches *hard* worker
+                    # deaths (OOM kill, segfault → BrokenProcessPool) so
+                    # one dead process still yields a report for every
+                    # cell instead of aborting the matrix.
+                    reports.append(_crashed_cell_report(scenario, entry, exc))
+        return ConformanceReport(cells=tuple(reports))
+
     reports = []
-    for scenario, entry in matrix_cells(scenarios, extractors):
+    for scenario, entry in cells:
         try:
-            reports.append(check_cell(run_cell(scenario, entry, invariants), invariants))
+            reports.append(check_cell(run_cell(scenario, entry, selected), selected))
         except Exception as exc:  # noqa: BLE001 - isolation is the contract
             reports.append(_crashed_cell_report(scenario, entry, exc))
     return ConformanceReport(cells=tuple(reports))

@@ -11,11 +11,14 @@ from __future__ import annotations
 import json
 from datetime import datetime, timedelta
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import DataError
 from repro.flexoffer.model import FlexOffer, ProfileSlice
 from repro.flexoffer.schedule import ScheduledFlexOffer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scheduling.greedy import ScheduleResult
 
 _FORMAT_VERSION = 1
 
@@ -127,6 +130,58 @@ def aggregated_from_dict(data: dict[str, Any]) -> "AggregatedFlexOffer":
         )
     except KeyError as exc:
         raise DataError(f"aggregated flex-offer dict missing field: {exc}") from exc
+
+
+def schedule_result_to_dict(result: "ScheduleResult") -> dict[str, Any]:
+    """Encode a scheduling run (axis + target + placements + unplaced).
+
+    The demand plan is not stored: it is exactly the sum of the encoded
+    schedules on the encoded axis, and :func:`schedule_result_from_dict`
+    rebuilds it deterministically — keeping the wire format minimal while
+    the round-trip stays lossless.
+    """
+    axis = result.target.axis
+    return {
+        "axis": {
+            "start": _dt(axis.start),
+            "resolution_seconds": axis.resolution.total_seconds(),
+            "length": axis.length,
+        },
+        "target": {
+            "name": result.target.name,
+            "values": [float(v) for v in result.target.values],
+        },
+        "schedules": [schedule_to_dict(s) for s in result.schedules],
+        "unplaced": [flexoffer_to_dict(o) for o in result.unplaced],
+    }
+
+
+def schedule_result_from_dict(data: dict[str, Any]) -> "ScheduleResult":
+    """Decode a scheduling run, rebuilding the demand plan from the parts."""
+    from repro.flexoffer.schedule import schedules_to_series
+    from repro.scheduling.greedy import ScheduleResult
+    from repro.timeseries.axis import TimeAxis
+    from repro.timeseries.series import TimeSeries
+
+    try:
+        axis = TimeAxis(
+            start=_parse_dt(data["axis"]["start"]),
+            resolution=timedelta(seconds=data["axis"]["resolution_seconds"]),
+            length=int(data["axis"]["length"]),
+        )
+        target = TimeSeries(
+            axis, data["target"]["values"], name=data["target"].get("name", "")
+        )
+        schedules = [schedule_from_dict(s) for s in data["schedules"]]
+        unplaced = [flexoffer_from_dict(o) for o in data["unplaced"]]
+    except KeyError as exc:
+        raise DataError(f"schedule result dict missing field: {exc}") from exc
+    return ScheduleResult(
+        schedules=schedules,
+        demand=schedules_to_series(schedules, axis),
+        target=target,
+        unplaced=unplaced,
+    )
 
 
 def save_flexoffers(offers: list[FlexOffer], path: str | Path) -> None:

@@ -20,6 +20,7 @@ from repro.pipeline.fleet import (
     offers_equivalent,
     results_identical,
     run_sequential,
+    schedule_aggregates,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "offers_equivalent",
     "results_identical",
     "run_sequential",
+    "schedule_aggregates",
 ]

@@ -1,16 +1,18 @@
 """The fleet-pipeline benchmark: batched engine vs the sequential loop.
 
-Measures the 20-household × 7-day workload (configurable) three ways:
+Measures the 20-household × 7-day workload (configurable) over the full
+extract→aggregate→schedule loop (the schedule stage places the fleet
+aggregates on a deterministic wind target) three ways:
 
 * **baseline** — the seed-shaped sequential per-household loop running the
-  ``engine="reference"`` matcher (the original implementation, kept in
-  :mod:`repro.disaggregation.matching` for exactly this purpose);
+  ``engine="reference"`` matcher and scheduler (the original
+  implementations, kept for exactly this purpose);
 * **pipeline** — :class:`repro.pipeline.FleetPipeline` over the vectorized
-  engine, with per-stage wall-clock capture;
+  engines, with per-stage wall-clock capture;
 * **equivalence** — the batched result must equal the sequential run of
-  the same engine bitwise (modulo offer ids), and must match the reference
-  engine's offers within a small relative tolerance (FFT vs direct
-  correlation round-off).
+  the same engines exactly (offer ids and schedule placements included),
+  and must match the reference engine's offers within a small relative
+  tolerance (FFT vs direct correlation round-off).
 
 The resulting report is written to ``BENCH_fleet.json`` so the repository
 carries a refreshable speedup baseline; re-run via ``repro bench`` or
@@ -31,9 +33,12 @@ from repro.api.registry import create_extractor
 from repro.pipeline.fleet import (
     FleetPipeline,
     FleetResult,
+    fleet_schedule_target,
     offers_equivalent,
+    results_identical,
     run_sequential,
 )
+from repro.scheduling.greedy import ScheduleConfig
 from repro.simulation.dataset import generate_fleet
 from repro.workloads.scenarios import SCENARIO_START
 
@@ -58,31 +63,40 @@ def run_fleet_benchmark(
     t0 = time.perf_counter()
     fleet = generate_fleet(n_households, SCENARIO_START, days, seed=seed)
     simulate_seconds = time.perf_counter() - t0
+    target = fleet_schedule_target(fleet, seed=seed)
 
     vectorized = create_extractor("frequency-based", engine="vectorized")
     reference = create_extractor("frequency-based", engine="reference")
+    schedule_vectorized = ScheduleConfig(engine="vectorized")
+    schedule_reference = ScheduleConfig(engine="reference")
 
     # Equivalence pass first: it doubles as a warm-up (template caches,
     # numpy/scipy imports) so neither timed run pays one-off costs.
-    sequential_vectorized = run_sequential(fleet, vectorized)
-    pipeline = FleetPipeline(vectorized, chunk_size=chunk_size, workers=workers)
-    pipeline_result = pipeline.run(fleet)
-    batched_equals_sequential = offers_equivalent(
-        pipeline_result.offers, sequential_vectorized.offers, rtol=0.0
+    sequential_vectorized = run_sequential(
+        fleet, vectorized, target=target, schedule_config=schedule_vectorized
+    )
+    pipeline = FleetPipeline(
+        vectorized, chunk_size=chunk_size, workers=workers, schedule=schedule_vectorized
+    )
+    pipeline_result = pipeline.run(fleet, target=target)
+    batched_equals_sequential = results_identical(
+        pipeline_result, sequential_vectorized
     )
 
     # Timed baseline: the sequential per-household loop on the reference
-    # engine — the seed's execution shape.
+    # engines (matching and scheduling) — the seed's execution shape.
     t0 = time.perf_counter()
-    baseline_result = run_sequential(fleet, reference)
+    baseline_result = run_sequential(
+        fleet, reference, target=target, schedule_config=schedule_reference
+    )
     baseline_seconds = time.perf_counter() - t0
 
     # Timed batched run (fresh pipeline object; caches stay warm, as they
     # would across fleets in a long-lived service).
     t0 = time.perf_counter()
-    timed_result = FleetPipeline(vectorized, chunk_size=chunk_size, workers=workers).run(
-        fleet
-    )
+    timed_result = FleetPipeline(
+        vectorized, chunk_size=chunk_size, workers=workers, schedule=schedule_vectorized
+    ).run(fleet, target=target)
     pipeline_seconds = time.perf_counter() - t0
 
     reference_matches = offers_equivalent(
@@ -117,6 +131,13 @@ def run_fleet_benchmark(
             "offers": len(timed_result.offers),
             "aggregates": len(timed_result.aggregates),
             "extracted_kwh": round(timed_result.total_extracted_kwh, 6),
+        },
+        "schedule": {
+            "target_kwh": round(target.total(), 6),
+            "placed": len(timed_result.schedule.schedules),
+            "unplaced": len(timed_result.schedule.unplaced),
+            "cost": round(timed_result.schedule.cost, 6),
+            "improvement": round(timed_result.schedule.improvement, 6),
         },
         "speedup": round(speedup, 2),
         "equivalence": {

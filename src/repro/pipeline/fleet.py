@@ -35,14 +35,25 @@ from repro.errors import ValidationError
 from repro.evaluation.comparison import SEED_STRIDE, input_series_for
 from repro.extraction.base import FlexibilityExtractor
 from repro.flexoffer.model import FlexOffer, offer_id_scope
+from repro.scheduling.greedy import ScheduleConfig, ScheduleResult, greedy_schedule
+from repro.scheduling.stochastic import improve_schedule
 from repro.simulation.dataset import SimulatedDataset
 from repro.simulation.household import HouseholdTrace
 from repro.timeseries.series import TimeSeries
 
 #: Pipeline stages, in execution order.  ``disaggregate`` is only non-zero
 #: for extractors exposing the detect/formulate split (the appliance-level
-#: approaches); household-level extractors do all their work in ``extract``.
-STAGES: tuple[str, ...] = ("prepare", "disaggregate", "extract", "group", "aggregate")
+#: approaches); household-level extractors do all their work in ``extract``;
+#: ``schedule`` runs only when a target series is supplied (the market-
+#: facing placement of the fleet aggregates against e.g. RES surplus).
+STAGES: tuple[str, ...] = (
+    "prepare",
+    "disaggregate",
+    "extract",
+    "group",
+    "aggregate",
+    "schedule",
+)
 
 
 
@@ -100,11 +111,16 @@ class HouseholdOutput:
 
 @dataclass(frozen=True)
 class FleetResult:
-    """Everything a fleet run produced: offers, aggregates, timings."""
+    """Everything a fleet run produced: offers, aggregates, timings.
+
+    ``schedule`` is the market-facing placement of the fleet aggregates
+    against a target series — present only when the run was given one.
+    """
 
     households: tuple[HouseholdOutput, ...]
     aggregates: tuple[AggregatedFlexOffer, ...]
     timings: StageTimings
+    schedule: ScheduleResult | None = None
 
     @property
     def offers(self) -> list[FlexOffer]:
@@ -188,7 +204,8 @@ def results_identical(left: FleetResult, right: FleetResult) -> bool:
     batched vs sequential (any chunk size, any worker count) must agree on
     everything except wall-clock timings.  This is the strict form of
     :func:`offers_equivalent`; the conformance matrix asserts it on every
-    registered extractor.
+    registered extractor.  When a schedule stage ran, its placements and
+    demand plan are part of the contract too.
     """
     if len(left.households) != len(right.households):
         return False
@@ -200,7 +217,66 @@ def results_identical(left: FleetResult, right: FleetResult) -> bool:
             b.summary,
         ):
             return False
-    return left.aggregates == right.aggregates
+    if left.aggregates != right.aggregates:
+        return False
+    if (left.schedule is None) != (right.schedule is None):
+        return False
+    return left.schedule is None or left.schedule == right.schedule
+
+
+def fleet_schedule_target(
+    fleet: SimulatedDataset | list[HouseholdTrace],
+    seed: int = 2,
+    share: float = 0.25,
+) -> TimeSeries:
+    """A deterministic RES-surplus target for a fleet's schedule stage.
+
+    Simulated wind production on the fleet's metering axis, rescaled so its
+    total energy is ``share`` of the fleet's total consumption — a target
+    magnitude the extracted flexibility can meaningfully chase regardless
+    of fleet size or season.
+    """
+    from repro.simulation.res import simulate_wind_production
+
+    traces = list(fleet)
+    if not traces:
+        raise ValidationError("fleet must contain at least one household")
+    axis = (
+        fleet.metering_axis()
+        if hasattr(fleet, "metering_axis")
+        else traces[0].metered().axis
+    )
+    production = simulate_wind_production(axis, np.random.default_rng(seed))
+    consumption = float(sum(trace.total.values.sum() for trace in traces))
+    if production.total() > 0 and consumption > 0:
+        production = production * (share * consumption / production.total())
+    return production
+
+
+def schedule_aggregates(
+    aggregates: tuple[AggregatedFlexOffer, ...] | list[AggregatedFlexOffer],
+    target: TimeSeries,
+    config: ScheduleConfig | None = None,
+) -> ScheduleResult:
+    """The pipeline's schedule stage: place fleet aggregates on a target.
+
+    Greedy placement of every aggregate offer (paper [5]'s post-aggregation
+    scheduling), optionally followed by ``config.improve_iterations`` of
+    the stochastic hill climber seeded from ``config.improve_seed`` — all
+    deterministic, so batched and sequential runs agree exactly.
+    """
+    config = config if config is not None else ScheduleConfig()
+    result = greedy_schedule(
+        [aggregate.offer for aggregate in aggregates], target, config=config
+    )
+    if config.improve_iterations > 0:
+        result = improve_schedule(
+            result,
+            np.random.default_rng(config.improve_seed),
+            iterations=config.improve_iterations,
+            engine=config.engine,
+        )
+    return result
 
 
 # ---------------------------------------------------------------------- #
@@ -284,6 +360,10 @@ class FleetPipeline:
     seed:
         Base seed; household ``i`` always draws from
         ``default_rng(seed + 7919·i)``, matching the evaluation harness.
+    schedule:
+        Configuration of the optional schedule stage (engine, placement
+        order, stochastic-improvement budget); the stage itself runs only
+        when :meth:`run` is given a target series.
     """
 
     def __init__(
@@ -293,6 +373,7 @@ class FleetPipeline:
         chunk_size: int = 8,
         workers: int | None = None,
         seed: int = 0,
+        schedule: ScheduleConfig | None = None,
     ) -> None:
         if chunk_size < 1:
             raise ValidationError("chunk_size must be >= 1")
@@ -305,6 +386,7 @@ class FleetPipeline:
         self.chunk_size = chunk_size
         self.workers = workers
         self.seed = seed
+        self.schedule = schedule
 
     # ------------------------------------------------------------------ #
     # Stages
@@ -319,12 +401,19 @@ class FleetPipeline:
             for index, trace in enumerate(traces)
         ]
 
-    def run(self, fleet: SimulatedDataset | list[HouseholdTrace]) -> FleetResult:
+    def run(
+        self,
+        fleet: SimulatedDataset | list[HouseholdTrace],
+        target: TimeSeries | None = None,
+    ) -> FleetResult:
         """Run the full batched pipeline over a fleet.
 
         Accepts a :class:`SimulatedDataset` or a plain list of traces and
         returns the per-household offers, the fleet-wide aggregated offers
-        and the per-stage timings.
+        and the per-stage timings.  When ``target`` is given (e.g. RES
+        surplus on the metering grid), the schedule stage places the fleet
+        aggregates against it and the result carries a
+        :class:`~repro.scheduling.greedy.ScheduleResult`.
         """
         traces = list(fleet)
         if not traces:
@@ -373,10 +462,17 @@ class FleetPipeline:
             aggregates = aggregate_all(groups)
         timings.add("aggregate", time.perf_counter() - t0)
 
+        schedule: ScheduleResult | None = None
+        if target is not None:
+            t0 = time.perf_counter()
+            schedule = schedule_aggregates(aggregates, target, self.schedule)
+            timings.add("schedule", time.perf_counter() - t0)
+
         return FleetResult(
             households=tuple(outputs),
             aggregates=tuple(aggregates),
             timings=timings,
+            schedule=schedule,
         )
 
 
@@ -385,6 +481,8 @@ def run_sequential(
     extractor: FlexibilityExtractor | None = None,
     grouping: GroupingParams | None = None,
     seed: int = 0,
+    target: TimeSeries | None = None,
+    schedule_config: ScheduleConfig | None = None,
 ) -> FleetResult:
     """The plain per-household loop the batched engine must reproduce.
 
@@ -421,6 +519,14 @@ def run_sequential(
     with offer_id_scope("fleet"):
         aggregates = aggregate_all(groups)
     timings.add("aggregate", time.perf_counter() - t0)
+    schedule: ScheduleResult | None = None
+    if target is not None:
+        t0 = time.perf_counter()
+        schedule = schedule_aggregates(aggregates, target, schedule_config)
+        timings.add("schedule", time.perf_counter() - t0)
     return FleetResult(
-        households=tuple(outputs), aggregates=tuple(aggregates), timings=timings
+        households=tuple(outputs),
+        aggregates=tuple(aggregates),
+        timings=timings,
+        schedule=schedule,
     )

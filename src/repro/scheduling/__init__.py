@@ -1,6 +1,17 @@
 """Flex-offer scheduling against RES surplus (MIRABEL substrate, paper [5])."""
 
-from repro.scheduling.greedy import ScheduleResult, greedy_schedule, naive_schedule
+from repro.scheduling.bench import (
+    SCHEDULE_FIDELITY_RTOL,
+    build_schedule_workload,
+    run_schedule_benchmark,
+    schedule_table_rows,
+)
+from repro.scheduling.greedy import (
+    ScheduleConfig,
+    ScheduleResult,
+    greedy_schedule,
+    naive_schedule,
+)
 from repro.scheduling.objective import (
     absolute_imbalance,
     overshoot,
@@ -10,6 +21,11 @@ from repro.scheduling.objective import (
 from repro.scheduling.stochastic import improve_schedule
 
 __all__ = [
+    "SCHEDULE_FIDELITY_RTOL",
+    "build_schedule_workload",
+    "run_schedule_benchmark",
+    "schedule_table_rows",
+    "ScheduleConfig",
     "ScheduleResult",
     "greedy_schedule",
     "naive_schedule",

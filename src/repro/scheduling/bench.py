@@ -1,0 +1,258 @@
+"""The market-scale scheduling benchmark: vectorized vs reference engine.
+
+The paper's end goal is *scheduled* flexibility: thousands of consumers are
+aggregated "before the actual scheduling" (paper §6) and the aggregates are
+placed against a target series (Tušar et al., BIOMA 2012).  This benchmark
+measures that market-facing half of the loop on its own: hundreds of
+aggregated flex-offers placed over a week-long RES-surplus target, the
+vectorized placement engine against the ``engine="reference"`` per-start
+loop, plus the stochastic improvement pass under both engines.
+
+The resulting report is written to ``BENCH_schedule.json`` so the
+repository carries a refreshable speedup baseline; re-run via
+``repro bench --suite schedule`` or ``pytest benchmarks/bench_schedule.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from datetime import datetime, timedelta
+from pathlib import Path
+
+import numpy as np
+
+from repro.aggregation.aggregate import AggregatedFlexOffer, aggregate_group
+from repro.flexoffer.generators import RandomGeneratorConfig, random_flexoffer
+from repro.flexoffer.model import offer_id_scope
+from repro.scheduling.greedy import ScheduleConfig, ScheduleResult, greedy_schedule
+from repro.scheduling.stochastic import improve_schedule
+from repro.simulation.res import simulate_wind_production
+from repro.timeseries.axis import axis_for_days
+from repro.timeseries.series import TimeSeries
+from repro.workloads.scenarios import SCENARIO_START
+
+#: Relative tolerance for reference-vs-vectorized schedule costs.  The two
+#: engines differ only in float summation order on the gain reductions.
+SCHEDULE_FIDELITY_RTOL = 1e-9
+
+#: Timing repetitions per engine; the minimum is reported (robust against
+#: scheduler noise on shared CI machines).
+_TIMING_REPEATS = 3
+
+
+def build_schedule_workload(
+    n_aggregates: int = 220,
+    members_per_aggregate: int = 3,
+    days: int = 7,
+    seed: int = 17,
+) -> tuple[list[AggregatedFlexOffer], TimeSeries]:
+    """A deterministic market-scale workload: aggregates + week target.
+
+    Random household-scale offers (12–48 h of start flexibility) are drawn
+    on the week's metering axis; each group clusters members within the
+    grouping grid's default 2-hour start tolerance (shifted copies of a
+    base offer), matching the shape :func:`repro.aggregation.grouping
+    .group_offers` produces on real fleets.  The target is simulated wind
+    production rescaled so its total matches the fleet's maximum flexible
+    energy.
+    """
+    from dataclasses import replace
+
+    from repro.flexoffer.model import next_offer_id
+
+    axis = axis_for_days(SCENARIO_START, days)
+    rng = np.random.default_rng(seed)
+    config = RandomGeneratorConfig(
+        time_flexibility_min=timedelta(hours=12),
+        time_flexibility_max=timedelta(hours=48),
+    )
+    aggregates: list[AggregatedFlexOffer] = []
+    with offer_id_scope("schedule-bench"):
+        for _ in range(n_aggregates):
+            base = random_flexoffer(axis, rng, config)
+            members = [base]
+            for _ in range(members_per_aggregate - 1):
+                offset = int(rng.integers(0, 9))  # within the 2 h grouping grid
+                shifted = base.shifted(axis.resolution * offset)
+                if shifted.latest_start + shifted.duration > axis.end:
+                    shifted = base
+                member = replace(
+                    shifted.scaled(float(rng.uniform(0.6, 1.4))),
+                    offer_id=next_offer_id("rand"),
+                )
+                members.append(member)
+            aggregates.append(aggregate_group(members))
+    target = simulate_wind_production(axis, np.random.default_rng(seed + 1))
+    flexible = sum(a.offer.profile_energy_max for a in aggregates)
+    if target.total() > 0:
+        target = target * (flexible / target.total())
+    return aggregates, target
+
+
+def _timed(fn, repeats: int = _TIMING_REPEATS):
+    """Run ``fn`` ``repeats`` times; return (min seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_schedule_benchmark(
+    n_aggregates: int = 220,
+    members_per_aggregate: int = 3,
+    days: int = 7,
+    seed: int = 17,
+    improve_iterations: int = 2000,
+    out_path: Path | str | None = None,
+) -> tuple[dict, ScheduleResult]:
+    """Run the scheduling benchmark; returns the report dict and the
+    vectorized greedy result.
+
+    When ``out_path`` is given the report is also written there as JSON
+    (the repository's ``BENCH_schedule.json`` baseline).
+    """
+    aggregates, target = build_schedule_workload(
+        n_aggregates, members_per_aggregate, days, seed
+    )
+    offers = [a.offer for a in aggregates]
+    reference_config = ScheduleConfig(engine="reference")
+
+    # Warm-up (numpy dispatch, axis caches) before any timed pass.
+    greedy_schedule(offers[:8], target)
+    greedy_schedule(offers[:8], target, config=reference_config)
+
+    reference_seconds, reference_result = _timed(
+        lambda: greedy_schedule(offers, target, config=reference_config)
+    )
+    vectorized_seconds, vectorized_result = _timed(
+        lambda: greedy_schedule(offers, target)
+    )
+    speedup = (
+        reference_seconds / vectorized_seconds
+        if vectorized_seconds > 0
+        else float("inf")
+    )
+
+    placements_identical = [
+        (s.offer.offer_id, s.start) for s in reference_result.schedules
+    ] == [(s.offer.offer_id, s.start) for s in vectorized_result.schedules]
+    cost_match = bool(
+        np.isclose(
+            reference_result.cost,
+            vectorized_result.cost,
+            rtol=SCHEDULE_FIDELITY_RTOL,
+        )
+    )
+    energies_reference = [
+        e for s in reference_result.schedules for e in s.slice_energies
+    ]
+    energies_vectorized = [
+        e for s in vectorized_result.schedules for e in s.slice_energies
+    ]
+    energies_match = bool(
+        np.allclose(
+            energies_reference,
+            energies_vectorized,
+            rtol=SCHEDULE_FIDELITY_RTOL,
+            atol=1e-12,
+        )
+    )
+
+    improve_reference_seconds, improve_reference = _timed(
+        lambda: improve_schedule(
+            vectorized_result,
+            np.random.default_rng(seed),
+            iterations=improve_iterations,
+            engine="reference",
+        )
+    )
+    improve_vectorized_seconds, improve_vectorized = _timed(
+        lambda: improve_schedule(
+            vectorized_result,
+            np.random.default_rng(seed),
+            iterations=improve_iterations,
+            engine="vectorized",
+        )
+    )
+    improve_identical = [
+        (s.start, s.slice_energies) for s in improve_reference.schedules
+    ] == [(s.start, s.slice_energies) for s in improve_vectorized.schedules]
+    improve_speedup = (
+        improve_reference_seconds / improve_vectorized_seconds
+        if improve_vectorized_seconds > 0
+        else float("inf")
+    )
+
+    report = {
+        "workload": {
+            "aggregates": len(aggregates),
+            "member_offers": sum(a.size for a in aggregates),
+            "days": days,
+            "seed": seed,
+            "order": "least-flexible-first",
+        },
+        "target": {
+            "kind": "wind",
+            "total_kwh": round(target.total(), 6),
+            "intervals": target.axis.length,
+        },
+        "greedy": {
+            "reference_seconds": round(reference_seconds, 4),
+            "vectorized_seconds": round(vectorized_seconds, 4),
+            "speedup": round(speedup, 2),
+            "placed": len(vectorized_result.schedules),
+            "unplaced": len(vectorized_result.unplaced),
+            "cost": round(vectorized_result.cost, 6),
+            "improvement": round(vectorized_result.improvement, 6),
+        },
+        "improve": {
+            "iterations": improve_iterations,
+            "reference_seconds": round(improve_reference_seconds, 4),
+            "vectorized_seconds": round(improve_vectorized_seconds, 4),
+            "speedup": round(improve_speedup, 2),
+            "cost": round(improve_vectorized.cost, 6),
+            "identical": improve_identical,
+        },
+        "equivalence": {
+            "placements_identical": placements_identical,
+            "cost_match": cost_match,
+            "energies_match": energies_match,
+            "fidelity_rtol": SCHEDULE_FIDELITY_RTOL,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "generated": datetime.now().isoformat(timespec="seconds"),
+        },
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report, vectorized_result
+
+
+def schedule_table_rows(report: dict) -> list[dict]:
+    """Human-readable rows for the CLI/bench table."""
+    greedy = report["greedy"]
+    improve = report["improve"]
+    return [
+        {
+            "phase": "greedy placement",
+            "reference_s": greedy["reference_seconds"],
+            "vectorized_s": greedy["vectorized_seconds"],
+            "speedup": f"{greedy['speedup']}x",
+            "detail": f"{greedy['placed']} placed / {greedy['unplaced']} unplaced",
+        },
+        {
+            "phase": f"stochastic improve ({improve['iterations']} it)",
+            "reference_s": improve["reference_seconds"],
+            "vectorized_s": improve["vectorized_seconds"],
+            "speedup": f"{improve['speedup']}x",
+            "detail": f"cost {improve['cost']:.2f} (greedy {greedy['cost']:.2f})",
+        },
+    ]

@@ -7,19 +7,72 @@ core: offers are placed one by one (least-flexible first, so constrained
 offers grab their slots before flexible ones fill the gaps); each offer
 tries every feasible grid start, its slice energies water-fill the remaining
 target, and the start with the largest squared-imbalance reduction wins.
+
+Two engines implement the same greedy semantics, mirroring the matching
+layer's :class:`~repro.disaggregation.matching.MatchingConfig` pattern:
+
+* ``"vectorized"`` (default) — the market-scale hot path.  Each offer's
+  per-interval bounds are hoisted to arrays once, all feasible starts are
+  evaluated in one ``sliding_window_view`` gather + water-fill + gain pass,
+  and offers sharing a profile length share one window view over the
+  residual (the view is a stride trick, so placements flow through it
+  without rebuilding).
+* ``"reference"`` — the original per-start Python loop, kept both as the
+  behavioural reference and as the baseline the schedule benchmark
+  measures speedups against.
+
+Both engines are deterministic and resolve gain ties toward the earliest
+feasible start; they may differ in float round-off on the gain reductions
+and can therefore flip near-tie placements, but agree on every placement
+and on the final cost within ``rtol=1e-9`` on realistic targets (asserted
+by ``benchmarks/bench_schedule.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from datetime import datetime
+from dataclasses import dataclass, field, replace
+from datetime import datetime, timedelta
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import SchedulingError
 from repro.flexoffer.model import FlexOffer
 from repro.flexoffer.schedule import ScheduledFlexOffer, schedules_to_series
+from repro.timeseries.axis import TimeAxis
 from repro.timeseries.series import TimeSeries
+
+_ENGINES = ("vectorized", "reference")
+
+_ORDERS = ("least-flexible-first", "largest-first", "as-given")
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleConfig:
+    """Knobs of the greedy scheduler (and the pipeline's schedule stage).
+
+    ``order`` is the placement order heuristic (the paper's default places
+    the least flexible offers first).  ``engine`` selects the
+    implementation: the vectorized market-scale engine or the original
+    per-start reference.  ``improve_iterations``/``improve_seed`` configure
+    the optional stochastic hill-climbing pass the fleet pipeline runs
+    after the greedy placement (0 disables it).
+    """
+
+    order: str = "least-flexible-first"
+    engine: str = "vectorized"
+    improve_iterations: int = 0
+    improve_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.order not in _ORDERS:
+            raise SchedulingError(f"unknown order {self.order!r}")
+        if self.engine not in _ENGINES:
+            raise SchedulingError(
+                f"engine must be one of {_ENGINES}, got {self.engine!r}"
+            )
+        if self.improve_iterations < 0:
+            raise SchedulingError("improve_iterations must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -48,6 +101,21 @@ class ScheduleResult:
         base = self.baseline_cost
         return (base - self.cost) / base if base > 0 else 0.0
 
+    @property
+    def scheduled_energy(self) -> float:
+        """Total energy placed by the schedule (kWh)."""
+        return float(sum(s.total_energy for s in self.schedules))
+
+    def summary(self) -> dict[str, float]:
+        """Scalar overview of the run (report/benchmark rows)."""
+        return {
+            "schedule_placed": float(len(self.schedules)),
+            "schedule_unplaced": float(len(self.unplaced)),
+            "schedule_cost": self.cost,
+            "schedule_improvement": self.improvement,
+            "schedule_energy_kwh": self.scheduled_energy,
+        }
+
 
 def _water_fill(remaining: np.ndarray, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
     """Per-interval energies tracking the remaining target within bounds."""
@@ -62,10 +130,115 @@ def _placement_gain(remaining: np.ndarray, energies: np.ndarray) -> float:
     return float(before - after)
 
 
+def start_grid(
+    offer: FlexOffer, axis: TimeAxis, require_fit: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """The offer's feasible-start grid as ``(steps, first_indices)`` arrays.
+
+    Exactly :meth:`FlexOffer.feasible_starts` filtered to starts on the
+    axis — computed arithmetically (integer microseconds) instead of a
+    Python datetime loop, with identical floor semantics to
+    :meth:`TimeAxis.index_of`.  ``steps[i]`` counts resolution steps from
+    ``earliest_start`` (so the start datetime is ``earliest_start +
+    steps[i] * resolution``); ``first_indices[i]`` is the axis index of the
+    interval containing that start.  ``require_fit`` additionally drops
+    starts whose profile would overrun the axis end.
+    """
+    one_us = timedelta(microseconds=1)
+    res_us = offer.resolution // one_us
+    axis_us = axis.resolution // one_us
+    off0_us = (offer.earliest_start - axis.start) // one_us
+    count = (offer.latest_start - offer.earliest_start) // offer.resolution + 1
+    steps = np.arange(count, dtype=np.int64)
+    off_us = off0_us + steps * res_us
+    total_us = axis_us * axis.length
+    first_indices = off_us // axis_us
+    valid = (off_us >= 0) & (off_us < total_us)
+    if require_fit:
+        n = offer.profile_intervals
+        valid &= first_indices + n <= axis.length
+    return steps[valid], first_indices[valid].astype(np.intp)
+
+
+@dataclass(frozen=True)
+class _PlacementPlan:
+    """One offer's placement search space, hoisted to arrays once.
+
+    ``steps``/``start_indices`` hold every feasible start that lies on the
+    axis with room for the full profile (see :func:`start_grid`);
+    ``lows``/``highs`` are the per-interval water-fill bounds
+    (:meth:`FlexOffer.slice_expansion` as vectors).  Building the plan is
+    the only per-offer Python-level work the vectorized engine performs.
+    """
+
+    offer: FlexOffer
+    n: int
+    lows: np.ndarray
+    highs: np.ndarray
+    steps: np.ndarray
+    start_indices: np.ndarray
+
+
+def _build_plan(offer: FlexOffer, axis: TimeAxis) -> _PlacementPlan:
+    lows, highs = offer.slice_expansion_arrays()
+    steps, indices = start_grid(offer, axis, require_fit=True)
+    return _PlacementPlan(
+        offer=offer,
+        n=lows.size,
+        lows=lows,
+        highs=highs,
+        steps=steps,
+        start_indices=indices,
+    )
+
+
+def _best_start_batched(
+    plan: _PlacementPlan, windows_view: np.ndarray
+) -> tuple[datetime, np.ndarray] | None:
+    """All feasible starts of one offer in a single numpy pass.
+
+    ``windows_view`` is ``sliding_window_view(remaining, plan.n)`` — a
+    stride trick over the live residual, shared by every offer of the same
+    profile length.  The gather copies the current residual values, so
+    earlier placements are always reflected.
+    """
+    if plan.start_indices.size == 0:
+        return None
+    windows = windows_view[plan.start_indices]
+    energies = np.clip(windows, plan.lows, plan.highs)
+    diff = windows - energies
+    gains = np.einsum("ij,ij->i", windows, windows) - np.einsum(
+        "ij,ij->i", diff, diff
+    )
+    # Near-tie resolution: exactly-tied gains (flat target regions produce
+    # them routinely) and ulp-level einsum-vs-dot differences must resolve
+    # exactly like the reference engine's strict-greater scan.  Candidates
+    # within round-off of the max (almost always just one) are re-scored
+    # with the reference arithmetic, so both engines select the same start.
+    best_gain = float(gains.max())
+    tolerance = 1e-12 * max(1.0, abs(best_gain))
+    candidates = np.flatnonzero(gains >= best_gain - tolerance)
+    if candidates.size == 1:
+        best = int(candidates[0])
+    else:
+        best = int(candidates[0])
+        best_ref = -np.inf
+        for candidate in candidates:
+            window = windows[candidate]
+            gain = _placement_gain(
+                window, _water_fill(window, plan.lows, plan.highs)
+            )
+            if gain > best_ref:
+                best, best_ref = int(candidate), gain
+    start = plan.offer.earliest_start + plan.offer.resolution * int(plan.steps[best])
+    return start, energies[best]
+
+
 def greedy_schedule(
     offers: list[FlexOffer],
     target: TimeSeries,
-    order: str = "least-flexible-first",
+    order: str | None = None,
+    config: ScheduleConfig | None = None,
 ) -> ScheduleResult:
     """Greedily schedule offers to soak up the target series.
 
@@ -79,22 +252,44 @@ def greedy_schedule(
     order:
         ``"least-flexible-first"`` (default, the paper's heuristic),
         ``"largest-first"`` (by expected energy) or ``"as-given"``.
+        Overrides ``config.order`` when given.
+    config:
+        Engine/order selection; defaults to the vectorized engine.
     """
+    config = config if config is not None else ScheduleConfig()
+    if order is not None:
+        config = replace(config, order=order)
     axis = target.axis
-    if order == "least-flexible-first":
+    if config.order == "least-flexible-first":
         queue = sorted(offers, key=lambda o: (o.time_flexibility, -o.profile_energy_max))
-    elif order == "largest-first":
+    elif config.order == "largest-first":
         queue = sorted(offers, key=lambda o: -o.profile_energy_max)
-    elif order == "as-given":
-        queue = list(offers)
     else:
-        raise SchedulingError(f"unknown order {order!r}")
+        queue = list(offers)
 
     remaining = target.values.copy()
+    vectorized = config.engine == "vectorized"
+    if vectorized:
+        # Hoist every offer's bounds/starts once; offers sharing a profile
+        # length share a single window view over the residual.
+        plans = [_build_plan(offer, axis) for offer in queue]
+        views: dict[int, np.ndarray] = {
+            plan.n: sliding_window_view(remaining, plan.n)
+            for plan in plans
+            if plan.n <= remaining.size
+        }
     schedules: list[ScheduledFlexOffer] = []
     unplaced: list[FlexOffer] = []
-    for offer in queue:
-        placement = _best_start(offer, remaining, axis)
+    for position, offer in enumerate(queue):
+        if vectorized:
+            plan = plans[position]
+            placement = (
+                _best_start_batched(plan, views[plan.n])
+                if plan.n in views
+                else None
+            )
+        else:
+            placement = _best_start(offer, remaining, axis)
         if placement is None:
             unplaced.append(offer)
             continue
@@ -139,7 +334,11 @@ def naive_schedule(offers: list[FlexOffer], target: TimeSeries) -> ScheduleResul
 def _best_start(
     offer: FlexOffer, remaining: np.ndarray, axis
 ) -> tuple[datetime, np.ndarray] | None:
-    """The feasible start with the highest placement gain, or ``None``."""
+    """The feasible start with the highest placement gain, or ``None``.
+
+    The ``engine="reference"`` placement search: one Python-level pass over
+    every feasible start, water-filling and scoring each window separately.
+    """
     expansion = offer.slice_expansion()
     lows = np.array([lo for lo, _ in expansion])
     highs = np.array([hi for _, hi in expansion])

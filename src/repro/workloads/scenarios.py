@@ -43,6 +43,10 @@ SUMMER_START = datetime(2012, 7, 9)
 #: Sunday 2012-03-25); the axis stays on standard time throughout.
 DST_WEEK_START = datetime(2012, 3, 19)
 
+#: Monday of the 2012 European DST fall-back week (transition on Sunday
+#: 2012-10-28, the 25-hour wall-clock day); the axis stays on standard time.
+DST_FALLBACK_WEEK_START = datetime(2012, 10, 22)
+
 _MINUTES_PER_DAY = 24 * 60
 
 
@@ -177,6 +181,20 @@ def dst_transition_fleet(n: int = 4, days: int = 7, seed: int = 33) -> Simulated
     day-bucketing code historically breaks.
     """
     return generate_fleet(n, DST_WEEK_START, days, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def dst_fallback_fleet(n: int = 4, days: int = 7, seed: int = 41) -> SimulatedDataset:
+    """The 2012 European autumn fall-back week (Mon 10-22 … Sun 10-28).
+
+    The mirror image of :func:`dst_transition_fleet`: the wall-clock Sunday
+    is 25 hours long.  The metering axis stays regular (naive standard
+    time), so the calendar-aware components — day types, typical-day
+    profiles, habit windows — and the market-facing schedule stage both
+    span the transition date without a grid discontinuity, exactly how
+    §3.3's day-type reasoning consumes autumn data.
+    """
+    return generate_fleet(n, DST_FALLBACK_WEEK_START, days, seed=seed)
 
 
 @lru_cache(maxsize=None)

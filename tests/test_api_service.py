@@ -179,6 +179,66 @@ class TestGoldenWireFormat:
             RunReport.from_dict(data)
 
 
+class TestScheduleStageReports:
+    @pytest.fixture(scope="class")
+    def schedule_report(self) -> RunReport:
+        from repro.api import ScheduleSpec
+
+        spec = RunSpec(
+            kind="fleet",
+            name="schedule-test",
+            scenario=ScenarioSpec(households=2, days=2, seed=7),
+            extractors=(ExtractorSpec("peak-based", {"flexible_share": 0.05}),),
+            pipeline=PipelineSpec(
+                chunk_size=4,
+                schedule=ScheduleSpec(target_kwh=25.0, improve_iterations=40),
+            ),
+        )
+        return FlexibilityService().run(spec)
+
+    def test_schedule_result_attached_and_summarised(self, schedule_report):
+        (result,) = schedule_report.results
+        assert result.schedule is not None
+        assert "schedule" in result.stage_seconds
+        assert result.summary["schedule_placed"] + result.summary[
+            "schedule_unplaced"
+        ] == float(len(result.aggregates))
+        assert result.summary["schedule_cost"] == pytest.approx(
+            result.schedule.cost
+        )
+
+    def test_schedule_report_round_trips_losslessly(self, schedule_report):
+        assert RunReport.from_dict(schedule_report.to_dict()) == schedule_report
+        assert RunReport.from_json(schedule_report.to_json()) == schedule_report
+        encoded = schedule_report.to_dict()
+        assert json.loads(json.dumps(encoded)) == encoded
+
+    def test_schedule_target_is_deterministic(self, schedule_report):
+        (result,) = schedule_report.results
+        assert result.schedule.target.total() == pytest.approx(25.0)
+        rerun = FlexibilityService().run(schedule_report.spec)
+        # Identical modulo wall-clock timings: offers, placements, cost.
+        assert rerun.results[0].offers == result.offers
+        assert rerun.results[0].schedule == result.schedule
+        assert rerun.results[0].summary == result.summary
+
+    def test_flat_target_kind(self):
+        from repro.api import ScheduleSpec
+
+        spec = RunSpec(
+            kind="fleet",
+            scenario=ScenarioSpec(households=1, days=1, seed=3),
+            extractors=(ExtractorSpec("random-baseline"),),
+            pipeline=PipelineSpec(
+                schedule=ScheduleSpec(target="flat", target_kwh=10.0)
+            ),
+        )
+        report = FlexibilityService().run(spec)
+        target = report.results[0].schedule.target
+        assert target.total() == pytest.approx(10.0)
+        assert float(target.values.min()) == pytest.approx(float(target.values.max()))
+
+
 class TestOtherKinds:
     def test_compare_kind_produces_realism_rows(self):
         spec = RunSpec(

@@ -22,6 +22,7 @@ from repro.api import (
     PipelineSpec,
     RunSpec,
     ScenarioSpec,
+    ScheduleSpec,
     load_run_spec,
     save_run_spec,
 )
@@ -59,6 +60,19 @@ extractor_specs = st.builds(
     params=param_dicts,
 )
 
+schedule_specs = st.builds(
+    ScheduleSpec,
+    target=st.sampled_from(("wind", "flat")),
+    target_seed=st.integers(min_value=0, max_value=2**31),
+    target_kwh=st.one_of(
+        st.none(), st.floats(min_value=0.1, max_value=1e6, allow_nan=False)
+    ),
+    order=st.sampled_from(("least-flexible-first", "largest-first", "as-given")),
+    engine=st.sampled_from(("vectorized", "reference")),
+    improve_iterations=st.integers(min_value=0, max_value=10_000),
+    improve_seed=st.integers(min_value=0, max_value=2**31),
+)
+
 pipeline_specs = st.builds(
     PipelineSpec,
     chunk_size=st.integers(min_value=1, max_value=256),
@@ -66,6 +80,7 @@ pipeline_specs = st.builds(
     start_tolerance_minutes=st.integers(min_value=1, max_value=1440),
     flexibility_tolerance_minutes=st.integers(min_value=1, max_value=1440),
     max_group_size=st.integers(min_value=1, max_value=512),
+    schedule=st.one_of(st.none(), schedule_specs),
 )
 
 run_specs = st.builds(
@@ -100,6 +115,52 @@ class TestRoundTripProperties:
     @settings(max_examples=100, deadline=None)
     def test_pipeline_round_trip(self, spec: PipelineSpec):
         assert PipelineSpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=schedule_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_round_trip(self, spec: ScheduleSpec):
+        assert ScheduleSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestScheduleSpec:
+    def test_wire_format_omits_absent_schedule(self):
+        # Pre-schedule spec files and goldens must keep loading unchanged.
+        assert "schedule" not in PipelineSpec().to_dict()
+        enabled = PipelineSpec(schedule=ScheduleSpec())
+        assert enabled.to_dict()["schedule"]["target"] == "wind"
+        assert PipelineSpec.from_dict(PipelineSpec().to_dict()).schedule is None
+
+    def test_validation(self):
+        with pytest.raises(SpecError, match="schedule.target must be"):
+            ScheduleSpec(target="tides")
+        with pytest.raises(SpecError, match="schedule.order must be"):
+            ScheduleSpec(order="random")
+        with pytest.raises(SpecError, match="schedule.engine must be"):
+            ScheduleSpec(engine="turbo")
+        with pytest.raises(SpecError, match="target_kwh"):
+            ScheduleSpec(target_kwh=0.0)
+        with pytest.raises(SpecError, match="improve_iterations"):
+            ScheduleSpec(improve_iterations=-1)
+        with pytest.raises(SpecError, match="pipeline.schedule: unknown key"):
+            ScheduleSpec.from_dict({"targets": "wind"})
+
+    def test_constants_stay_in_sync_with_the_scheduling_layer(self):
+        # The spec layer duplicates the order/engine vocabularies to stay
+        # import-light; this pins them to the scheduling layer's own.
+        from repro.api.spec import SCHEDULE_ENGINES, SCHEDULE_ORDERS
+        from repro.scheduling import greedy
+
+        assert SCHEDULE_ENGINES == greedy._ENGINES
+        assert SCHEDULE_ORDERS == greedy._ORDERS
+
+    def test_config_maps_onto_schedule_config(self):
+        spec = ScheduleSpec(
+            order="largest-first", engine="reference", improve_iterations=7,
+            improve_seed=3,
+        )
+        config = spec.config()
+        assert (config.order, config.engine) == ("largest-first", "reference")
+        assert (config.improve_iterations, config.improve_seed) == (7, 3)
 
     @given(spec=run_specs)
     @settings(max_examples=50, deadline=None)

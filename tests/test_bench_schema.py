@@ -1,8 +1,9 @@
 """Golden-schema guards for benchmark output artefacts.
 
-Two machine-readable bench artefacts are load-bearing outside this repo:
-``BENCH_fleet.json`` (the committed fleet-pipeline speedup baseline) and
-the ``--bench-json`` table dump ``benchmarks/conftest.py`` writes for CI
+Three machine-readable bench artefacts are load-bearing outside this repo:
+``BENCH_fleet.json`` (the committed fleet-pipeline speedup baseline),
+``BENCH_schedule.json`` (the scheduling-engine speedup baseline) and the
+``--bench-json`` table dump ``benchmarks/conftest.py`` writes for CI
 archiving.  Their *schemas* are pinned here — a drifted key, a renamed
 stage or a silently dropped section fails loudly instead of breaking
 downstream consumers at read time.
@@ -54,9 +55,41 @@ class TestFleetBenchBaseline:
         assert report["equivalence"]["reference_matches_vectorized"] is True
         assert report["baseline"]["offers"] == report["pipeline"]["offers"]
         stages = report["pipeline"]["stages"]
-        assert {"prepare", "disaggregate", "extract", "group", "aggregate"} <= set(
-            stages
-        )
+        assert {
+            "prepare",
+            "disaggregate",
+            "extract",
+            "group",
+            "aggregate",
+            "schedule",
+        } <= set(stages)
+        # The timed run schedules every fleet aggregate on the wind target.
+        schedule = report["schedule"]
+        assert schedule["placed"] + schedule["unplaced"] == report["pipeline"][
+            "aggregates"
+        ]
+        assert schedule["target_kwh"] > 0
+        assert 0.0 <= schedule["improvement"] <= 1.0
+
+
+class TestScheduleBenchBaseline:
+    def test_bench_schedule_json_schema_matches_golden(self):
+        report = json.loads((REPO_ROOT / "BENCH_schedule.json").read_text())
+        golden = json.loads((GOLDEN / "bench_schedule_schema.json").read_text())
+        assert type_schema(report) == golden
+
+    def test_bench_schedule_json_semantics(self):
+        report = json.loads((REPO_ROOT / "BENCH_schedule.json").read_text())
+        assert report["workload"]["aggregates"] >= 200
+        assert report["greedy"]["speedup"] >= 5.0
+        equivalence = report["equivalence"]
+        assert equivalence["placements_identical"] is True
+        assert equivalence["cost_match"] is True
+        assert equivalence["energies_match"] is True
+        assert equivalence["fidelity_rtol"] == 1e-9
+        assert report["improve"]["identical"] is True
+        # The improver only ever lowers cost.
+        assert report["improve"]["cost"] <= report["greedy"]["cost"] + 1e-9
 
 
 class TestBenchJsonWriter:

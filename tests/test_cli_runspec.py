@@ -17,6 +17,7 @@ from repro.api import RunReport, available_extractors
 from repro.cli import build_parser, main
 
 SMOKE_SPEC = Path(__file__).resolve().parents[1] / "examples" / "specs" / "smoke.json"
+MARKET_SPEC = Path(__file__).resolve().parents[1] / "examples" / "specs" / "market.json"
 
 
 @pytest.fixture()
@@ -156,6 +157,23 @@ class TestRun:
         assert code == 0
         out = capsys.readouterr().out
         assert "schedule-based" in out
+
+    def test_shipped_market_spec_runs_schedule_stage(self, tmp_path, capsys):
+        assert MARKET_SPEC.exists()
+        report_path = tmp_path / "market.json"
+        code = main(["run", "--spec", str(MARKET_SPEC), "--out", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schedule_cost" in out
+        report = RunReport.load(report_path)
+        for result in report.results:
+            assert result.schedule is not None
+            assert "schedule" in result.stage_seconds
+            assert result.summary["schedule_placed"] + result.summary[
+                "schedule_unplaced"
+            ] == float(len(result.aggregates))
+        # The full report — schedule stage included — survives the wire.
+        assert RunReport.from_json(report.to_json()) == report
 
     def test_bad_spec_fails_cleanly(self, tmp_path, capsys):
         spec_path = tmp_path / "bad.json"

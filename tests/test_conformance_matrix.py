@@ -196,6 +196,117 @@ def test_wire_format_requires_version():
 # ---------------------------------------------------------------------- #
 
 
+def test_worker_fanout_matches_in_process():
+    # ROADMAP: `repro conformance --workers N`.  Cells are deterministic,
+    # so fanning them out over a process pool must reproduce the in-process
+    # report exactly — wire format included.
+    from repro.conformance import run_conformance
+
+    kwargs = dict(
+        scenarios=["seasonal-summer"],
+        extractors=["basic", "peak-based"],
+        invariants=["offer-validity", "scheduling-feasibility"],
+    )
+    in_process = run_conformance(**kwargs)
+    fanned = run_conformance(**kwargs, workers=2)
+    assert fanned.to_dict() == in_process.to_dict()
+    assert fanned.passed
+
+
+def _die_hard(scenario_name, extractor_name, invariants):  # pragma: no cover
+    # Module-level so the process pool can pickle it by name; kills the
+    # worker without raising (the shape of an OOM kill or segfault).
+    import os
+
+    os._exit(1)
+
+
+def test_hard_worker_death_yields_failing_cells_not_an_abort(monkeypatch):
+    # A worker killed outright (OOM, segfault) raises BrokenProcessPool out
+    # of future.result(); the runner must convert that into failing cell
+    # reports — the isolation contract — instead of losing the matrix.
+    from repro.conformance import run_conformance
+    from repro.conformance import runner as runner_module
+
+    monkeypatch.setattr(runner_module, "_run_cell_to_dict", _die_hard)
+    report = run_conformance(
+        scenarios=["seasonal-summer"],
+        extractors=["basic", "peak-based"],
+        invariants=["offer-validity"],
+        workers=2,
+    )
+    assert len(report.cells) == 2
+    assert not report.passed
+    assert all(
+        cell.invariants[0].name == "cell-execution" for cell in report.cells
+    )
+
+
+def test_worker_count_validated():
+    from repro.conformance import run_conformance
+    from repro.errors import ValidationError
+
+    with pytest.raises(ValidationError, match="workers"):
+        run_conformance(scenarios=["seasonal-summer"], workers=0)
+
+
+def test_scheduling_feasibility_enrolled_and_passes():
+    report = cell_report("seasonal-summer", "peak-based")
+    (feasibility,) = [
+        r for r in report.invariants if r.name == "scheduling-feasibility"
+    ]
+    assert feasibility.status == "pass"
+    assert "placed" in feasibility.detail
+
+
+def test_dst_fallback_week_covers_the_25_hour_day():
+    from datetime import datetime
+
+    scenario = get_scenario("dst-fallback-week")
+    fleet = scenario.build()
+    assert fleet.start == datetime(2012, 10, 22)
+    # The week spans the 2012-10-28 fall-back Sunday end to end.
+    assert fleet.start.weekday() == 0
+    assert fleet.days == 7
+    assert "calendar" in scenario.tags
+
+
+def test_markdown_report_rendering():
+    markdown = _tiny_report().to_markdown()
+    assert "## Conformance matrix" in markdown
+    assert "❌ conformance FAILED" in markdown
+    assert "| unit-scenario | basic | 3 | 1 | 1.25 |" in markdown
+    assert "FAIL: energy-conservation (1 skipped)" in markdown
+    assert "### Violations" in markdown
+    assert "conservation error" in markdown
+
+
+def test_cli_conformance_markdown_and_workers(tmp_path, capsys):
+    markdown = tmp_path / "summary.md"
+    code = main(
+        [
+            "conformance",
+            "--scenario",
+            "seasonal-summer",
+            "--extractor",
+            "basic",
+            "--extractor",
+            "peak-based",
+            "--invariant",
+            "offer-validity",
+            "--workers",
+            "2",
+            "--markdown",
+            str(markdown),
+        ]
+    )
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    text = markdown.read_text()
+    assert "✅ conformance passed" in text
+    assert "| seasonal-summer | basic |" in text
+
+
 def test_restricted_invariants_skip_sequential_rerun():
     from repro.conformance import run_conformance
 

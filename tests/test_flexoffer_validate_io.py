@@ -115,6 +115,40 @@ class TestIO:
         assert restored.slice_energies == sched.slice_energies
         assert restored.offer == sched.offer
 
+    def test_schedule_result_roundtrip(self):
+        import json
+
+        import numpy as np
+
+        from repro.flexoffer.io import (
+            schedule_result_from_dict,
+            schedule_result_to_dict,
+        )
+        from repro.scheduling import greedy_schedule
+        from repro.timeseries.axis import axis_for_days
+        from repro.timeseries.series import TimeSeries
+
+        axis = axis_for_days(datetime(2012, 3, 5), 1)
+        target = TimeSeries(
+            axis, np.random.default_rng(3).uniform(0, 1, axis.length), "surplus"
+        )
+        out_of_horizon = offer(
+            earliest_start=START + timedelta(days=30),
+            latest_start=START + timedelta(days=30, hours=1),
+        )
+        result = greedy_schedule([offer(), offer(), out_of_horizon], target)
+        assert result.schedules and result.unplaced
+        encoded = schedule_result_to_dict(result)
+        # JSON-native and stable through an actual serialisation.
+        restored = schedule_result_from_dict(json.loads(json.dumps(encoded)))
+        assert restored == result
+        assert restored.cost == result.cost
+        assert restored.demand == result.demand
+        missing = dict(encoded)
+        del missing["schedules"]
+        with pytest.raises(DataError):
+            schedule_result_from_dict(missing)
+
     def test_file_roundtrip(self, tmp_path):
         offers = [offer() for _ in range(5)]
         path = tmp_path / "offers.json"

@@ -24,6 +24,8 @@ from repro.pipeline import (
     results_identical,
     run_sequential,
 )
+from repro.pipeline.fleet import fleet_schedule_target
+from repro.scheduling import ScheduleConfig
 from repro.simulation.dataset import generate_fleet
 
 START = datetime(2012, 3, 5)
@@ -59,8 +61,12 @@ class TestFleetPipeline:
 
     def test_stage_timings_recorded(self, tiny_fleet):
         result = FleetPipeline(FrequencyBasedExtractor()).run(tiny_fleet)
+        # The schedule stage only runs (and is only timed) with a target.
         for stage in STAGES:
-            assert stage in result.timings.seconds
+            if stage == "schedule":
+                assert stage not in result.timings.seconds
+            else:
+                assert stage in result.timings.seconds
         # Appliance-level extractors spend real time disaggregating.
         assert result.timings.seconds["disaggregate"] > 0.0
         assert result.timings.total > 0.0
@@ -95,6 +101,60 @@ class TestFleetPipeline:
     def test_empty_fleet_rejected(self):
         with pytest.raises(ValidationError):
             FleetPipeline().run([])
+
+
+class TestScheduleStage:
+    @pytest.fixture(scope="class")
+    def target(self, tiny_fleet):
+        return fleet_schedule_target(tiny_fleet, seed=2)
+
+    def test_no_target_no_schedule(self, tiny_fleet):
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        result = FleetPipeline(extractor).run(tiny_fleet)
+        assert result.schedule is None
+
+    def test_schedule_stage_runs_and_is_timed(self, tiny_fleet, target):
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        result = FleetPipeline(extractor).run(tiny_fleet, target=target)
+        assert result.schedule is not None
+        assert "schedule" in result.timings.seconds
+        placed = {s.offer.offer_id for s in result.schedule.schedules}
+        unplaced = {o.offer_id for o in result.schedule.unplaced}
+        aggregate_ids = {a.offer.offer_id for a in result.aggregates}
+        assert placed | unplaced == aggregate_ids
+        assert result.schedule.cost <= result.schedule.baseline_cost + 1e-9
+
+    def test_batched_equals_sequential_with_schedule(self, tiny_fleet, target):
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        config = ScheduleConfig(improve_iterations=50, improve_seed=3)
+        batched = FleetPipeline(extractor, chunk_size=2, schedule=config).run(
+            tiny_fleet, target=target
+        )
+        sequential = run_sequential(
+            tiny_fleet, extractor, target=target, schedule_config=config
+        )
+        assert results_identical(batched, sequential)
+
+    def test_schedule_mismatch_breaks_identity(self, tiny_fleet, target):
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        with_schedule = FleetPipeline(extractor).run(tiny_fleet, target=target)
+        without = FleetPipeline(extractor).run(tiny_fleet)
+        assert not results_identical(with_schedule, without)
+
+    def test_schedule_engines_agree_on_fleet_aggregates(self, tiny_fleet, target):
+        extractor = PeakBasedExtractor(params=FlexOfferParams(flexible_share=0.05))
+        vectorized = FleetPipeline(
+            extractor, schedule=ScheduleConfig(engine="vectorized")
+        ).run(tiny_fleet, target=target)
+        reference = FleetPipeline(
+            extractor, schedule=ScheduleConfig(engine="reference")
+        ).run(tiny_fleet, target=target)
+        assert [
+            (s.offer.offer_id, s.start) for s in vectorized.schedule.schedules
+        ] == [(s.offer.offer_id, s.start) for s in reference.schedule.schedules]
+        assert vectorized.schedule.cost == pytest.approx(
+            reference.schedule.cost, rel=1e-9
+        )
 
     def test_bad_parameters_rejected(self):
         with pytest.raises(ValidationError):

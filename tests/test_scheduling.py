@@ -9,7 +9,7 @@ import pytest
 
 from repro.errors import SchedulingError
 from repro.flexoffer.model import FlexOffer, ProfileSlice
-from repro.scheduling.greedy import greedy_schedule, naive_schedule
+from repro.scheduling.greedy import ScheduleConfig, greedy_schedule, naive_schedule
 from repro.scheduling.objective import (
     absolute_imbalance,
     overshoot,
@@ -136,6 +136,146 @@ class TestNaive:
         assert sched.start == fo.earliest_start
         midpoint_total = sum(s.midpoint for s in fo.slices)
         assert sched.total_energy == pytest.approx(midpoint_total)
+
+
+class TestScheduleConfig:
+    def test_engine_and_order_validated(self):
+        with pytest.raises(SchedulingError):
+            ScheduleConfig(engine="turbo")
+        with pytest.raises(SchedulingError):
+            ScheduleConfig(order="nonsense")
+        with pytest.raises(SchedulingError):
+            ScheduleConfig(improve_iterations=-1)
+
+    def test_order_argument_overrides_config(self):
+        axis = axis_for_days(START, 1)
+        target = TimeSeries.full(axis, 0.5)
+        offers = [offer(0.0, 5.0), offer(2.0, 1.0)]
+        config = ScheduleConfig(order="largest-first")
+        result = greedy_schedule(offers, target, order="as-given", config=config)
+        assert [s.offer.offer_id for s in result.schedules] == [
+            o.offer_id for o in offers
+        ]
+
+
+class TestEngineEquivalence:
+    """The vectorized placement engine is a pure execution-plan change."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.scheduling import build_schedule_workload
+
+        aggregates, target = build_schedule_workload(n_aggregates=40, seed=23)
+        return [a.offer for a in aggregates], target
+
+    def test_greedy_engines_agree(self, workload):
+        offers, target = workload
+        reference = greedy_schedule(
+            offers, target, config=ScheduleConfig(engine="reference")
+        )
+        vectorized = greedy_schedule(offers, target)
+        assert [(s.offer.offer_id, s.start) for s in reference.schedules] == [
+            (s.offer.offer_id, s.start) for s in vectorized.schedules
+        ]
+        assert [o.offer_id for o in reference.unplaced] == [
+            o.offer_id for o in vectorized.unplaced
+        ]
+        for a, b in zip(reference.schedules, vectorized.schedules):
+            assert a.slice_energies == pytest.approx(b.slice_energies, rel=1e-9)
+        assert vectorized.cost == pytest.approx(reference.cost, rel=1e-9)
+
+    def test_greedy_engines_agree_on_every_order(self, workload):
+        offers, target = workload
+        for order in ("least-flexible-first", "largest-first", "as-given"):
+            reference = greedy_schedule(
+                offers, target, config=ScheduleConfig(order=order, engine="reference")
+            )
+            vectorized = greedy_schedule(offers, target, order=order)
+            assert [s.start for s in reference.schedules] == [
+                s.start for s in vectorized.schedules
+            ]
+
+    def test_stochastic_engines_bitwise_identical(self, workload):
+        offers, target = workload
+        start = greedy_schedule(offers, target)
+        reference = improve_schedule(
+            start, np.random.default_rng(9), iterations=400, engine="reference"
+        )
+        vectorized = improve_schedule(
+            start, np.random.default_rng(9), iterations=400, engine="vectorized"
+        )
+        assert [(s.start, s.slice_energies) for s in reference.schedules] == [
+            (s.start, s.slice_energies) for s in vectorized.schedules
+        ]
+        assert reference.cost == vectorized.cost
+
+    def test_stochastic_engine_validated(self, workload):
+        offers, target = workload
+        result = greedy_schedule(offers[:2], target)
+        with pytest.raises(SchedulingError):
+            improve_schedule(result, np.random.default_rng(0), engine="warp")
+
+    def test_engines_agree_on_offers_off_the_axis_grid(self):
+        # Offers anchored between metering intervals and spilling over the
+        # horizon edges take every branch of the start-grid arithmetic.
+        axis = axis_for_days(START, 1)
+        target = TimeSeries(
+            axis, np.random.default_rng(4).uniform(0, 1, axis.length)
+        )
+        offers = [
+            FlexOffer(
+                earliest_start=START + timedelta(minutes=7),
+                latest_start=START + timedelta(hours=26),
+                slices=(ProfileSlice(0.2, 0.8, 3), ProfileSlice(0.1, 0.5, 2)),
+            ),
+            FlexOffer(
+                earliest_start=START - timedelta(hours=2),
+                latest_start=START + timedelta(hours=1),
+                slices=(ProfileSlice(0.5, 1.0),),
+            ),
+            FlexOffer(
+                earliest_start=START + timedelta(days=2),
+                latest_start=START + timedelta(days=3),
+                slices=(ProfileSlice(0.5, 1.0),),
+            ),
+        ]
+        reference = greedy_schedule(
+            offers, target, config=ScheduleConfig(engine="reference")
+        )
+        vectorized = greedy_schedule(offers, target)
+        assert [s.start for s in reference.schedules] == [
+            s.start for s in vectorized.schedules
+        ]
+        assert [o.offer_id for o in reference.unplaced] == [
+            o.offer_id for o in vectorized.unplaced
+        ]
+
+
+class TestStartGrid:
+    def test_matches_feasible_starts_filter(self):
+        from repro.scheduling.greedy import start_grid
+
+        axis = axis_for_days(START, 1)
+        fo = FlexOffer(
+            earliest_start=START + timedelta(minutes=5),
+            latest_start=START + timedelta(hours=23, minutes=35),
+            slices=(ProfileSlice(0.1, 0.4), ProfileSlice(0.1, 0.4)),
+        )
+        steps, firsts = start_grid(fo, axis, require_fit=False)
+        expected = [s for s in fo.feasible_starts() if axis.contains(s)]
+        starts = [fo.earliest_start + fo.resolution * int(k) for k in steps]
+        assert starts == expected
+        assert [axis.index_of(s) for s in expected] == list(firsts)
+
+    def test_require_fit_drops_overruns(self):
+        from repro.scheduling.greedy import start_grid
+
+        axis = axis_for_days(START, 1)
+        fo = offer(start_h=23.0, flex_h=3.0, e=1.0, slices=2)
+        loose_steps, _ = start_grid(fo, axis, require_fit=False)
+        tight_steps, tight_firsts = start_grid(fo, axis, require_fit=True)
+        assert len(tight_steps) < len(loose_steps)
+        assert all(first + 2 <= axis.length for first in tight_firsts)
 
 
 class TestStochasticImprovement:
