@@ -26,7 +26,10 @@ or imperative, one approach on one series::
     print(result.offers)
 
 See README.md for the approach registry table and the spec-file grammar,
-and PERFORMANCE.md for the fleet-pipeline speedup baseline.
+docs/ARCHITECTURE.md for the package map and the registry/spec/report
+flow, docs/PAPER_MAPPING.md for the paper-section → module table,
+TESTING.md for the conformance matrix, and PERFORMANCE.md for the
+measured hot paths (fleet pipeline, scheduling engines, zoned markets).
 """
 
 from repro.errors import (

@@ -1,4 +1,22 @@
-"""Flex-offer aggregation/disaggregation (MIRABEL substrate, paper [4])."""
+"""Flex-offer aggregation/disaggregation (MIRABEL substrate, paper [4]).
+
+Groups similar offers on the SSDBM'12 grouping grid and folds each group
+into one aggregated offer that conservatively inherits the *minimum*
+member flexibility, so any schedule of the aggregate disaggregates into
+feasible member schedules.
+
+Subsystem contract:
+
+* **Round-trip losslessness** — ``disaggregate_schedule`` reproduces the
+  aggregate's per-interval energy exactly (≤1e-9 kWh); the conformance
+  matrix probes this at three schedule levels on every cell.
+* **Determinism** — grouping and aggregation are pure functions of the
+  offer list and :class:`GroupingParams`; aggregate ids are minted in the
+  caller's :func:`~repro.flexoffer.model.offer_id_scope`.
+* **Vectorized, not approximate** — slice-expansion accumulation runs as
+  matrix passes (``slice_expansion_arrays``) with results identical to
+  the per-member loops they replaced.
+"""
 
 from repro.aggregation.aggregate import (
     AggregatedFlexOffer,

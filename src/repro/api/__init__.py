@@ -19,6 +19,19 @@ Three layers, one import::
   serialisable :class:`~repro.api.service.RunReport`.
 
 The CLI (``repro run --spec run.json``) is a thin shell over this package.
+
+Subsystem contract:
+
+* **Wire-format stability** — specs and reports are versioned and
+  round-trip losslessly through JSON; optional stages (``schedule``,
+  ``zones``) are omitted from the encoding when absent so pre-existing
+  spec files and goldens keep loading (golden- and property-tested).
+* **Strict validation** — unknown keys, wrong types and unsupported
+  versions raise :class:`~repro.errors.SpecError` naming the offending
+  path; registry misuse raises with the full list of alternatives
+  (error messages are golden-pinned).
+* **Replayability** — a :class:`RunSpec` fully determines its
+  :class:`RunReport`; store both and the run is auditable and repeatable.
 """
 
 from repro.api.registry import (
@@ -45,6 +58,7 @@ from repro.api.spec import (
     RunSpec,
     ScenarioSpec,
     ScheduleSpec,
+    ZoneSpec,
     load_run_spec,
     save_run_spec,
 )
@@ -69,6 +83,7 @@ __all__ = [
     "RunSpec",
     "ScenarioSpec",
     "ScheduleSpec",
+    "ZoneSpec",
     "load_run_spec",
     "save_run_spec",
 ]

@@ -39,10 +39,10 @@ from repro.errors import DataError, RegistryError
 from repro.flexoffer.io import (
     aggregated_from_dict,
     aggregated_to_dict,
+    any_schedule_from_dict,
+    any_schedule_to_dict,
     flexoffer_from_dict,
     flexoffer_to_dict,
-    schedule_result_from_dict,
-    schedule_result_to_dict,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.extraction.base import ExtractionResult
     from repro.flexoffer.model import FlexOffer
     from repro.scheduling.greedy import ScheduleResult
+    from repro.scheduling.zones import ZonedScheduleResult, ZonedTarget
     from repro.timeseries.series import TimeSeries
 
 #: Wire-format version of run reports; bump on incompatible change.
@@ -65,8 +66,11 @@ class ExtractorRunReport:
     """One approach's share of a run: offers, aggregates, timings, summary.
 
     ``schedule`` carries the schedule-stage output when the run placed the
-    fleet aggregates against a target; the wire format omits the key when
-    absent, so pre-schedule reports keep loading unchanged.
+    fleet aggregates against a target — zone-sharded runs carry a
+    :class:`~repro.scheduling.zones.ZonedScheduleResult` (its wire
+    encoding is discriminated by a ``"zones"`` key); the wire format omits
+    the key entirely when absent, so pre-schedule reports keep loading
+    unchanged.
     """
 
     extractor: str
@@ -75,7 +79,7 @@ class ExtractorRunReport:
     aggregates: tuple["AggregatedFlexOffer", ...] = ()
     stage_seconds: Mapping[str, float] = field(default_factory=dict)
     summary: Mapping[str, Any] = field(default_factory=dict)
-    schedule: "ScheduleResult | None" = None
+    schedule: "ScheduleResult | ZonedScheduleResult | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "offers", tuple(self.offers))
@@ -93,7 +97,7 @@ class ExtractorRunReport:
             "summary": dict(self.summary),
         }
         if self.schedule is not None:
-            encoded["schedule"] = schedule_result_to_dict(self.schedule)
+            encoded["schedule"] = any_schedule_to_dict(self.schedule)
         return encoded
 
     @classmethod
@@ -109,7 +113,7 @@ class ExtractorRunReport:
                 ),
                 stage_seconds=data.get("stage_seconds", {}),
                 summary=data.get("summary", {}),
-                schedule=None if schedule is None else schedule_result_from_dict(schedule),
+                schedule=None if schedule is None else any_schedule_from_dict(schedule),
             )
         except KeyError as exc:
             raise DataError(f"extractor run report missing field: {exc}") from exc
@@ -230,8 +234,31 @@ class FlexibilityService:
             scenario.households, scenario.start, scenario.days, seed=scenario.seed
         )
 
-    def _build_target(self, spec: RunSpec) -> "TimeSeries":
-        """Synthesise the schedule stage's target series from the spec."""
+    def _build_target(self, spec: RunSpec) -> "TimeSeries | ZonedTarget":
+        """Synthesise the schedule stage's target from the spec.
+
+        A spec with zones yields a
+        :class:`~repro.scheduling.zones.ZonedTarget` — one deterministic
+        series per zone (the zone's own ``target_seed``/``target_kwh``)
+        plus the explicit household→zone assignment; otherwise one plain
+        target series.
+        """
+        schedule = spec.pipeline.schedule
+        if schedule.zones:
+            return self._build_zoned_target(spec)
+        return self._synthesise_series(
+            spec, schedule.target_seed, schedule.target_kwh
+        )
+
+    def _synthesise_series(
+        self,
+        spec: RunSpec,
+        seed: int,
+        target_kwh: float | None,
+        name: str | None = None,
+    ) -> "TimeSeries":
+        # ``name=None`` keeps the series' own name (the wind simulator's /
+        # "flat-target"), preserving pre-zone report content byte for byte.
         import numpy as np
 
         from repro.simulation.res import simulate_wind_production
@@ -241,14 +268,36 @@ class FlexibilityService:
         schedule = spec.pipeline.schedule
         axis = axis_for_days(spec.scenario.start, spec.scenario.days)
         if schedule.target == "wind":
-            series = simulate_wind_production(
-                axis, np.random.default_rng(schedule.target_seed)
-            )
+            series = simulate_wind_production(axis, np.random.default_rng(seed))
+            if name is not None:
+                series = series.with_name(name)
         else:
-            series = TimeSeries.full(axis, 1.0, name="flat-target")
-        if schedule.target_kwh is not None and series.total() > 0:
-            series = series * (schedule.target_kwh / series.total())
+            series = TimeSeries.full(axis, 1.0, name=name or "flat-target")
+        if target_kwh is not None and series.total() > 0:
+            series = series * (target_kwh / series.total())
         return series
+
+    def _build_zoned_target(self, spec: RunSpec) -> "ZonedTarget":
+        from repro.scheduling.zones import MarketZone, ZonedTarget
+
+        schedule = spec.pipeline.schedule
+        zones = tuple(
+            MarketZone(
+                name=zone.name,
+                target=self._synthesise_series(
+                    spec, zone.target_seed, zone.target_kwh, f"{zone.name}-target"
+                ),
+                price_floor=zone.price_floor,
+                price_cap=zone.price_cap,
+            )
+            for zone in schedule.zones
+        )
+        assignment = {
+            household: zone.name
+            for zone in schedule.zones
+            for household in zone.households
+        }
+        return ZonedTarget(zones=zones, assignment=assignment)
 
     def _run_fleet(self, spec: RunSpec) -> RunReport:
         from repro.pipeline.fleet import FleetPipeline

@@ -168,7 +168,95 @@ SCHEDULE_TARGETS: tuple[str, ...] = ("wind", "flat")
 #: Placement orders / engines — mirror ``repro.scheduling.greedy`` (kept in
 #: sync by a test; duplicated here so the spec layer stays import-light).
 SCHEDULE_ORDERS: tuple[str, ...] = ("least-flexible-first", "largest-first", "as-given")
-SCHEDULE_ENGINES: tuple[str, ...] = ("vectorized", "reference")
+SCHEDULE_ENGINES: tuple[str, ...] = ("vectorized", "incremental", "reference")
+
+
+@dataclass(frozen=True, slots=True)
+class ZoneSpec:
+    """One declarative market zone of a zoned schedule stage.
+
+    The zone's demand profile is synthesised from the enclosing
+    :class:`ScheduleSpec`'s ``target`` kind and this zone's own
+    ``target_seed``; ``target_kwh`` (when given) rescales the zone's total
+    energy.  ``price_floor``/``price_cap`` bound the zone's clearing price
+    (EUR/kWh, reporting only).  ``households`` lists the consumer ids
+    routed to this zone by the explicit assignment policy; households not
+    listed under any zone fall back to the deterministic hash shard (see
+    :func:`repro.scheduling.zones.assign_zone`).
+    """
+
+    name: str
+    target_seed: int = 0
+    target_kwh: float | None = None
+    price_floor: float = 0.0
+    price_cap: float = 0.0
+    households: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError("zone.name must be a non-empty string")
+        if self.target_kwh is not None and self.target_kwh <= 0:
+            raise SpecError(f"zone {self.name!r}: target_kwh must be > 0 (or null)")
+        if self.price_floor < 0 or self.price_cap < 0:
+            raise SpecError(f"zone {self.name!r}: prices must be >= 0")
+        if self.price_cap < self.price_floor:
+            raise SpecError(
+                f"zone {self.name!r}: price_cap below price_floor"
+            )
+        if not isinstance(self.households, tuple):
+            object.__setattr__(self, "households", tuple(self.households))
+        if len(set(self.households)) != len(self.households):
+            raise SpecError(
+                f"zone {self.name!r}: duplicate household(s) in households"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "target_seed": self.target_seed,
+            "target_kwh": self.target_kwh,
+            "price_floor": self.price_floor,
+            "price_cap": self.price_cap,
+            "households": list(self.households),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ZoneSpec":
+        allowed = tuple(f.name for f in fields(cls))
+        _require_keys(data, allowed, "pipeline.schedule.zone")
+        if "name" not in data:
+            raise SpecError("pipeline.schedule.zone: missing required key 'name'")
+        kwargs: dict[str, Any] = {
+            "name": _require_type(data["name"], (str,), "pipeline.schedule.zone.name")
+        }
+        if "target_seed" in data:
+            kwargs["target_seed"] = _require_type(
+                data["target_seed"], (int,), "pipeline.schedule.zone.target_seed"
+            )
+        if "target_kwh" in data and data["target_kwh"] is not None:
+            kwargs["target_kwh"] = float(
+                _require_type(
+                    data["target_kwh"],
+                    (int, float),
+                    "pipeline.schedule.zone.target_kwh",
+                )
+            )
+        for key in ("price_floor", "price_cap"):
+            if key in data:
+                kwargs[key] = float(
+                    _require_type(
+                        data[key], (int, float), f"pipeline.schedule.zone.{key}"
+                    )
+                )
+        if "households" in data:
+            raw = _require_type(
+                data["households"], (list, tuple), "pipeline.schedule.zone.households"
+            )
+            kwargs["households"] = tuple(
+                _require_type(h, (str,), "pipeline.schedule.zone.households[]")
+                for h in raw
+            )
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True, slots=True)
@@ -178,8 +266,13 @@ class ScheduleSpec:
     The target series is synthesised deterministically from the spec —
     ``"wind"`` simulates RES production on the scenario's metering axis
     from ``target_seed``, ``"flat"`` is a constant series — and
-    ``target_kwh`` (when given) rescales its total energy.  The remaining
-    fields mirror :class:`repro.scheduling.greedy.ScheduleConfig`.
+    ``target_kwh`` (when given) rescales its total energy.  A non-empty
+    ``zones`` tuple turns the stage into a zone-sharded multi-market run
+    (one synthesised target per :class:`ZoneSpec`; ``target_seed`` and
+    ``target_kwh`` then apply per zone and the top-level ones are unused);
+    the wire format omits the key when absent, so pre-zone spec files and
+    goldens keep loading unchanged.  The remaining fields mirror
+    :class:`repro.scheduling.greedy.ScheduleConfig`.
     """
 
     target: str = "wind"
@@ -189,8 +282,23 @@ class ScheduleSpec:
     engine: str = "vectorized"
     improve_iterations: int = 0
     improve_seed: int = 0
+    zones: tuple[ZoneSpec, ...] = ()
 
     def __post_init__(self) -> None:
+        if not isinstance(self.zones, tuple):
+            object.__setattr__(self, "zones", tuple(self.zones))
+        names = [zone.name for zone in self.zones]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate zone names: {', '.join(names)}")
+        routed: set[str] = set()
+        for zone in self.zones:
+            doubled = routed & set(zone.households)
+            if doubled:
+                raise SpecError(
+                    f"household(s) {', '.join(sorted(doubled))} assigned to "
+                    f"more than one zone"
+                )
+            routed |= set(zone.households)
         if self.target not in SCHEDULE_TARGETS:
             raise SpecError(
                 f"schedule.target must be one of {', '.join(SCHEDULE_TARGETS)}, "
@@ -223,7 +331,7 @@ class ScheduleSpec:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        encoded: dict[str, Any] = {
             "target": self.target,
             "target_seed": self.target_seed,
             "target_kwh": self.target_kwh,
@@ -232,6 +340,9 @@ class ScheduleSpec:
             "improve_iterations": self.improve_iterations,
             "improve_seed": self.improve_seed,
         }
+        if self.zones:
+            encoded["zones"] = [zone.to_dict() for zone in self.zones]
+        return encoded
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScheduleSpec":
@@ -254,6 +365,11 @@ class ScheduleSpec:
                     data["target_kwh"], (int, float), "pipeline.schedule.target_kwh"
                 )
             )
+        if "zones" in data:
+            raw = _require_type(
+                data["zones"], (list, tuple), "pipeline.schedule.zones"
+            )
+            kwargs["zones"] = tuple(ZoneSpec.from_dict(z) for z in raw)
         return cls(**kwargs)
 
 

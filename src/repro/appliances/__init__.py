@@ -1,4 +1,15 @@
-"""Appliance knowledge: specs (Table 1), usage frequencies and schedules."""
+"""Appliance knowledge: specs (Table 1), usage frequencies and schedules.
+
+Subsystem contract:
+
+* **The default catalogue is pinned** — :func:`default_database` is part
+  of the disaggregation determinism contract: adding an appliance changes
+  every matching shortlist downstream, so new devices (heat pumps, …) go
+  into the opt-in :func:`extended_database` instead.
+* **Cached derived data** — per-shape template FFTs and denominators are
+  computed once per database and shared across households and matching
+  iterations (the fleet pipeline's hot path relies on this).
+"""
 
 from repro.appliances.database import (
     TABLE1_NAMES,

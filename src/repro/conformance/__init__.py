@@ -12,8 +12,9 @@ turns that claim into machinery:
 * :mod:`repro.conformance.invariants` — a reusable **invariant library**:
   flex-offer policy validity, energy conservation, N-to-1
   aggregate/disaggregate round-trips, batched-pipeline ≡ sequential-loop
-  (exact, offer ids included), vectorized ≡ reference matching engine, and
-  run-report JSON round-trip determinism.
+  (exact, offer ids included), vectorized ≡ reference matching engine,
+  schedule-stage feasibility, zone-partition integrity on zoned markets,
+  and run-report JSON round-trip determinism.
 * :mod:`repro.conformance.runner` — the **runner**: executes every
   compatible (scenario × extractor) cell and emits a structured, JSON
   round-trippable :class:`~repro.conformance.runner.ConformanceReport`.

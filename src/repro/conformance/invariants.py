@@ -27,7 +27,13 @@ guarantees added by the pipeline and API layers):
 ``scheduling-feasibility``
     The schedule stage (greedy placement of the fleet aggregates) and a
     stochastic-improvement pass over it respect every offer's time window
-    and slice bounds, partition the aggregates, and never regress cost.
+    and slice bounds, partition the aggregates, and never regress cost —
+    zone by zone on zoned cells.
+``zone-partition``
+    Zoned cells only: every aggregate is scheduled in exactly one zone,
+    in the zone the assignment policy (explicit household mapping,
+    hash-shard fallback) routes it to, and each zone's demand plan
+    conserves its placements' energy.
 ``report-roundtrip``
     The cell's output survives the RunSpec→RunReport JSON wire format
     losslessly and deterministically.
@@ -132,6 +138,11 @@ class CellRun:
     #: The sequential-loop rerun, or ``None`` for per-household approaches
     #: (which have no single shared pipeline extractor to compare against).
     sequential: "FleetResult | None"
+    #: The schedule-stage target the cell actually ran against (a
+    #: ``TimeSeries``, or a ``ZonedTarget`` on zoned scenarios) — carried
+    #: here so invariants validate against the very policy that scheduled,
+    #: never a recomputation that could drift from it.
+    target: Any = None
     #: Build a fresh extractor of this cell's approach, with overrides
     #: (used by the engine-fidelity invariant to flip ``engine``).
     make_extractor: Callable[..., "FlexibilityExtractor"] = field(repr=False, default=None)
@@ -299,11 +310,19 @@ def check_engine_fidelity(run: CellRun) -> InvariantResult:
         return _skipped(
             "engine-fidelity", "approach has no pluggable matching engine"
         )
+    from repro.pipeline.fleet import stamp_household
+
     trace = run.fleet.traces[0]
     reference = run.make_extractor(engine="reference")
     series = input_series_for(reference, trace)
     rng = np.random.default_rng(run.scenario.seed)  # household 0's stream
-    reference_offers = reference.extract(series, rng).offers
+    # The pipeline stamps household identity onto ownerless offers; the
+    # bare re-extraction here must be stamped the same way to compare.
+    reference_offers = list(
+        stamp_household(
+            reference.extract(series, rng).offers, trace.config.household_id
+        )
+    )
     vectorized_offers: list[FlexOffer] = list(run.result.households[0].offers)
     violations: list[str] = []
     if not offers_equivalent(vectorized_offers, reference_offers, rtol=FIDELITY_RTOL):
@@ -369,8 +388,11 @@ def check_scheduling_feasibility(run: CellRun) -> InvariantResult:
     stochastic pass must never cost more than its input.  (Greedy cost may
     legitimately exceed the do-nothing baseline: every offer's minimum
     energy must run somewhere, even when the target is already soaked up.)
+    Zoned cells are checked zone by zone — each zone is its own
+    independent scheduling run.
     """
     from repro.scheduling.stochastic import improve_schedule
+    from repro.scheduling.zones import ZonedScheduleResult
 
     schedule = run.result.schedule
     if schedule is None:
@@ -388,26 +410,107 @@ def check_scheduling_feasibility(run: CellRun) -> InvariantResult:
             f"schedule covers {len(scheduled_ids)} aggregates of "
             f"{len(aggregate_ids)} (partition broken)"
         )
-    violations.extend(_schedule_violations("greedy", schedule))
-    try:
-        improved = improve_schedule(
-            schedule, np.random.default_rng(run.scenario.seed), iterations=60
-        )
-    except ReproError as exc:
-        violations.append(f"stochastic improver raised {type(exc).__name__}: {exc}")
+    if isinstance(schedule, ZonedScheduleResult):
+        parts = [
+            (f"[{zone.name}]", result)
+            for zone, result in zip(schedule.zones, schedule.results)
+        ]
     else:
-        violations.extend(_schedule_violations("stochastic", improved))
-        if improved.cost > schedule.cost + 1e-9:
-            violations.append(
-                f"stochastic cost {improved.cost:.6f} worse than its input "
-                f"{schedule.cost:.6f}"
+        parts = [("", schedule)]
+    for suffix, part in parts:
+        violations.extend(_schedule_violations(f"greedy{suffix}", part))
+        try:
+            improved = improve_schedule(
+                part, np.random.default_rng(run.scenario.seed), iterations=60
             )
+        except ReproError as exc:
+            violations.append(
+                f"stochastic improver{suffix} raised {type(exc).__name__}: {exc}"
+            )
+        else:
+            violations.extend(_schedule_violations(f"stochastic{suffix}", improved))
+            if improved.cost > part.cost + 1e-9:
+                violations.append(
+                    f"stochastic{suffix} cost {improved.cost:.6f} worse than "
+                    f"its input {part.cost:.6f}"
+                )
     return _outcome(
         "scheduling-feasibility",
         violations,
         detail=(
             f"{len(schedule.schedules)} placed, {len(schedule.unplaced)} "
             f"unplaced, improvement {schedule.improvement:.1%}"
+        ),
+    )
+
+
+def check_zone_partition(run: CellRun) -> InvariantResult:
+    """Zoned cells: every aggregate lands in exactly one zone, energy intact.
+
+    Three facets of the zone-sharded schedule stage:
+
+    * **partition** — the union of per-zone placed + unplaced offers is
+      exactly the fleet's aggregates, with no offer in two zones;
+    * **policy** — each aggregate sits in the zone the assignment policy
+      (explicit household mapping, hash-shard fallback) of the cell's own
+      zoned target routes it to;
+    * **per-zone energy conservation** — each zone's demand plan carries
+      exactly the energy of the placements it claims (≤ 1e-6 kWh off).
+    """
+    from repro.scheduling.zones import ZonedScheduleResult, ZonedTarget, assign_zone
+
+    schedule = run.result.schedule
+    if not isinstance(schedule, ZonedScheduleResult):
+        return _skipped("zone-partition", "cell ran without a zoned schedule stage")
+    if not isinstance(run.target, ZonedTarget):
+        return InvariantResult(
+            name="zone-partition",
+            status="fail",
+            violations=(
+                "cell produced a zoned schedule but carries no ZonedTarget "
+                "to validate its routing against",
+            ),
+        )
+    violations: list[str] = []
+    per_zone_ids = [
+        [s.offer.offer_id for s in result.schedules]
+        + [o.offer_id for o in result.unplaced]
+        for result in schedule.results
+    ]
+    flat = [offer_id for ids in per_zone_ids for offer_id in ids]
+    if len(flat) != len(set(flat)):
+        doubled = sorted({i for i in flat if flat.count(i) > 1})
+        violations.append(f"offer(s) scheduled in more than one zone: {doubled}")
+    aggregate_ids = sorted(a.offer.offer_id for a in run.result.aggregates)
+    if sorted(flat) != aggregate_ids:
+        violations.append(
+            f"zones cover {len(flat)} offers of {len(aggregate_ids)} "
+            f"aggregates (partition broken)"
+        )
+    zoned = run.target
+    routed = schedule.assignment()
+    for aggregate in run.result.aggregates:
+        expected = assign_zone(aggregate, zoned)
+        actual = routed.get(aggregate.offer.offer_id)
+        if actual != expected:
+            violations.append(
+                f"{aggregate.offer.offer_id}: scheduled in zone {actual!r}, "
+                f"policy routes it to {expected!r}"
+            )
+    for zone, result in zip(schedule.zones, schedule.results):
+        placed = float(sum(s.total_energy for s in result.schedules))
+        planned = float(result.demand.values.sum())
+        if abs(placed - planned) > CONSERVATION_TOLERANCE_KWH * max(1.0, abs(placed)):
+            violations.append(
+                f"zone {zone.name}: demand plan carries {planned:.6f} kWh for "
+                f"{placed:.6f} kWh of placements"
+            )
+    return _outcome(
+        "zone-partition",
+        violations,
+        detail=(
+            f"{len(schedule.zones)} zones, "
+            f"{len(schedule.schedules)} placed offers"
         ),
     )
 
@@ -470,6 +573,7 @@ INVARIANTS: dict[str, Callable[[CellRun], InvariantResult]] = {
     "batched-equals-sequential": check_batched_equals_sequential,
     "engine-fidelity": check_engine_fidelity,
     "scheduling-feasibility": check_scheduling_feasibility,
+    "zone-partition": check_zone_partition,
     "report-roundtrip": check_report_roundtrip,
 }
 

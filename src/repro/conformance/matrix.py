@@ -47,7 +47,10 @@ class ConformanceScenario:
     tags:
         Capability/trait markers consumed by the compatibility rules
         (``appliance`` admits the strict 1-minute approaches, ``tariff``
-        admits the multi-tariff approach, ...).
+        admits the multi-tariff approach, ...) and by the runner
+        (``zoned`` pairs the scenario's schedule stage with a multi-zone
+        :class:`~repro.scheduling.zones.ZonedTarget` on the incremental
+        engine instead of a single market target).
     seed:
         Base seed for the per-household extraction rng streams.
     chunk_size:
@@ -171,6 +174,13 @@ def scenario_matrix() -> tuple[ConformanceScenario, ...]:
             build=w.large_fleet,
             tags=frozenset({"scale"}),
             chunk_size=16,
+        ),
+        ConformanceScenario(
+            name="zoned-market",
+            description="Three-zone market: aggregates sharded by household, "
+            "zoned schedule stage on the incremental engine",
+            build=w.zoned_market_fleet,
+            tags=frozenset({"appliance", "zoned", "market"}),
         ),
         ConformanceScenario(
             name="tariff-switch",

@@ -39,8 +39,10 @@ from repro.pipeline.fleet import (
     HouseholdOutput,
     StageTimings,
     fleet_schedule_target,
+    fleet_zoned_target,
     run_sequential,
     schedule_aggregates,
+    stamp_household,
 )
 from repro.scheduling.greedy import ScheduleConfig
 
@@ -49,8 +51,12 @@ CONFORMANCE_VERSION = 1
 
 #: Every cell runs the schedule stage with this configuration (greedy
 #: placement only; the scheduling-feasibility invariant exercises the
-#: stochastic improver separately on the greedy output).
+#: stochastic improver separately on the greedy output).  Cells of
+#: ``zoned``-tagged scenarios use the incremental-gain engine instead —
+#: the zone-sharded hot path — so its bitwise-equivalence contract is
+#: proven on every extractor's real fleet aggregates, not just benchmarks.
 CELL_SCHEDULE_CONFIG = ScheduleConfig()
+CELL_ZONED_SCHEDULE_CONFIG = ScheduleConfig(engine="incremental")
 
 
 @dataclass(frozen=True)
@@ -254,8 +260,23 @@ class ConformanceReport:
 
 
 def cell_schedule_target(scenario: ConformanceScenario, fleet):
-    """The deterministic schedule-stage target of a scenario's cells."""
+    """The deterministic schedule-stage target of a scenario's cells.
+
+    ``zoned``-tagged scenarios get a three-zone
+    :class:`~repro.scheduling.zones.ZonedTarget` (explicit household
+    assignment for half the fleet, hash shard for the rest); every other
+    scenario keeps the single wind-surplus target.
+    """
+    if "zoned" in scenario.tags:
+        return fleet_zoned_target(fleet, seed=scenario.seed + 1, zones=3)
     return fleet_schedule_target(fleet, seed=scenario.seed + 1)
+
+
+def cell_schedule_config(scenario: ConformanceScenario) -> ScheduleConfig:
+    """The schedule-stage configuration of a scenario's cells."""
+    if "zoned" in scenario.tags:
+        return CELL_ZONED_SCHEDULE_CONFIG
+    return CELL_SCHEDULE_CONFIG
 
 
 def _run_per_household(
@@ -284,7 +305,7 @@ def _run_per_household(
             HouseholdOutput(
                 index=index,
                 household_id=trace.config.household_id,
-                offers=tuple(result.offers),
+                offers=stamp_household(result.offers, trace.config.household_id),
                 summary=result.summary(),
             )
         )
@@ -296,7 +317,9 @@ def _run_per_household(
         households=tuple(outputs),
         aggregates=tuple(aggregates),
         timings=StageTimings(),
-        schedule=schedule_aggregates(aggregates, target, CELL_SCHEDULE_CONFIG),
+        schedule=schedule_aggregates(
+            aggregates, target, cell_schedule_config(scenario)
+        ),
     )
 
 
@@ -333,11 +356,12 @@ def run_cell(
             return create_extractor(entry.name, **{**params, **overrides})
 
         extractor = make_extractor()
+        schedule_config = cell_schedule_config(scenario)
         pipeline = FleetPipeline(
             extractor,
             chunk_size=scenario.chunk_size,
             seed=scenario.seed,
-            schedule=CELL_SCHEDULE_CONFIG,
+            schedule=schedule_config,
         )
         result = pipeline.run(fleet, target=target)
         sequential = (
@@ -346,7 +370,7 @@ def run_cell(
                 extractor,
                 seed=scenario.seed,
                 target=target,
-                schedule_config=CELL_SCHEDULE_CONFIG,
+                schedule_config=schedule_config,
             )
             if needs_sequential
             else None
@@ -358,6 +382,7 @@ def run_cell(
         fleet=fleet,
         result=result,
         sequential=sequential,
+        target=target,
         make_extractor=make_extractor,
     )
 

@@ -1,4 +1,20 @@
-"""NILM machinery: baseline removal, event detection, disaggregation, mining."""
+"""NILM machinery: baseline removal, event detection, disaggregation, mining.
+
+The substrate of the appliance-level extraction approaches (§4): rolling
+baseline removal, greedy template-matching disaggregation, combinatorial
+refinement, usage-frequency estimation and habit-window mining.
+
+Subsystem contract:
+
+* **Engine equivalence** — the matching-pursuit engine is selectable via
+  ``MatchingConfig(engine=...)``: the vectorized engine (shared residual
+  FFT, incremental correlation patching) reproduces the seed
+  ``"reference"`` loop's detections within ``rtol=1e-9`` on every offer
+  energy, asserted by the fleet benchmark and the conformance matrix's
+  ``engine-fidelity`` invariant.
+* **Determinism** — disaggregation consumes no randomness; identical
+  series and database give identical detections in any process.
+"""
 
 from repro.disaggregation.baseline import remove_baseline, rolling_baseline
 from repro.disaggregation.clustering import (

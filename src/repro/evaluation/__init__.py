@@ -1,4 +1,18 @@
-"""Evaluation: ground-truth scoring, realism statistics, approach comparison."""
+"""Evaluation: ground-truth scoring, realism statistics, approach comparison.
+
+Scores extraction output against the simulator's per-appliance ground
+truth (the measurement the paper could not make) and compares approaches
+across fleets.
+
+Subsystem contract:
+
+* **Determinism** — household ``i`` always draws from
+  ``default_rng(seed + SEED_STRIDE·i)``; the fleet pipeline reuses the
+  same scheme, so evaluation and pipeline runs see identical extractions.
+* **Registry-driven** — extractors are resolved by registry name and
+  their input grid via :func:`input_series_for`; adding an approach to
+  the registry automatically admits it to the comparison suite.
+"""
 
 from repro.evaluation.comparison import (
     ComparisonResult,

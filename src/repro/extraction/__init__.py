@@ -6,6 +6,20 @@ Two household-level approaches (:class:`BasicExtractor`,
 (:class:`FrequencyBasedExtractor`, :class:`ScheduleBasedExtractor`) and the
 pre-paper :class:`RandomBaselineExtractor`, all behind the
 :class:`FlexibilityExtractor` contract of Figure 2.
+
+Subsystem contract:
+
+* **Figure 2 semantics** — an extractor consumes a series and an explicit
+  ``numpy.random.Generator`` and returns offers plus the modified
+  (flexibility-removed) series; conservative approaches keep
+  ``|extracted − removed| ≤ 1e-6 kWh`` per household (the conformance
+  matrix's ``energy-conservation`` invariant).
+* **Determinism** — identical series, parameters and generator state give
+  identical offers; no extractor touches global randomness.
+* **Registry construction** — string-driven callers construct extractors
+  only through :func:`repro.api.registry.create_extractor`; each class
+  declares its input grid there (appliance-level approaches hard-require
+  the 1-minute grid, §4).
 """
 
 from repro.extraction.base import ExtractionResult, FlexibilityExtractor

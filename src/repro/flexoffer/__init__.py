@@ -1,4 +1,22 @@
-"""The flex-offer concept: model, schedules, validation, IO, random baseline."""
+"""The flex-offer concept: model, schedules, validation, IO, random baseline.
+
+The paper's central data structure (Figure 1): an immutable profile of
+energy-bounded slices with a start-time window, plus scheduled
+instantiations, policy validation, and the JSON wire format.
+
+Subsystem contract:
+
+* **Wire-format stability** — :mod:`repro.flexoffer.io` is versioned and
+  lossless for offers, aggregates and schedule results (zoned markets
+  included); optional keys are omitted when absent so old payloads and
+  goldens keep loading, and golden tests pin the encodings.
+* **Deterministic identity** — offer ids come from
+  :func:`~repro.flexoffer.model.offer_id_scope` namespaces; any code
+  minting ids inside a scope gets the same ids in any process or worker.
+* **Immutability** — offers are frozen; schedulers and aggregators build
+  new objects instead of mutating, so sharing across threads/processes
+  is safe by construction.
+"""
 
 from repro.flexoffer.generators import (
     RandomGeneratorConfig,

@@ -19,6 +19,7 @@ from repro.flexoffer.schedule import ScheduledFlexOffer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scheduling.greedy import ScheduleResult
+    from repro.scheduling.zones import ZonedScheduleResult
 
 _FORMAT_VERSION = 1
 
@@ -182,6 +183,71 @@ def schedule_result_from_dict(data: dict[str, Any]) -> "ScheduleResult":
         target=target,
         unplaced=unplaced,
     )
+
+
+def zoned_result_to_dict(result: "ZonedScheduleResult") -> dict[str, Any]:
+    """Encode a zone-sharded scheduling run (zones + per-zone results).
+
+    The discriminating ``"zones"`` key tells readers apart from the
+    single-market encoding of :func:`schedule_result_to_dict`; each zone
+    carries its price band and its full schedule result (the zone's target
+    series doubles as the zone's demand profile, so nothing else is
+    needed to rebuild the :class:`~repro.scheduling.zones.MarketZone`).
+    """
+    return {
+        "zones": [
+            {
+                "name": zone.name,
+                "price_floor": zone.price_floor,
+                "price_cap": zone.price_cap,
+                "result": schedule_result_to_dict(zone_result),
+            }
+            for zone, zone_result in zip(result.zones, result.results)
+        ]
+    }
+
+
+def zoned_result_from_dict(data: dict[str, Any]) -> "ZonedScheduleResult":
+    """Decode a zone-sharded scheduling run."""
+    from repro.scheduling.zones import MarketZone, ZonedScheduleResult
+
+    zones = []
+    results = []
+    try:
+        for entry in data["zones"]:
+            zone_result = schedule_result_from_dict(entry["result"])
+            zones.append(
+                MarketZone(
+                    name=entry["name"],
+                    target=zone_result.target,
+                    price_floor=float(entry.get("price_floor", 0.0)),
+                    price_cap=float(entry.get("price_cap", 0.0)),
+                )
+            )
+            results.append(zone_result)
+    except KeyError as exc:
+        raise DataError(f"zoned schedule dict missing field: {exc}") from exc
+    return ZonedScheduleResult(zones=tuple(zones), results=tuple(results))
+
+
+def any_schedule_to_dict(
+    result: "ScheduleResult | ZonedScheduleResult",
+) -> dict[str, Any]:
+    """Encode either schedule-result flavour (zoned or single-market)."""
+    from repro.scheduling.zones import ZonedScheduleResult
+
+    if isinstance(result, ZonedScheduleResult):
+        return zoned_result_to_dict(result)
+    return schedule_result_to_dict(result)
+
+
+def any_schedule_from_dict(
+    data: dict[str, Any],
+) -> "ScheduleResult | ZonedScheduleResult":
+    """Decode either schedule-result flavour, sniffed by the ``zones`` key."""
+    if "zones" in data:
+        return zoned_result_from_dict(data)
+    return schedule_result_from_dict(data)
 
 
 def save_flexoffers(offers: list[FlexOffer], path: str | Path) -> None:

@@ -1,4 +1,16 @@
-"""Consumption/production forecasting (MIRABEL substrate, paper [6])."""
+"""Consumption/production forecasting (MIRABEL substrate, paper [6]).
+
+Lean, dependency-free forecasters (persistence, drift, seasonal-naive,
+autoregressive, Holt-Winters) with a rolling backtest harness — the
+substrate MIRABEL's scheduling consumes, kept small on purpose.
+
+Subsystem contract:
+
+* **Determinism** — every forecaster is a pure function of its input
+  window; the backtest is a pure fold over the series.
+* **Uniform interface** — all forecasters share one signature and live in
+  the :data:`FORECASTERS` table, so evaluation code never special-cases.
+"""
 
 from repro.forecasting.evaluate import BacktestReport, mae, mape, rmse, rolling_backtest
 from repro.forecasting.models import (

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.extraction.base import FlexibilityExtractor
 from repro.flexoffer.model import FlexOffer, offer_id_scope
 from repro.scheduling.greedy import ScheduleConfig, ScheduleResult, greedy_schedule
 from repro.scheduling.stochastic import improve_schedule
+from repro.scheduling.zones import ZonedScheduleResult, ZonedTarget, schedule_zones
 from repro.simulation.dataset import SimulatedDataset
 from repro.simulation.household import HouseholdTrace
 from repro.timeseries.series import TimeSeries
@@ -114,13 +115,16 @@ class FleetResult:
     """Everything a fleet run produced: offers, aggregates, timings.
 
     ``schedule`` is the market-facing placement of the fleet aggregates
-    against a target series — present only when the run was given one.
+    against a target — present only when the run was given one.  It is a
+    :class:`~repro.scheduling.zones.ZonedScheduleResult` when the target
+    was a zoned market, a plain
+    :class:`~repro.scheduling.greedy.ScheduleResult` otherwise.
     """
 
     households: tuple[HouseholdOutput, ...]
     aggregates: tuple[AggregatedFlexOffer, ...]
     timings: StageTimings
-    schedule: ScheduleResult | None = None
+    schedule: ScheduleResult | ZonedScheduleResult | None = None
 
     @property
     def offers(self) -> list[FlexOffer]:
@@ -131,6 +135,24 @@ class FleetResult:
     def total_extracted_kwh(self) -> float:
         """Fleet-wide extracted (profile-midpoint) energy."""
         return float(sum(h.summary.get("extracted_kwh", 0.0) for h in self.households))
+
+
+def stamp_household(
+    offers: tuple[FlexOffer, ...] | list[FlexOffer], household_id: str
+) -> tuple[FlexOffer, ...]:
+    """Stamp the owning household onto offers that carry no consumer id.
+
+    The fleet pipeline knows which household each extraction ran for; the
+    extractors themselves mostly do not (they see a bare series).  Offers
+    leaving the pipeline therefore always carry their household identity —
+    the metadata key the zone-assignment policy routes by
+    (:func:`repro.scheduling.zones.routing_key`).  Offers that already
+    name a consumer (e.g. a configured extractor) are left untouched.
+    """
+    return tuple(
+        offer if offer.consumer_id else replace(offer, consumer_id=household_id)
+        for offer in offers
+    )
 
 
 def canonical_offer(offer: FlexOffer) -> tuple:
@@ -253,18 +275,64 @@ def fleet_schedule_target(
     return production
 
 
+def fleet_zoned_target(
+    fleet: SimulatedDataset | list[HouseholdTrace],
+    seed: int = 2,
+    zones: int = 3,
+    share: float = 0.25,
+    mapped_fraction: float = 0.5,
+) -> ZonedTarget:
+    """A deterministic zoned market for a fleet's schedule stage.
+
+    ``zones`` named zones (``zone-a``, ``zone-b``, ...), each with its own
+    wind-production profile (seeded ``seed + zone index``) rescaled to an
+    equal slice of ``share`` of the fleet's total consumption, and a
+    per-zone price band.  The first ``mapped_fraction`` of the households
+    is assigned round-robin through the explicit metadata policy; the rest
+    routes through the hash-shard fallback — so both assignment paths are
+    exercised on every fleet.
+    """
+    from repro.scheduling.zones import make_market_zones
+
+    traces = list(fleet)
+    if not traces:
+        raise ValidationError("fleet must contain at least one household")
+    if zones < 1:
+        raise ValidationError("zones must be >= 1")
+    axis = (
+        fleet.metering_axis()
+        if hasattr(fleet, "metering_axis")
+        else traces[0].metered().axis
+    )
+    consumption = float(sum(trace.total.values.sum() for trace in traces))
+    market_zones = make_market_zones(
+        axis, zones, seed, share * consumption / zones
+    )
+    mapped = int(len(traces) * mapped_fraction)
+    assignment = {
+        trace.config.household_id: market_zones[index % zones].name
+        for index, trace in enumerate(traces[:mapped])
+    }
+    return ZonedTarget(zones=market_zones, assignment=assignment)
+
+
 def schedule_aggregates(
     aggregates: tuple[AggregatedFlexOffer, ...] | list[AggregatedFlexOffer],
-    target: TimeSeries,
+    target: TimeSeries | ZonedTarget,
     config: ScheduleConfig | None = None,
-) -> ScheduleResult:
+) -> ScheduleResult | ZonedScheduleResult:
     """The pipeline's schedule stage: place fleet aggregates on a target.
 
     Greedy placement of every aggregate offer (paper [5]'s post-aggregation
     scheduling), optionally followed by ``config.improve_iterations`` of
     the stochastic hill climber seeded from ``config.improve_seed`` — all
-    deterministic, so batched and sequential runs agree exactly.
+    deterministic, so batched and sequential runs agree exactly.  A
+    :class:`~repro.scheduling.zones.ZonedTarget` routes through
+    :func:`~repro.scheduling.zones.schedule_zones` instead: aggregates are
+    sharded into zones and each zone is scheduled independently.
     """
+    if isinstance(target, ZonedTarget):
+        return schedule_zones(aggregates, target, config)
     config = config if config is not None else ScheduleConfig()
     result = greedy_schedule(
         [aggregate.offer for aggregate in aggregates], target, config=config
@@ -332,7 +400,7 @@ def _run_chunk(
             HouseholdOutput(
                 index=index,
                 household_id=household_id,
-                offers=tuple(result.offers),
+                offers=stamp_household(result.offers, household_id),
                 summary=result.summary(),
             )
         )
@@ -404,7 +472,7 @@ class FleetPipeline:
     def run(
         self,
         fleet: SimulatedDataset | list[HouseholdTrace],
-        target: TimeSeries | None = None,
+        target: TimeSeries | ZonedTarget | None = None,
     ) -> FleetResult:
         """Run the full batched pipeline over a fleet.
 
@@ -413,7 +481,9 @@ class FleetPipeline:
         and the per-stage timings.  When ``target`` is given (e.g. RES
         surplus on the metering grid), the schedule stage places the fleet
         aggregates against it and the result carries a
-        :class:`~repro.scheduling.greedy.ScheduleResult`.
+        :class:`~repro.scheduling.greedy.ScheduleResult` — or a
+        :class:`~repro.scheduling.zones.ZonedScheduleResult` when the
+        target is a zoned market.
         """
         traces = list(fleet)
         if not traces:
@@ -462,7 +532,7 @@ class FleetPipeline:
             aggregates = aggregate_all(groups)
         timings.add("aggregate", time.perf_counter() - t0)
 
-        schedule: ScheduleResult | None = None
+        schedule: ScheduleResult | ZonedScheduleResult | None = None
         if target is not None:
             t0 = time.perf_counter()
             schedule = schedule_aggregates(aggregates, target, self.schedule)
@@ -481,7 +551,7 @@ def run_sequential(
     extractor: FlexibilityExtractor | None = None,
     grouping: GroupingParams | None = None,
     seed: int = 0,
-    target: TimeSeries | None = None,
+    target: TimeSeries | ZonedTarget | None = None,
     schedule_config: ScheduleConfig | None = None,
 ) -> FleetResult:
     """The plain per-household loop the batched engine must reproduce.
@@ -506,7 +576,7 @@ def run_sequential(
             HouseholdOutput(
                 index=index,
                 household_id=trace.config.household_id,
-                offers=tuple(result.offers),
+                offers=stamp_household(result.offers, trace.config.household_id),
                 summary=result.summary(),
             )
         )
@@ -519,7 +589,7 @@ def run_sequential(
     with offer_id_scope("fleet"):
         aggregates = aggregate_all(groups)
     timings.add("aggregate", time.perf_counter() - t0)
-    schedule: ScheduleResult | None = None
+    schedule: ScheduleResult | ZonedScheduleResult | None = None
     if target is not None:
         t0 = time.perf_counter()
         schedule = schedule_aggregates(aggregates, target, schedule_config)

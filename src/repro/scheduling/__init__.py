@@ -1,10 +1,35 @@
-"""Flex-offer scheduling against RES surplus (MIRABEL substrate, paper [5])."""
+"""Flex-offer scheduling against market targets (MIRABEL substrate, [5]).
+
+The market-facing half of the loop: aggregated flex-offers are placed
+against target series (RES surplus, zone demand) by a greedy water-fill
+search plus an optional stochastic hill climber, single-market
+(:mod:`repro.scheduling.greedy`) or sharded by grid zone
+(:mod:`repro.scheduling.zones`).
+
+Subsystem contract:
+
+* **Determinism** — every scheduler is a pure function of (offers, target,
+  config, seed); repeated runs, worker fan-outs (``schedule_zones
+  (workers=N)``) and process boundaries produce identical placements.
+* **Engine equivalence** — ``ScheduleConfig(engine=...)`` selects an
+  execution plan, never a behaviour: ``"vectorized"`` and
+  ``"incremental"`` make placements *bitwise identical* to each other and
+  identical to the ``"reference"`` per-start loop (cost within
+  ``rtol=1e-9``), asserted by ``benchmarks/bench_schedule.py``,
+  ``benchmarks/bench_zones.py`` and the conformance matrix.
+* **Performance baselines** — the reference engines are kept runnable;
+  ``BENCH_schedule.json`` / ``BENCH_zones.json`` pin the measured
+  speedups and equivalence booleans (refresh via ``repro bench``).
+"""
 
 from repro.scheduling.bench import (
     SCHEDULE_FIDELITY_RTOL,
     build_schedule_workload,
+    build_zoned_workload,
     run_schedule_benchmark,
+    run_zones_benchmark,
     schedule_table_rows,
+    zones_table_rows,
 )
 from repro.scheduling.greedy import (
     ScheduleConfig,
@@ -19,12 +44,27 @@ from repro.scheduling.objective import (
     unmet_target,
 )
 from repro.scheduling.stochastic import improve_schedule
+from repro.scheduling.zones import (
+    MarketZone,
+    ZonedScheduleResult,
+    ZonedTarget,
+    assign_zone,
+    assign_zones,
+    hash_shard,
+    make_market_zones,
+    routing_key,
+    schedule_zones,
+    zone_name,
+)
 
 __all__ = [
     "SCHEDULE_FIDELITY_RTOL",
     "build_schedule_workload",
+    "build_zoned_workload",
     "run_schedule_benchmark",
+    "run_zones_benchmark",
     "schedule_table_rows",
+    "zones_table_rows",
     "ScheduleConfig",
     "ScheduleResult",
     "greedy_schedule",
@@ -34,4 +74,14 @@ __all__ = [
     "squared_imbalance",
     "unmet_target",
     "improve_schedule",
+    "MarketZone",
+    "ZonedScheduleResult",
+    "ZonedTarget",
+    "assign_zone",
+    "assign_zones",
+    "hash_shard",
+    "make_market_zones",
+    "routing_key",
+    "schedule_zones",
+    "zone_name",
 ]

@@ -11,6 +11,11 @@ loop, plus the stochastic improvement pass under both engines.
 The resulting report is written to ``BENCH_schedule.json`` so the
 repository carries a refreshable speedup baseline; re-run via
 ``repro bench --suite schedule`` or ``pytest benchmarks/bench_schedule.py``.
+
+The zoned companion (:func:`build_zoned_workload`,
+:func:`run_zones_benchmark` → ``BENCH_zones.json``, ``repro bench --suite
+zones``) shards the same 220-offer suite across four zone markets and
+measures the zone-sharded scheduler across all three placement engines.
 """
 
 from __future__ import annotations
@@ -234,6 +239,201 @@ def run_schedule_benchmark(
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
     return report, vectorized_result
+
+
+def build_zoned_workload(
+    n_aggregates: int = 220,
+    members_per_aggregate: int = 3,
+    days: int = 7,
+    seed: int = 17,
+    zones: int = 4,
+):
+    """The 220-offer suite sharded into a deterministic zoned market.
+
+    Reuses :func:`build_schedule_workload`'s aggregates; the market is
+    ``zones`` named zones, each with its own wind profile (seeded
+    ``seed + 100 + zone index``) scaled to an equal slice of the fleet's
+    flexible energy and its own price band.  Half the aggregates are
+    routed through the explicit assignment mapping (round-robin by routing
+    key), the rest through the hash-shard fallback, so the benchmark
+    exercises both policy paths.  Returns ``(aggregates, zoned_target)``.
+    """
+    from repro.scheduling.zones import ZonedTarget, make_market_zones, routing_key
+
+    aggregates, target = build_schedule_workload(
+        n_aggregates, members_per_aggregate, days, seed
+    )
+    flexible = sum(a.offer.profile_energy_max for a in aggregates)
+    market_zones = make_market_zones(
+        target.axis, zones, seed + 100, flexible / max(zones, 1)
+    )
+    assignment = {
+        routing_key(aggregate): market_zones[index % zones].name
+        for index, aggregate in enumerate(aggregates[: n_aggregates // 2])
+    }
+    return aggregates, ZonedTarget(zones=market_zones, assignment=assignment)
+
+
+def run_zones_benchmark(
+    n_aggregates: int = 220,
+    members_per_aggregate: int = 3,
+    days: int = 7,
+    seed: int = 17,
+    zones: int = 4,
+    out_path: Path | str | None = None,
+):
+    """Benchmark the zone-sharded scheduler across all three engines.
+
+    Times :func:`~repro.scheduling.zones.schedule_zones` on the 220-offer
+    suite under the reference, vectorized and incremental engines, gates
+    the incremental engine ≥2× over the reference full-re-scoring loop
+    with placements *bitwise identical* to the vectorized engine, and
+    proves the ``workers=2`` process-pool fan-out produces a report
+    identical to the sequential path.  Returns ``(report_dict,
+    incremental_result)``; ``out_path`` writes the repository's
+    ``BENCH_zones.json`` baseline.
+    """
+    from repro.scheduling.zones import assign_zones, schedule_zones
+
+    aggregates, zoned = build_zoned_workload(
+        n_aggregates, members_per_aggregate, days, seed, zones
+    )
+    buckets = assign_zones(aggregates, zoned)
+
+    # Warm-up (numpy dispatch, axis caches) before any timed pass.
+    for engine in ("reference", "vectorized", "incremental"):
+        schedule_zones(aggregates[:8], zoned, ScheduleConfig(engine=engine))
+
+    reference_seconds, reference_result = _timed(
+        lambda: schedule_zones(aggregates, zoned, ScheduleConfig(engine="reference"))
+    )
+    vectorized_seconds, vectorized_result = _timed(
+        lambda: schedule_zones(aggregates, zoned, ScheduleConfig(engine="vectorized"))
+    )
+    incremental_seconds, incremental_result = _timed(
+        lambda: schedule_zones(aggregates, zoned, ScheduleConfig(engine="incremental"))
+    )
+
+    def _placements(result):
+        return [
+            (s.offer.offer_id, s.start, s.slice_energies)
+            for zone_result in result.results
+            for s in zone_result.schedules
+        ]
+
+    incremental_identical = _placements(incremental_result) == _placements(
+        vectorized_result
+    )
+    reference_identical_starts = [
+        (s.offer.offer_id, s.start) for r in reference_result.results for s in r.schedules
+    ] == [
+        (s.offer.offer_id, s.start)
+        for r in incremental_result.results
+        for s in r.schedules
+    ]
+    cost_match = bool(
+        np.isclose(
+            reference_result.cost,
+            incremental_result.cost,
+            rtol=SCHEDULE_FIDELITY_RTOL,
+        )
+    )
+
+    fanned = schedule_zones(
+        aggregates, zoned, ScheduleConfig(engine="incremental"), workers=2
+    )
+    workers_match = fanned == incremental_result
+
+    routed = incremental_result.assignment()
+    aggregate_ids = [a.offer.offer_id for a in aggregates]
+    partition_ok = sorted(routed) == sorted(aggregate_ids)
+
+    speedup_vs_reference = (
+        reference_seconds / incremental_seconds
+        if incremental_seconds > 0
+        else float("inf")
+    )
+    speedup_vs_vectorized = (
+        vectorized_seconds / incremental_seconds
+        if incremental_seconds > 0
+        else float("inf")
+    )
+
+    report = {
+        "workload": {
+            "aggregates": len(aggregates),
+            "member_offers": sum(a.size for a in aggregates),
+            "days": days,
+            "seed": seed,
+            "zones": len(zoned.zones),
+            "mapped_keys": len(zoned.assignment),
+        },
+        "zones": [
+            {
+                "name": zone.name,
+                "offers": len(buckets[zone.name]),
+                "target_kwh": round(zone.target.total(), 6),
+                "price_floor": zone.price_floor,
+                "price_cap": zone.price_cap,
+            }
+            for zone in zoned.zones
+        ],
+        "greedy": {
+            "reference_seconds": round(reference_seconds, 4),
+            "vectorized_seconds": round(vectorized_seconds, 4),
+            "incremental_seconds": round(incremental_seconds, 4),
+            "speedup_vs_reference": round(speedup_vs_reference, 2),
+            "speedup_vs_vectorized": round(speedup_vs_vectorized, 2),
+            "placed": len(incremental_result.schedules),
+            "unplaced": len(incremental_result.unplaced),
+            "cost": round(incremental_result.cost, 6),
+            "improvement": round(incremental_result.improvement, 6),
+            "value_eur": round(incremental_result.market_value, 6),
+        },
+        "equivalence": {
+            "incremental_identical_to_vectorized": incremental_identical,
+            "reference_identical_placements": reference_identical_starts,
+            "cost_match": cost_match,
+            "workers_match_sequential": workers_match,
+            "zone_partition": partition_ok,
+            "fidelity_rtol": SCHEDULE_FIDELITY_RTOL,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "generated": datetime.now().isoformat(timespec="seconds"),
+        },
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report, incremental_result
+
+
+def zones_table_rows(report: dict) -> list[dict]:
+    """Human-readable rows for the zones CLI/bench table.
+
+    One row per zone plus a TOTAL row; engine timings/speedups are printed
+    separately (``_cmd_bench_zones``), not smuggled into a zone column.
+    """
+    rows = [
+        {
+            "zone": zone["name"],
+            "offers": zone["offers"],
+            "target_kwh": round(zone["target_kwh"], 1),
+            "price_band": f"{zone['price_floor']}-{zone['price_cap']}",
+        }
+        for zone in report["zones"]
+    ]
+    rows.append(
+        {
+            "zone": "TOTAL",
+            "offers": report["workload"]["aggregates"],
+            "target_kwh": round(sum(z["target_kwh"] for z in report["zones"]), 1),
+            "price_band": "—",
+        }
+    )
+    return rows
 
 
 def schedule_table_rows(report: dict) -> list[dict]:

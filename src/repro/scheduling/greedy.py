@@ -8,7 +8,7 @@ offers grab their slots before flexible ones fill the gaps); each offer
 tries every feasible grid start, its slice energies water-fill the remaining
 target, and the start with the largest squared-imbalance reduction wins.
 
-Two engines implement the same greedy semantics, mirroring the matching
+Three engines implement the same greedy semantics, mirroring the matching
 layer's :class:`~repro.disaggregation.matching.MatchingConfig` pattern:
 
 * ``"vectorized"`` (default) — the market-scale hot path.  Each offer's
@@ -17,15 +17,25 @@ layer's :class:`~repro.disaggregation.matching.MatchingConfig` pattern:
   and offers sharing a profile length share one window view over the
   residual (the view is a stride trick, so placements flow through it
   without rebuilding).
+* ``"incremental"`` — batches offers *across* placements: every offer's
+  gains are scored once upfront in profile-length groups, and a placement
+  only dirties the candidate starts whose windows it overlaps; at each
+  offer's turn, only its dirtied starts are re-scored (with the same
+  arithmetic the vectorized engine uses on the same residual values, so
+  the two engines' gain arrays — and therefore their placements — are
+  **bitwise identical**; asserted by ``benchmarks/bench_zones.py`` and the
+  conformance matrix).  This is the zone-sharded scheduler's engine of
+  choice: sharding keeps placements local, so most candidates stay clean.
 * ``"reference"`` — the original per-start Python loop, kept both as the
-  behavioural reference and as the baseline the schedule benchmark
-  measures speedups against.
+  behavioural reference and as the baseline the schedule benchmarks
+  measure speedups against.
 
-Both engines are deterministic and resolve gain ties toward the earliest
-feasible start; they may differ in float round-off on the gain reductions
-and can therefore flip near-tie placements, but agree on every placement
-and on the final cost within ``rtol=1e-9`` on realistic targets (asserted
-by ``benchmarks/bench_schedule.py``).
+All engines are deterministic and resolve gain ties toward the earliest
+feasible start; the vectorized/incremental pair may differ from the
+reference in float round-off on the gain reductions and can therefore flip
+near-tie placements, but all agree on every placement and on the final
+cost within ``rtol=1e-9`` on realistic targets (asserted by
+``benchmarks/bench_schedule.py`` and ``benchmarks/bench_zones.py``).
 """
 
 from __future__ import annotations
@@ -42,7 +52,7 @@ from repro.flexoffer.schedule import ScheduledFlexOffer, schedules_to_series
 from repro.timeseries.axis import TimeAxis
 from repro.timeseries.series import TimeSeries
 
-_ENGINES = ("vectorized", "reference")
+_ENGINES = ("vectorized", "incremental", "reference")
 
 _ORDERS = ("least-flexible-first", "largest-first", "as-given")
 
@@ -60,7 +70,7 @@ class ScheduleConfig:
     """
 
     order: str = "least-flexible-first"
-    engine: str = "vectorized"
+    engine: str = "vectorized"  # "vectorized" | "incremental" | "reference"
     improve_iterations: int = 0
     improve_seed: int = 0
 
@@ -192,6 +202,33 @@ def _build_plan(offer: FlexOffer, axis: TimeAxis) -> _PlacementPlan:
     )
 
 
+def _pick_best(
+    gains: np.ndarray, windows_of, lows: np.ndarray, highs: np.ndarray
+) -> int:
+    """The row of ``gains`` the greedy step selects, ties resolved exactly.
+
+    Near-tie resolution: exactly-tied gains (flat target regions produce
+    them routinely) and ulp-level einsum-vs-dot differences must resolve
+    exactly like the reference engine's strict-greater scan.  Candidates
+    within round-off of the max (almost always just one) are re-scored
+    with the reference arithmetic, so every engine selects the same start.
+    ``windows_of(rows)`` gathers the candidates' current residual windows.
+    """
+    best_gain = float(gains.max())
+    tolerance = 1e-12 * max(1.0, abs(best_gain))
+    candidates = np.flatnonzero(gains >= best_gain - tolerance)
+    if candidates.size == 1:
+        return int(candidates[0])
+    best = int(candidates[0])
+    best_ref = -np.inf
+    windows = windows_of(candidates)
+    for candidate, window in zip(candidates, windows):
+        gain = _placement_gain(window, _water_fill(window, lows, highs))
+        if gain > best_ref:
+            best, best_ref = int(candidate), gain
+    return best
+
+
 def _best_start_batched(
     plan: _PlacementPlan, windows_view: np.ndarray
 ) -> tuple[datetime, np.ndarray] | None:
@@ -205,33 +242,139 @@ def _best_start_batched(
     if plan.start_indices.size == 0:
         return None
     windows = windows_view[plan.start_indices]
-    energies = np.clip(windows, plan.lows, plan.highs)
+    energies, gains = _score_windows(windows, plan.lows, plan.highs)
+    best = _pick_best(gains, lambda rows: windows[rows], plan.lows, plan.highs)
+    start = plan.offer.earliest_start + plan.offer.resolution * int(plan.steps[best])
+    return start, energies[best]
+
+
+@dataclass
+class _GainCache:
+    """One plan's cached gains plus the overlap counts they were scored at.
+
+    ``seen[i]`` is the number of placements whose interval span intersected
+    candidate ``i``'s window when its gain was last computed; a candidate is
+    dirty exactly when the current intersection count exceeds it.  Counting
+    intersections (two ``searchsorted`` calls against the sorted placement
+    bounds) makes the dirty test O(log placements) per candidate and
+    independent of how many placements happened since the last rescore —
+    multiple dirtyings of the same candidate coalesce into one rescore.
+    """
+
+    gains: np.ndarray
+    seen: np.ndarray
+
+
+def _score_windows(
+    windows: np.ndarray, lows: np.ndarray, highs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Water-fill + gain for a batch of residual windows.
+
+    The single home of the scoring arithmetic (elementwise clip, one
+    einsum reduction per row): the vectorized and incremental engines both
+    call it, so their gains are bitwise equal by construction — the
+    identity gates in ``bench_zones.py`` and the conformance matrix rest
+    on this arithmetic existing exactly once.  Returns ``(energies,
+    gains)``.
+    """
+    energies = np.clip(windows, lows, highs)
     diff = windows - energies
     gains = np.einsum("ij,ij->i", windows, windows) - np.einsum(
         "ij,ij->i", diff, diff
     )
-    # Near-tie resolution: exactly-tied gains (flat target regions produce
-    # them routinely) and ulp-level einsum-vs-dot differences must resolve
-    # exactly like the reference engine's strict-greater scan.  Candidates
-    # within round-off of the max (almost always just one) are re-scored
-    # with the reference arithmetic, so both engines select the same start.
-    best_gain = float(gains.max())
-    tolerance = 1e-12 * max(1.0, abs(best_gain))
-    candidates = np.flatnonzero(gains >= best_gain - tolerance)
-    if candidates.size == 1:
-        best = int(candidates[0])
-    else:
-        best = int(candidates[0])
-        best_ref = -np.inf
-        for candidate in candidates:
-            window = windows[candidate]
-            gain = _placement_gain(
-                window, _water_fill(window, plan.lows, plan.highs)
+    return energies, gains
+
+
+def _greedy_incremental(
+    queue: list[FlexOffer], axis: TimeAxis, remaining: np.ndarray
+) -> tuple[list[ScheduledFlexOffer], list[FlexOffer]]:
+    """The ``engine="incremental"`` placement loop.
+
+    Scores every offer's feasible starts once upfront — one gather +
+    water-fill + gain pass per profile-length *group*, not per offer — and
+    thereafter re-scores a candidate start only when a placement's interval
+    span has overlapped its window (ROADMAP: "batch offers across
+    placements").  Clean candidates keep their cached gain: their residual
+    window is untouched, so the cached value is bitwise equal to what a
+    fresh scoring would produce, and the selection (shared
+    :func:`_pick_best` tie resolution included) is identical to the
+    vectorized engine's.
+    """
+    plans = [_build_plan(offer, axis) for offer in queue]
+    views: dict[int, np.ndarray] = {
+        plan.n: sliding_window_view(remaining, plan.n)
+        for plan in plans
+        if plan.n <= remaining.size
+    }
+    caches: list[_GainCache | None] = [None] * len(plans)
+    groups: dict[int, list[int]] = {}
+    for position, plan in enumerate(plans):
+        if plan.n in views and plan.start_indices.size:
+            groups.setdefault(plan.n, []).append(position)
+    for n, positions in groups.items():
+        indices = np.concatenate([plans[p].start_indices for p in positions])
+        sizes = [plans[p].start_indices.size for p in positions]
+        lows = np.concatenate(
+            [np.broadcast_to(plans[p].lows, (size, n)) for p, size in zip(positions, sizes)]
+        )
+        highs = np.concatenate(
+            [np.broadcast_to(plans[p].highs, (size, n)) for p, size in zip(positions, sizes)]
+        )
+        _, gains = _score_windows(views[n][indices], lows, highs)
+        cursor = 0
+        for position, size in zip(positions, sizes):
+            caches[position] = _GainCache(
+                gains=gains[cursor : cursor + size].copy(),
+                seen=np.zeros(size, dtype=np.int64),
             )
-            if gain > best_ref:
-                best, best_ref = int(candidate), gain
-    start = plan.offer.earliest_start + plan.offer.resolution * int(plan.steps[best])
-    return start, energies[best]
+            cursor += size
+
+    firsts_sorted = np.empty(0, dtype=np.int64)
+    lasts_sorted = np.empty(0, dtype=np.int64)
+    schedules: list[ScheduledFlexOffer] = []
+    unplaced: list[FlexOffer] = []
+    for position, offer in enumerate(queue):
+        plan = plans[position]
+        cache = caches[position]
+        if cache is None:
+            unplaced.append(offer)
+            continue
+        view = views[plan.n]
+        indices = plan.start_indices
+        if firsts_sorted.size:
+            # Placement [a, b) intersects window [s, s+n) iff a < s+n and
+            # b > s; count both inequalities against the sorted bounds.
+            current = np.searchsorted(
+                firsts_sorted, indices + plan.n, side="left"
+            ) - np.searchsorted(lasts_sorted, indices, side="right")
+            dirty = np.flatnonzero(current > cache.seen)
+            if dirty.size:
+                _, cache.gains[dirty] = _score_windows(
+                    view[indices[dirty]], plan.lows, plan.highs
+                )
+                cache.seen[dirty] = current[dirty]
+        best = _pick_best(
+            cache.gains, lambda rows: view[indices[rows]], plan.lows, plan.highs
+        )
+        start = offer.earliest_start + offer.resolution * int(plan.steps[best])
+        # start_grid guarantees indices[best] == axis.index_of(start).
+        first = int(indices[best])
+        interval_energies = np.clip(view[first], plan.lows, plan.highs)
+        schedule = ScheduledFlexOffer(
+            offer, start, _intervals_to_slices(offer, interval_energies)
+        )
+        schedules.append(schedule)
+        remaining[first : first + plan.n] -= schedule.interval_energies()
+        # Keep the placement bounds sorted by insertion (O(P) per
+        # placement) rather than re-sorting the whole history.
+        firsts_sorted = np.insert(
+            firsts_sorted, np.searchsorted(firsts_sorted, first), first
+        )
+        last = first + plan.n
+        lasts_sorted = np.insert(
+            lasts_sorted, np.searchsorted(lasts_sorted, last), last
+        )
+    return schedules, unplaced
 
 
 def greedy_schedule(
@@ -268,6 +411,14 @@ def greedy_schedule(
         queue = list(offers)
 
     remaining = target.values.copy()
+    if config.engine == "incremental":
+        schedules, unplaced = _greedy_incremental(queue, axis, remaining)
+        return ScheduleResult(
+            schedules=schedules,
+            demand=schedules_to_series(schedules, axis),
+            target=target,
+            unplaced=unplaced,
+        )
     vectorized = config.engine == "vectorized"
     if vectorized:
         # Hoist every offer's bounds/starts once; offers sharing a profile

@@ -49,9 +49,12 @@ def improve_schedule(
     schedules = list(result.schedules)
     if not schedules or iterations <= 0:
         return result
-    if engine == "vectorized":
-        return _improve_vectorized(result, schedules, rng, iterations)
-    return _improve_reference(result, schedules, rng, iterations)
+    if engine == "reference":
+        return _improve_reference(result, schedules, rng, iterations)
+    # "incremental" is a greedy-placement strategy; the hill climber's moves
+    # are already window-local, so it shares the vectorized improver (and
+    # stays bitwise identical to the reference engine either way).
+    return _improve_vectorized(result, schedules, rng, iterations)
 
 
 def _improve_reference(

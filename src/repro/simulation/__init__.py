@@ -4,6 +4,18 @@ The simulator is the repository's substitute for the MIRABEL trial data the
 paper used (see DESIGN.md §2): bottom-up appliance activations over a
 realistic base load, a behavioural multi-tariff response model, and wind
 production for the scheduling experiments.
+
+Subsystem contract:
+
+* **Determinism** — a fleet is a pure function of (households, start,
+  days, seed): ``generate_fleet`` derives one independent child stream
+  per household, so any subset simulates identically in any process.
+* **Ground truth retained** — every trace keeps its activation log,
+  per-appliance series and true-flexible split; evaluation and the
+  conformance invariants score against these, never against heuristics.
+* **Native 1-minute grid** — simulation runs at 1-minute resolution (§4's
+  granularity requirement) and downsamples to the 15-minute metering
+  grid; fleet-scale runs share one (households × minutes) matrix.
 """
 
 from repro.simulation.activations import (

@@ -8,6 +8,19 @@ Public surface:
 * :mod:`~repro.timeseries.stats` — correlation, sparseness, autocorrelation...
 * :mod:`~repro.timeseries.decompose` — classical additive decomposition.
 * :mod:`~repro.timeseries.calendar` — day types, seasons, daily windows.
+
+Subsystem contract:
+
+* **Regular axes, naive standard time** — a :class:`TimeAxis` never
+  jumps; DST weeks are represented in naive local standard time, and the
+  calendar layer (day types, seasons) is total across transitions, leap
+  days and year boundaries (hypothesis-tested).
+* **Energy semantics** — series carry kWh *per interval*;
+  resampling conserves energy exactly (``downsample_sum`` /
+  ``upsample_divide`` round-trip bitwise on aligned grids).
+* **Validation at the edge** — construction rejects NaNs and axis
+  mismatches (:class:`~repro.errors.AxisMismatchError`), so downstream
+  numerics never need defensive checks.
 """
 
 from repro.timeseries.axis import (

@@ -1,4 +1,20 @@
-"""Canonical workloads: the Figure 5 day and reusable simulated scenarios."""
+"""Canonical workloads: the Figure 5 day and reusable simulated scenarios.
+
+The paper's worked example (``paper_day``, with its pinned §5 constants)
+plus the named fleet scenarios the conformance matrix, benchmarks and
+tests share (``scenarios``): seasonal, DST-transition, gap-ridden,
+EV-heavy, heat-pump, PV-prosumer, weekend-skewed, large-fleet,
+tariff-switch and zoned-market fleets.
+
+Subsystem contract:
+
+* **Determinism + caching** — every builder fixes its seeds and is
+  ``lru_cache``-backed; all consumers in a process share one simulation,
+  and cached traces are frozen (writes raise) so sharing is safe.
+* **Stability** — scenario content is part of the conformance golden
+  pins; changing a builder's seeds or shape is a deliberate, reviewed
+  act (see TESTING.md).
+"""
 
 from repro.workloads.paper_day import (
     FIGURE5_DAY_TOTAL,

@@ -317,6 +317,21 @@ def large_fleet(n: int = 100, days: int = 2, seed: int = 39) -> SimulatedDataset
     return generate_fleet(n, SCENARIO_START, days, seed=seed)
 
 
+@lru_cache(maxsize=None)
+def zoned_market_fleet(n: int = 5, days: int = 5, seed: int = 42) -> SimulatedDataset:
+    """A fleet scheduled against a *zoned* market (multi-zone targets).
+
+    The households themselves are a plain heterogeneous fleet; what makes
+    the scenario distinct is downstream — the conformance runner pairs it
+    with a three-zone :class:`~repro.scheduling.zones.ZonedTarget`
+    (:func:`repro.pipeline.fleet.fleet_zoned_target`), so every extractor's
+    aggregates are sharded across zone markets by household identity, half
+    through the explicit assignment policy and half through the hash-shard
+    fallback.
+    """
+    return generate_fleet(n, SCENARIO_START, days, seed=seed)
+
+
 @dataclass(frozen=True)
 class TariffFleet:
     """A fleet of paired tariff studies: observed traces + references.

@@ -23,6 +23,7 @@ from repro.api import (
     RunSpec,
     ScenarioSpec,
     ScheduleSpec,
+    ZoneSpec,
     load_run_spec,
     save_run_spec,
 )
@@ -60,6 +61,20 @@ extractor_specs = st.builds(
     params=param_dicts,
 )
 
+zone_specs = st.builds(
+    ZoneSpec,
+    name=st.text(min_size=1, max_size=16),
+    target_seed=st.integers(min_value=0, max_value=2**31),
+    target_kwh=st.one_of(
+        st.none(), st.floats(min_value=0.1, max_value=1e6, allow_nan=False)
+    ),
+    price_floor=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    price_cap=st.floats(min_value=1.0, max_value=2.0, allow_nan=False),
+    # Households stay empty here: cross-zone uniqueness is a ScheduleSpec
+    # validation rule, exercised deterministically in the zone tests.
+    households=st.just(()),
+)
+
 schedule_specs = st.builds(
     ScheduleSpec,
     target=st.sampled_from(("wind", "flat")),
@@ -68,9 +83,15 @@ schedule_specs = st.builds(
         st.none(), st.floats(min_value=0.1, max_value=1e6, allow_nan=False)
     ),
     order=st.sampled_from(("least-flexible-first", "largest-first", "as-given")),
-    engine=st.sampled_from(("vectorized", "reference")),
+    engine=st.sampled_from(("vectorized", "incremental", "reference")),
     improve_iterations=st.integers(min_value=0, max_value=10_000),
     improve_seed=st.integers(min_value=0, max_value=2**31),
+    zones=st.one_of(
+        st.just(()),
+        st.lists(
+            zone_specs, min_size=1, max_size=3, unique_by=lambda z: z.name
+        ).map(tuple),
+    ),
 )
 
 pipeline_specs = st.builds(

@@ -1,8 +1,9 @@
 """Golden-schema guards for benchmark output artefacts.
 
-Three machine-readable bench artefacts are load-bearing outside this repo:
+Four machine-readable bench artefacts are load-bearing outside this repo:
 ``BENCH_fleet.json`` (the committed fleet-pipeline speedup baseline),
-``BENCH_schedule.json`` (the scheduling-engine speedup baseline) and the
+``BENCH_schedule.json`` (the scheduling-engine speedup baseline),
+``BENCH_zones.json`` (the zone-sharded multi-market baseline) and the
 ``--bench-json`` table dump ``benchmarks/conftest.py`` writes for CI
 archiving.  Their *schemas* are pinned here — a drifted key, a renamed
 stage or a silently dropped section fails loudly instead of breaking
@@ -90,6 +91,36 @@ class TestScheduleBenchBaseline:
         assert report["improve"]["identical"] is True
         # The improver only ever lowers cost.
         assert report["improve"]["cost"] <= report["greedy"]["cost"] + 1e-9
+
+
+class TestZonesBenchBaseline:
+    def test_bench_zones_json_schema_matches_golden(self):
+        report = json.loads((REPO_ROOT / "BENCH_zones.json").read_text())
+        golden = json.loads((GOLDEN / "bench_zones_schema.json").read_text())
+        assert type_schema(report) == golden
+
+    def test_bench_zones_json_semantics(self):
+        report = json.loads((REPO_ROOT / "BENCH_zones.json").read_text())
+        workload = report["workload"]
+        assert workload["aggregates"] >= 200
+        assert workload["zones"] >= 2
+        # Both assignment paths (explicit mapping, hash shard) exercised.
+        assert 0 < workload["mapped_keys"] < workload["aggregates"]
+        greedy = report["greedy"]
+        assert greedy["speedup_vs_reference"] >= 2.0
+        assert greedy["placed"] + greedy["unplaced"] == workload["aggregates"]
+        equivalence = report["equivalence"]
+        assert equivalence["incremental_identical_to_vectorized"] is True
+        assert equivalence["reference_identical_placements"] is True
+        assert equivalence["cost_match"] is True
+        assert equivalence["workers_match_sequential"] is True
+        assert equivalence["zone_partition"] is True
+        assert equivalence["fidelity_rtol"] == 1e-9
+        # Every zone is a real market: named, priced, offers routed to it.
+        for zone in report["zones"]:
+            assert zone["name"]
+            assert zone["offers"] > 0
+            assert zone["price_cap"] >= zone["price_floor"] >= 0
 
 
 class TestBenchJsonWriter:

@@ -1,0 +1,59 @@
+"""Docs link checker: every intra-repo markdown link must resolve.
+
+The ``docs/`` tree, README, TESTING and PERFORMANCE cross-link each other
+and the source tree; a renamed file silently strands those links.  This
+test (also run as a dedicated CI step) walks every ``*.md`` in the
+repository and fails on any relative link whose target does not exist.
+External links (``http(s)://``, ``mailto:``) are out of scope — the check
+must stay hermetic.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target) — excluding images' alt brackets
+#: is unnecessary, image targets must exist too.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files() -> list[Path]:
+    return [
+        path
+        for path in REPO_ROOT.rglob("*.md")
+        if ".git" not in path.parts and ".pytest_cache" not in path.parts
+    ]
+
+
+def intra_repo_targets(path: Path) -> list[tuple[str, Path]]:
+    """(raw link, resolved target) for every relative link in one file."""
+    targets = []
+    for raw in LINK.findall(path.read_text()):
+        if raw.startswith(EXTERNAL) or raw.startswith("#"):
+            continue
+        resolved = (path.parent / raw.split("#", 1)[0]).resolve()
+        targets.append((raw, resolved))
+    return targets
+
+
+def test_markdown_corpus_is_nonempty():
+    files = markdown_files()
+    assert len(files) >= 6, [p.name for p in files]
+    # The documentation subsystem itself must be present and linked.
+    names = {path.relative_to(REPO_ROOT).as_posix() for path in files}
+    assert "docs/ARCHITECTURE.md" in names
+    assert "docs/PAPER_MAPPING.md" in names
+
+
+def test_no_dead_intra_repo_links():
+    dead: list[str] = []
+    for path in markdown_files():
+        for raw, resolved in intra_repo_targets(path):
+            if not resolved.exists():
+                dead.append(f"{path.relative_to(REPO_ROOT)}: ({raw})")
+    assert not dead, "dead intra-repo links:\n" + "\n".join(dead)

@@ -67,3 +67,10 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "day-ahead mode" in out
         assert "streaming mode" in out
+
+    def test_zoned_market(self, capsys):
+        load_example("zoned_market").main()
+        out = capsys.readouterr().out
+        assert "3 market zones" in out
+        assert "zone   north" in out
+        assert "workers=2 identical to sequential: True" in out
