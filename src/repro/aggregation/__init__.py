@@ -16,6 +16,10 @@ Subsystem contract:
 * **Vectorized, not approximate** — slice-expansion accumulation runs as
   matrix passes (``slice_expansion_arrays``) with results identical to
   the per-member loops they replaced.
+* **Streamable** — :func:`aggregate_stream` folds an offer stream into
+  the same aggregates (bitwise, ids included, given the same grid epoch)
+  without ever materializing the offer list; the scale benchmark pins the
+  flat-memory property.
 """
 
 from repro.aggregation.aggregate import (
@@ -25,8 +29,10 @@ from repro.aggregation.aggregate import (
     disaggregate_schedule,
 )
 from repro.aggregation.grouping import GroupingParams, group_offers
+from repro.aggregation.streaming import aggregate_stream
 
 __all__ = [
+    "aggregate_stream",
     "AggregatedFlexOffer",
     "aggregate_all",
     "aggregate_group",

@@ -168,7 +168,7 @@ SCHEDULE_TARGETS: tuple[str, ...] = ("wind", "flat")
 #: Placement orders / engines — mirror ``repro.scheduling.greedy`` (kept in
 #: sync by a test; duplicated here so the spec layer stays import-light).
 SCHEDULE_ORDERS: tuple[str, ...] = ("least-flexible-first", "largest-first", "as-given")
-SCHEDULE_ENGINES: tuple[str, ...] = ("vectorized", "incremental", "reference")
+SCHEDULE_ENGINES: tuple[str, ...] = ("vectorized", "incremental", "reference", "auto")
 
 
 @dataclass(frozen=True, slots=True)

@@ -58,6 +58,9 @@ BENCH_SUITES: dict[str, str] = {
     "offers (BENCH_schedule.json)",
     "zones": "zone-sharded multi-market scheduling, incremental-gain vs "
     "reference engine (BENCH_zones.json)",
+    "scale": "million-household scale-out: streaming throughput ladder, "
+    "shared-memory fan-out vs pickling, O(chunk) memory proof and the "
+    "engine-crossover sweep (BENCH_scale.json)",
 }
 
 
@@ -82,6 +85,19 @@ def _parse_param(text: str) -> tuple[str, object]:
     except ValueError:
         value = raw  # bare strings stay strings
     return key, value
+
+
+def _parse_sizes(text: str) -> tuple[int, ...]:
+    """Parse the scale suite's comma-separated household ladder."""
+    try:
+        sizes = tuple(int(piece) for piece in text.split(",") if piece.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad sizes {text!r}: {exc}") from exc
+    if not sizes or any(size < 1 for size in sizes):
+        raise argparse.ArgumentTypeError(
+            f"bad sizes {text!r}: expected positive integers"
+        )
+    return sizes
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,12 +175,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--households", type=int, default=20,
                        help="fleet size (fleet suite)")
-    bench.add_argument("--days", type=int, default=7)
+    bench.add_argument("--days", type=int, default=None,
+                       help="target axis length; defaults to the suite's "
+                       "canonical baseline (fleet/schedule/zones: 7, "
+                       "scale: 30)")
     bench.add_argument("--seed", type=int, default=None,
                        help="workload seed; defaults to the suite's canonical "
-                       "baseline seed (fleet: 13, schedule/zones: 17), so "
-                       "`--out BENCH_*.json` refreshes the committed baseline "
-                       "on the same workload the pytest gate measures")
+                       "baseline seed (fleet: 13, schedule/zones: 17, "
+                       "scale: 23), so `--out BENCH_*.json` refreshes the "
+                       "committed baseline on the same workload the pytest "
+                       "gate measures")
     bench.add_argument("--workers", type=int, default=None,
                        help="fan extraction out over N worker processes (fleet suite)")
     bench.add_argument("--chunk-size", type=int, default=8,
@@ -173,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="aggregated offers to place (schedule/zones suites)")
     bench.add_argument("--zones", type=int, default=4,
                        help="market zones to shard into (zones suite)")
+    bench.add_argument("--sizes", type=_parse_sizes, default=None,
+                       metavar="N,N,...",
+                       help="comma-separated household ladder for the scale "
+                       "suite (default: 1000,10000,100000)")
     bench.add_argument("--out", type=Path, default=None,
                        help="write the JSON report here (e.g. BENCH_fleet.json, "
                        "BENCH_schedule.json or BENCH_zones.json)")
@@ -298,10 +322,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_schedule(args)
     if args.suite == "zones":
         return _cmd_bench_zones(args)
+    if args.suite == "scale":
+        return _cmd_bench_scale(args)
     from repro.pipeline import run_fleet_benchmark
 
     if args.seed is None:
         args.seed = 13  # the committed BENCH_fleet.json workload
+    if args.days is None:
+        args.days = 7
     print(
         f"Fleet benchmark: {args.households} households x {args.days} days "
         f"(seed {args.seed}, workers {args.workers or 1}) ..."
@@ -338,6 +366,8 @@ def _cmd_bench_schedule(args: argparse.Namespace) -> int:
 
     if args.seed is None:
         args.seed = 17  # the committed BENCH_schedule.json workload
+    if args.days is None:
+        args.days = 7
     print(
         f"Schedule benchmark: {args.aggregates} aggregated offers x "
         f"{args.days} day target (seed {args.seed}) ..."
@@ -365,6 +395,8 @@ def _cmd_bench_zones(args: argparse.Namespace) -> int:
 
     if args.seed is None:
         args.seed = 17  # the committed BENCH_zones.json workload
+    if args.days is None:
+        args.days = 7
     print(
         f"Zones benchmark: {args.aggregates} aggregated offers sharded into "
         f"{args.zones} market zones x {args.days} day targets (seed {args.seed}) ..."
@@ -386,6 +418,42 @@ def _cmd_bench_zones(args: argparse.Namespace) -> int:
         f"identical to vectorized: "
         f"{equivalence['incremental_identical_to_vectorized']}; "
         f"workers fan-out identical: {equivalence['workers_match_sequential']}"
+    )
+    if args.out is not None:
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_bench_scale(args: argparse.Namespace) -> int:
+    from repro.pipeline import SCALE_SIZES, run_scale_benchmark, scale_table_rows
+
+    if args.seed is None:
+        args.seed = 23  # the committed BENCH_scale.json workload
+    if args.days is None:
+        args.days = 30
+    sizes = args.sizes if args.sizes is not None else SCALE_SIZES
+    print(
+        f"Scale benchmark: {', '.join(str(s) for s in sizes)} households x "
+        f"{args.days} days (seed {args.seed}) ..."
+    )
+    report = run_scale_benchmark(
+        sizes=sizes,
+        days=args.days,
+        seed=args.seed,
+        out_path=args.out,
+    )
+    print(format_table(scale_table_rows(report)))
+    fanout = report["fanout"]
+    streaming = report["streaming"]
+    crossover = report["crossover"]
+    print(
+        f"\nshared-memory fan-out: {fanout['speedup']}x over pickling "
+        f"(gate >= 2x: {fanout['meets_min_speedup']}); streaming peak "
+        f"chunk-bound: {streaming['peak_is_chunk_bound']} "
+        f"({streaming['peak_growth_at_3x_households']}x peak at 3x "
+        f"households); auto picks the sparse winner: "
+        f"{crossover['auto_picks_sparse_winner']}; engines bitwise "
+        f"identical on every rung: {crossover['all_rungs_bitwise_identical']}"
     )
     if args.out is not None:
         print(f"wrote {args.out}")

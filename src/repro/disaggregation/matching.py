@@ -255,13 +255,36 @@ def _day_nms_candidates(
     return spread
 
 
+def _window_view(
+    residual: np.ndarray, m: int, cache: dict[int, np.ndarray] | None
+) -> np.ndarray:
+    """The (n − m + 1, m) sliding-window view of the residual, cached.
+
+    The pursuit mutates the residual *in place*, so a stride-trick view
+    built once per template length stays valid for the whole run; building
+    it per scoring call is pure per-call overhead (it dominated the batch
+    scorer's profile at fleet scale).
+    """
+    if cache is None:
+        return np.lib.stride_tricks.sliding_window_view(residual, m)
+    view = cache.get(m)
+    if view is None:
+        view = np.lib.stride_tricks.sliding_window_view(residual, m)
+        cache[m] = view
+    return view
+
+
 def _placement_scores_batch(
-    residual: np.ndarray, starts: np.ndarray, shape: np.ndarray, energies: np.ndarray
+    residual: np.ndarray,
+    starts: np.ndarray,
+    shape: np.ndarray,
+    energies: np.ndarray,
+    window_cache: dict[int, np.ndarray] | None = None,
 ) -> np.ndarray:
     """:func:`_placement_score` for many placements of one template at once."""
     m = len(shape)
-    windows = np.lib.stride_tricks.sliding_window_view(residual, m)[starts]
-    positive = np.clip(windows, 0.0, None)
+    windows = _window_view(residual, m, window_cache)[starts]
+    positive = np.maximum(windows, 0.0)
     templates = energies[:, None] * shape[None, :]
     safe_energy = np.where(energies > 0.0, energies, 1.0)
     coverage = np.minimum(positive, templates).sum(axis=1) / safe_energy
@@ -269,7 +292,7 @@ def _placement_scores_batch(
     mass = positive.sum(axis=1)
     safe_mass = np.where(mass > 0.0, mass, 1.0)
     similarity = 1.0 - 0.5 * np.abs(positive / safe_mass[:, None] - shape[None, :]).sum(axis=1)
-    scores = coverage * np.clip(similarity, 0.0, None)
+    scores = coverage * np.maximum(similarity, 0.0)
     scores[mass <= 0.0] = 0.0
     return scores
 
@@ -282,6 +305,7 @@ def _day_best_candidate(
     template: ApplianceTemplate,
     config: MatchingConfig,
     accepted: list[int],
+    window_cache: dict[int, np.ndarray] | None = None,
 ) -> tuple[float, int, float] | None:
     """Best (score, start, energy) placement of one appliance in one day.
 
@@ -309,7 +333,9 @@ def _day_best_candidate(
         if starts.size == 0:
             return None
     clamped = np.clip(energies[starts], lo, hi)
-    scores = _placement_scores_batch(residual, starts, template.shape, clamped)
+    scores = _placement_scores_batch(
+        residual, starts, template.shape, clamped, window_cache
+    )
     best = int(scores.argmax())
     return float(scores[best]), int(starts[best]), float(clamped[best])
 
@@ -340,34 +366,43 @@ def _match_pursuit_vectorized(
         [None] * n_days for _ in specs
     ]
     dirty = np.ones((len(specs), n_days), dtype=bool)
+    # Cached candidate scores, −inf for "no feasible placement".  The greedy
+    # pick is then a single row-major argmax instead of a Python scan over
+    # every cached (appliance, day) cell each iteration; first-occurrence
+    # argmax reproduces the scan's tie-break exactly (earliest appliance,
+    # then earliest day).
+    scores2d = np.full((len(specs), n_days), -np.inf)
+    # Sliding windows over the (in-place mutated) residual, one view per
+    # template length, shared by every scoring call of the whole pursuit.
+    window_cache: dict[int, np.ndarray] = {}
 
     for _ in range(config.max_iterations):
-        best: tuple[float, int, int, float] | None = None
         for index, spec in enumerate(specs):
             energies = energy_maps[index]
-            if energies.size == 0:
+            if energies.size == 0 or not dirty[index].any():
                 continue
             accepted = accepted_starts.get(spec.name, [])
-            candidate: tuple[float, int, float] | None = None
-            for day in range(n_days):
-                if dirty[index, day]:
-                    day_best[index][day] = _day_best_candidate(
-                        residual, energies, day, spec, templates[index], config, accepted
-                    )
-                    dirty[index, day] = False
-                cached = day_best[index][day]
-                if cached is not None and (candidate is None or cached[0] > candidate[0]):
-                    candidate = cached
-            if candidate is None:
-                continue
-            score, t, energy = candidate
-            if score < config.min_score:
-                continue
-            if best is None or score > best[0]:
-                best = (score, index, t, energy)
-        if best is None:
+            for day in np.flatnonzero(dirty[index]):
+                day = int(day)
+                candidate = _day_best_candidate(
+                    residual,
+                    energies,
+                    day,
+                    spec,
+                    templates[index],
+                    config,
+                    accepted,
+                    window_cache,
+                )
+                day_best[index][day] = candidate
+                scores2d[index, day] = -np.inf if candidate is None else candidate[0]
+            dirty[index] = False
+        flat = int(scores2d.argmax())
+        best_score = float(scores2d.flat[flat])
+        if best_score == -np.inf or best_score < config.min_score:
             break
-        _, index, t, energy = best
+        index, day = divmod(flat, n_days)
+        _, t, energy = day_best[index][day]
         spec = specs[index]
         m = spec.cycle_minutes
         template = spec.shape * energy
@@ -404,13 +439,13 @@ def _match_pursuit_vectorized(
             )
         )
         explained += energy
-        if float(np.clip(residual, 0.0, None).sum()) < config.residual_floor_kwh:
+        if float(np.maximum(residual, 0.0).sum()) < config.residual_floor_kwh:
             break
 
     detections.sort(key=lambda a: a.start)
     return DetectionResult(
         detections=detections,
-        residual=series.with_values(np.clip(residual, 0.0, None)).with_name("residual"),
+        residual=series.with_values(np.maximum(residual, 0.0)).with_name("residual"),
         explained_kwh=explained,
     )
 

@@ -22,7 +22,16 @@ Subsystem contract:
   benchmark and the conformance matrix on every run.
 """
 
-from repro.pipeline.bench import FIDELITY_RTOL, run_fleet_benchmark, stage_table_rows
+from repro.pipeline.bench import (
+    FIDELITY_RTOL,
+    SCALE_FANOUT_MIN_SPEEDUP,
+    SCALE_SIZES,
+    run_fleet_benchmark,
+    run_scale_benchmark,
+    scale_offer_stream,
+    scale_table_rows,
+    stage_table_rows,
+)
 from repro.pipeline.fleet import (
     SEED_STRIDE,
     STAGES,
@@ -38,10 +47,25 @@ from repro.pipeline.fleet import (
     run_sequential,
     schedule_aggregates,
 )
+from repro.pipeline.sharedmem import (
+    SEGMENT_PREFIX,
+    SharedArraySpec,
+    SharedFleetBuffer,
+    leaked_segments,
+)
 
 __all__ = [
+    "SEGMENT_PREFIX",
+    "SharedArraySpec",
+    "SharedFleetBuffer",
+    "leaked_segments",
     "FIDELITY_RTOL",
+    "SCALE_FANOUT_MIN_SPEEDUP",
+    "SCALE_SIZES",
     "run_fleet_benchmark",
+    "run_scale_benchmark",
+    "scale_offer_stream",
+    "scale_table_rows",
     "stage_table_rows",
     "SEED_STRIDE",
     "STAGES",

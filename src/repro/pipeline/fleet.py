@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -35,11 +36,14 @@ from repro.errors import ValidationError
 from repro.evaluation.comparison import SEED_STRIDE, input_series_for
 from repro.extraction.base import FlexibilityExtractor
 from repro.flexoffer.model import FlexOffer, offer_id_scope
+from repro.pipeline.sharedmem import SharedArraySpec, SharedFleetBuffer
+from repro.scheduling.autotune import resolve_engine
 from repro.scheduling.greedy import ScheduleConfig, ScheduleResult, greedy_schedule
 from repro.scheduling.stochastic import improve_schedule
 from repro.scheduling.zones import ZonedScheduleResult, ZonedTarget, schedule_zones
 from repro.simulation.dataset import SimulatedDataset
 from repro.simulation.household import HouseholdTrace
+from repro.timeseries.axis import TimeAxis
 from repro.timeseries.series import TimeSeries
 
 #: Pipeline stages, in execution order.  ``disaggregate`` is only non-zero
@@ -334,6 +338,11 @@ def schedule_aggregates(
     if isinstance(target, ZonedTarget):
         return schedule_zones(aggregates, target, config)
     config = config if config is not None else ScheduleConfig()
+    # Resolve engine="auto" once for the whole stage, so the greedy pass
+    # and the improver run the same concrete engine.
+    config = resolve_engine(
+        config, [aggregate.offer for aggregate in aggregates], target.axis
+    )
     result = greedy_schedule(
         [aggregate.offer for aggregate in aggregates], target, config=config
     )
@@ -371,6 +380,51 @@ def _run_chunk_in_worker(
 ) -> tuple[list[HouseholdOutput], dict[str, float]]:
     assert _WORKER_EXTRACTOR is not None, "worker pool initializer did not run"
     return _run_chunk(_WORKER_EXTRACTOR, seed, jobs)
+
+
+def _run_shared_chunk_in_worker(
+    seed: int,
+    spec: SharedArraySpec,
+    axis: TimeAxis,
+    rows: list[tuple[int, int, str, str]],
+) -> tuple[list[HouseholdOutput], dict[str, float]]:
+    """Run one chunk whose input series live in a shared fleet matrix.
+
+    ``rows`` carries ``(matrix row, household index, household id, series
+    name)`` — a few hundred bytes per chunk regardless of horizon length.
+    Each job's series wraps its matrix row zero-copy; the attached view is
+    read-only, matching the frozen per-trace totals of the in-process path,
+    so extractors behave (and their outputs stay bitwise) identically.
+    """
+    assert _WORKER_EXTRACTOR is not None, "worker pool initializer did not run"
+    with SharedFleetBuffer.attach(spec) as buffer:
+        matrix = buffer.array
+        jobs = [
+            (index, household_id, TimeSeries(axis, matrix[row], name))
+            for row, index, household_id, name in rows
+        ]
+        return _run_chunk(_WORKER_EXTRACTOR, seed, jobs)
+
+
+def _pack_jobs(
+    jobs: list[tuple[int, str, TimeSeries]],
+) -> tuple[np.ndarray, TimeAxis, list[tuple[int, int, str, str]]] | None:
+    """Stack per-household inputs into one fleet matrix, if they align.
+
+    Returns ``(matrix, axis, rows)`` where row ``r`` of the matrix holds the
+    values of ``jobs[r]`` and ``rows[r]`` is that job's shared-memory job
+    descriptor — or ``None`` when the inputs do not share an axis (mixed
+    fleets fall back to the pickling fan-out).
+    """
+    axis = jobs[0][2].axis
+    if any(series.axis != axis for _, _, series in jobs[1:]):
+        return None
+    matrix = np.stack([series.values for _, _, series in jobs])
+    rows = [
+        (row, index, household_id, series.name)
+        for row, (index, household_id, series) in enumerate(jobs)
+    ]
+    return matrix, axis, rows
 
 
 def _run_chunk(
@@ -425,6 +479,14 @@ class FleetPipeline:
     workers:
         ``None``/``1`` runs in-process; larger values fan chunks out over a
         process pool.  Results are independent of the worker count.
+    shared_memory:
+        When fanning out, put the stacked fleet input matrix into one
+        shared-memory segment and send workers row descriptors instead of
+        pickled series (the scale-out path; see ``pipeline/sharedmem.py``).
+        ``False`` forces the legacy pickling fan-out — kept selectable so
+        the scale benchmark can measure the difference.  Either way the
+        results are bitwise identical.  Fleets whose inputs do not share a
+        time axis silently fall back to pickling.
     seed:
         Base seed; household ``i`` always draws from
         ``default_rng(seed + 7919·i)``, matching the evaluation harness.
@@ -442,6 +504,7 @@ class FleetPipeline:
         workers: int | None = None,
         seed: int = 0,
         schedule: ScheduleConfig | None = None,
+        shared_memory: bool = True,
     ) -> None:
         if chunk_size < 1:
             raise ValidationError("chunk_size must be >= 1")
@@ -455,6 +518,7 @@ class FleetPipeline:
         self.workers = workers
         self.seed = seed
         self.schedule = schedule
+        self.shared_memory = shared_memory
 
     # ------------------------------------------------------------------ #
     # Stages
@@ -506,19 +570,7 @@ class FleetPipeline:
                 timings.merge(chunk_timings)
         else:
             t0 = time.perf_counter()
-            with ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(self.extractor,),
-            ) as pool:
-                futures = [
-                    pool.submit(_run_chunk_in_worker, self.seed, chunk)
-                    for chunk in chunks
-                ]
-                for future in futures:
-                    chunk_outputs, chunk_timings = future.result()
-                    outputs.extend(chunk_outputs)
-                    timings.merge(chunk_timings)
+            self._fan_out(jobs, chunks, outputs, timings)
             timings.add("fanout_wall", time.perf_counter() - t0)
         outputs.sort(key=lambda h: h.index)
 
@@ -544,6 +596,60 @@ class FleetPipeline:
             timings=timings,
             schedule=schedule,
         )
+
+    def _fan_out(
+        self,
+        jobs: list[tuple[int, str, TimeSeries]],
+        chunks: list[list[tuple[int, str, TimeSeries]]],
+        outputs: list[HouseholdOutput],
+        timings: StageTimings,
+    ) -> None:
+        """Run the chunks over a process pool, collecting as futures finish.
+
+        The shared-memory path stages all inputs in one segment up front and
+        submits row descriptors; the pickling path submits the series
+        themselves.  Teardown is guaranteed in both directions: a raising
+        chunk cancels the not-yet-started chunks (instead of draining the
+        whole queue before surfacing the error), and the owner side of the
+        shared segment is closed *and unlinked* on every exit path — worker
+        crashes included — so no ``/dev/shm`` segment outlives the run.
+        """
+        packed = _pack_jobs(jobs) if self.shared_memory else None
+        with ExitStack() as stack:
+            if packed is not None:
+                matrix, axis, rows = packed
+                buffer = stack.enter_context(SharedFleetBuffer.create(matrix))
+                row_chunks = [
+                    rows[first : first + self.chunk_size]
+                    for first in range(0, len(rows), self.chunk_size)
+                ]
+            pool = stack.enter_context(
+                ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self.extractor,),
+                )
+            )
+            if packed is not None:
+                futures = [
+                    pool.submit(
+                        _run_shared_chunk_in_worker, self.seed, buffer.spec, axis, chunk
+                    )
+                    for chunk in row_chunks
+                ]
+            else:
+                futures = [
+                    pool.submit(_run_chunk_in_worker, self.seed, chunk)
+                    for chunk in chunks
+                ]
+            try:
+                for future in futures:
+                    chunk_outputs, chunk_timings = future.result()
+                    outputs.extend(chunk_outputs)
+                    timings.merge(chunk_timings)
+            except BaseException:
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
 
 
 def run_sequential(

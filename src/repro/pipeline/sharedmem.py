@@ -1,0 +1,226 @@
+"""Shared-memory fleet matrices: pass buffer names, not pickled arrays.
+
+At fleet scale the worker fan-out's cost is dominated by serialization: a
+week of 15-minute metering for 10k households is a ~54 MB float64 matrix,
+and pickling per-chunk :class:`~repro.timeseries.series.TimeSeries` inputs
+through the executor's pipes copies every byte once per chunk.  This module
+puts the fleet matrix into POSIX shared memory exactly once; workers then
+receive a :class:`SharedArraySpec` — segment *name* plus array layout, a
+few hundred bytes — and attach to the same physical pages.
+
+Ownership contract (enforced here, documented in docs/ARCHITECTURE.md):
+
+* Exactly one process — the coordinator — *owns* a segment.  It creates
+  the segment via :meth:`SharedFleetBuffer.create` and is responsible for
+  unlinking it, which the context-manager form guarantees even when a
+  worker chunk raises.
+* Workers *attach* via :meth:`SharedFleetBuffer.attach`.  An attached
+  buffer only ever closes its local mapping; it never unlinks, and its
+  array view is read-only so a worker cannot corrupt the fleet input
+  under its siblings.
+* ``close``/``unlink`` are idempotent, and ``unlink`` tolerates a segment
+  that already vanished (e.g. the owner cleaned up after a worker crash),
+  so teardown paths can run unconditionally.
+
+Every segment name carries the :data:`SEGMENT_PREFIX` marker so leak
+checks (tests, the failure-injection suite) can scan ``/dev/shm`` for
+stragglers without touching unrelated segments.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: Prefix of every segment this module creates; leak scans key on it.
+SEGMENT_PREFIX = "repro-fleet-"
+
+#: Where Linux exposes POSIX shared memory as files (leak scans only).
+_SHM_DIR = Path("/dev/shm")
+
+
+@dataclass(frozen=True, slots=True)
+class SharedArraySpec:
+    """A picklable descriptor of one shared ndarray: name plus layout.
+
+    This — not the array — is what crosses the process boundary.  The
+    receiving side reconstructs the exact same dtype/shape view with
+    :meth:`SharedFleetBuffer.attach`.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size the spec describes (not the segment's page-rounded size)."""
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+class SharedFleetBuffer:
+    """One shared-memory ndarray segment with explicit lifecycle ownership.
+
+    Use :meth:`create` in the coordinator (owner) and :meth:`attach` in
+    workers; both sides support the context-manager protocol.  The owner's
+    ``__exit__`` closes *and unlinks*; an attacher's only closes.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, spec: SharedArraySpec, owner: bool
+    ) -> None:
+        self._shm = shm
+        self._spec = spec
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(cls, array: np.ndarray, name: str | None = None) -> "SharedFleetBuffer":
+        """Copy ``array`` into a fresh shared segment; the caller owns it."""
+        array = np.ascontiguousarray(array)
+        if array.size == 0:
+            raise ValidationError("cannot share an empty array")
+        if name is not None and not name.startswith(SEGMENT_PREFIX):
+            raise ValidationError(
+                f"segment names must start with {SEGMENT_PREFIX!r}, got {name!r}"
+            )
+        name = name or f"{SEGMENT_PREFIX}{secrets.token_hex(8)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=array.nbytes)
+        spec = SharedArraySpec(
+            name=shm.name, shape=tuple(array.shape), dtype=array.dtype.str
+        )
+        view = np.ndarray(spec.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        return cls(shm, spec, owner=True)
+
+    @classmethod
+    def attach(cls, spec: SharedArraySpec) -> "SharedFleetBuffer":
+        """Attach to an existing segment by spec; the result never unlinks."""
+        shm = shared_memory.SharedMemory(name=spec.name)
+        if shm.size < spec.nbytes:
+            shm.close()
+            raise ValidationError(
+                f"segment {spec.name!r} holds {shm.size} bytes, "
+                f"spec describes {spec.nbytes}"
+            )
+        return cls(shm, spec, owner=False)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def spec(self) -> SharedArraySpec:
+        """The picklable descriptor to hand to workers."""
+        return self._spec
+
+    @property
+    def owner(self) -> bool:
+        """True when this side is responsible for unlinking the segment."""
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def array(self) -> np.ndarray:
+        """The ndarray view over the segment.
+
+        The owner's view is writable (it just filled it); an attached view
+        is read-only so workers cannot corrupt the shared fleet input.
+        """
+        if self._closed:
+            raise ValidationError(
+                f"segment {self._spec.name!r} is closed; no array view available"
+            )
+        view = np.ndarray(
+            self._spec.shape, dtype=np.dtype(self._spec.dtype), buffer=self._shm.buf
+        )
+        if not self._owner:
+            view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Drop this process's mapping.  Idempotent; never unlinks."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment from the system.  Owner-only; idempotent.
+
+        Tolerates a segment that already vanished (e.g. an external crash
+        cleanup got there first), so teardown can call it unconditionally;
+        the resource tracker's cache is kept consistent either way.
+        """
+        if not self._owner:
+            raise ValidationError(
+                f"segment {self._spec.name!r} was attached, not created here; "
+                "only the owner may unlink it"
+            )
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            # Already gone; unregister ourselves, since SharedMemory.unlink
+            # only reaches its unregister call when shm_unlink succeeds.
+            _forget(self._spec.name)
+
+    def __enter__(self) -> "SharedFleetBuffer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self.closed else "open"
+        role = "owner" if self._owner else "attached"
+        return f"SharedFleetBuffer({self._spec.name!r}, {role}, {state})"
+
+
+def _forget(name: str) -> None:
+    """Drop a vanished segment from the resource tracker's cache.
+
+    Owner and workers share one resource-tracker process (the executor
+    forks after the tracker exists), so the name is registered exactly once
+    and must be unregistered exactly once — by the owner.  This helper
+    covers the already-vanished branch of :meth:`SharedFleetBuffer.unlink`,
+    where ``SharedMemory.unlink`` raises before its own unregister call.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister("/" + name.lstrip("/"), "shared_memory")
+    except Exception:  # pragma: no cover - tracker layout varies by version
+        pass
+
+
+def leaked_segments() -> list[str]:
+    """Names of this module's segments still present in ``/dev/shm``.
+
+    Empty on platforms without a ``/dev/shm`` view; used by the
+    failure-injection tests to assert crash paths leave nothing behind.
+    """
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux
+        return []
+    return sorted(p.name for p in _SHM_DIR.glob(f"{SEGMENT_PREFIX}*"))

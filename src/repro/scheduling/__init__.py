@@ -17,11 +17,22 @@ Subsystem contract:
   identical to the ``"reference"`` per-start loop (cost within
   ``rtol=1e-9``), asserted by ``benchmarks/bench_schedule.py``,
   ``benchmarks/bench_zones.py`` and the conformance matrix.
+  ``"auto"`` resolves to one of that bitwise pair from the workload's
+  placement density (:mod:`repro.scheduling.autotune`), so autotuning is
+  a wall-clock decision that can never change a schedule.
 * **Performance baselines** — the reference engines are kept runnable;
   ``BENCH_schedule.json`` / ``BENCH_zones.json`` pin the measured
   speedups and equivalence booleans (refresh via ``repro bench``).
 """
 
+from repro.scheduling.autotune import (
+    AUTO_DENSITY_CROSSOVER,
+    AUTO_MIN_OFFERS,
+    choose_engine,
+    crossover_sweep,
+    placement_density,
+    resolve_engine,
+)
 from repro.scheduling.bench import (
     SCHEDULE_FIDELITY_RTOL,
     build_schedule_workload,
@@ -58,6 +69,12 @@ from repro.scheduling.zones import (
 )
 
 __all__ = [
+    "AUTO_DENSITY_CROSSOVER",
+    "AUTO_MIN_OFFERS",
+    "choose_engine",
+    "crossover_sweep",
+    "placement_density",
+    "resolve_engine",
     "SCHEDULE_FIDELITY_RTOL",
     "build_schedule_workload",
     "build_zoned_workload",

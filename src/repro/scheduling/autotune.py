@@ -1,0 +1,233 @@
+"""Engine-crossover autotuning: pick the greedy engine from workload shape.
+
+The ``"vectorized"`` and ``"incremental"`` engines place offers bitwise
+identically (shared :func:`~repro.scheduling.greedy._score_windows`
+arithmetic), so engine choice is *purely* a performance decision — which
+makes it automatable.  Their costs diverge on one axis:
+
+* the vectorized engine re-scores **all** of an offer's candidate starts
+  at that offer's turn — cost grows with candidates × placements that
+  happened before the turn, regardless of whether those placements touched
+  the offer's windows;
+* the incremental engine scores everything once upfront and thereafter
+  re-scores only candidates whose residual window a placement actually
+  overlapped — cost grows with the *overlap* between placements and
+  candidate windows, plus bookkeeping per placement.
+
+The decisive workload statistic is therefore **placement density**: how
+much of the target axis the fleet's placements cover.  Each placement
+spans ``n`` intervals and dirties candidate windows it intersects, so with
+``P`` offers of mean span ``n̄`` on an axis of ``L`` intervals, a candidate
+window expects about ``P · 2n̄ / L`` dirtying placements over the run —
+:func:`placement_density`.  Sparse markets (density ≪ 1: wide feasible
+windows, placements rarely collide) leave most cached gains clean and the
+incremental engine wins; dense markets (density ≫ 1: every placement
+dirties most candidates) degrade it to full re-scoring *plus* cache
+bookkeeping, and the vectorized engine wins.
+
+``ScheduleConfig(engine="auto")`` resolves through :func:`choose_engine`
+at the entry of :func:`~repro.scheduling.greedy.greedy_schedule` (and once
+in the pipeline's schedule stage, before the stochastic improver).  The
+crossover constant is calibrated by :func:`crossover_sweep`, which times
+both engines on synthetic workloads across a density ladder — the scale
+benchmark (``repro bench --suite scale``) records the sweep in
+``BENCH_scale.json`` and gates that ``"auto"`` picks the measured winner
+on both ends of the ladder.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import replace
+from datetime import datetime
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flexoffer.model import FlexOffer
+    from repro.scheduling.greedy import ScheduleConfig, ScheduleResult
+    from repro.timeseries.axis import TimeAxis
+
+#: Density at which the engines cross over, calibrated by
+#: :func:`crossover_sweep` on the scale benchmark's synthetic workloads
+#: (see ``BENCH_scale.json``).  Below: incremental; at/above: vectorized.
+#: Measured on the sweep's density ladder: incremental is ~10% faster at
+#: density ≲ 1.3, at parity around 2, and loses 10–30% from ~2.6 up.
+AUTO_DENSITY_CROSSOVER = 2.0
+
+#: Workloads smaller than this always take the vectorized engine: the
+#: incremental engine's upfront group scoring + per-placement bookkeeping
+#: only amortizes across enough offers.
+AUTO_MIN_OFFERS = 32
+
+
+def placement_density(offers: Sequence["FlexOffer"], axis: "TimeAxis") -> float:
+    """Expected dirtying placements per candidate window (see module doc).
+
+    ``len(offers) * 2 * mean_profile_span / axis.length`` — dimensionless;
+    ``0.0`` for an empty workload.  Deterministic and O(offers), so the
+    autotuner itself never shows up in a profile.
+    """
+    if not offers or axis.length == 0:
+        return 0.0
+    mean_span = sum(offer.profile_intervals for offer in offers) / len(offers)
+    return 2.0 * len(offers) * mean_span / axis.length
+
+
+def choose_engine(offers: Sequence["FlexOffer"], axis: "TimeAxis") -> str:
+    """The concrete engine ``engine="auto"`` resolves to for this workload."""
+    if len(offers) < AUTO_MIN_OFFERS:
+        return "vectorized"
+    density = placement_density(offers, axis)
+    return "incremental" if density < AUTO_DENSITY_CROSSOVER else "vectorized"
+
+
+def resolve_engine(
+    config: "ScheduleConfig",
+    offers: Sequence["FlexOffer"],
+    axis: "TimeAxis",
+) -> "ScheduleConfig":
+    """``config`` with ``engine="auto"`` replaced by the workload's winner.
+
+    Any other engine passes through unchanged, so callers can resolve
+    unconditionally.  The pipeline's schedule stage resolves *before* the
+    stochastic improver so one decision governs the whole stage.
+    """
+    if config.engine != "auto":
+        return config
+    return replace(config, engine=choose_engine(offers, axis))
+
+
+# --------------------------------------------------------------------- #
+# Crossover calibration (the scale benchmark's sweep)
+# --------------------------------------------------------------------- #
+
+
+def sweep_offers(
+    count: int, axis: "TimeAxis", seed: int = 0
+) -> list["FlexOffer"]:
+    """``count`` deterministic synthetic offers spread over ``axis``.
+
+    Profile spans of 3–8 intervals with wide feasible windows — the shape
+    aggregated household offers take after grouping — spread uniformly so
+    the workload's :func:`placement_density` is controlled by ``count``
+    and ``axis.length`` alone.
+    """
+    from repro.flexoffer.model import FlexOffer, ProfileSlice
+
+    rng = np.random.default_rng(seed)
+    spans = rng.integers(3, 9, size=count)
+    anchors = rng.integers(0, max(1, axis.length - 16), size=count)
+    flexes = rng.integers(8, 97, size=count)
+    offers = []
+    for index in range(count):
+        earliest = axis.start + int(anchors[index]) * axis.resolution
+        latest = earliest + int(flexes[index]) * axis.resolution
+        slices = tuple(
+            ProfileSlice(float(lo), float(lo) * 1.8)
+            for lo in rng.uniform(0.2, 0.8, int(spans[index]))
+        )
+        offers.append(
+            FlexOffer(
+                earliest_start=earliest,
+                latest_start=latest,
+                slices=slices,
+                resolution=axis.resolution,
+                offer_id=f"sweep-{seed}-{index}",
+            )
+        )
+    return offers
+
+
+def _time_engines(
+    offers: list["FlexOffer"], target, repeats: int
+) -> dict[str, tuple[float, "ScheduleResult"]]:
+    """Best-of-``repeats`` wall time per engine, engines interleaved.
+
+    Interleaving (vec, inc, vec, inc, ...) instead of timing each engine's
+    repeats back to back keeps slow machine-wide drifts (single-core
+    boxes, noisy neighbours) from landing entirely on one engine.
+    """
+    from repro.scheduling.greedy import ScheduleConfig, greedy_schedule
+
+    engines = ("vectorized", "incremental")
+    best: dict[str, float] = {engine: float("inf") for engine in engines}
+    results: dict[str, "ScheduleResult"] = {}
+    for engine in engines:  # warm-up, untimed
+        results[engine] = greedy_schedule(
+            offers, target, config=ScheduleConfig(engine=engine)
+        )
+    for _ in range(repeats):
+        for engine in engines:
+            begin = time.perf_counter()
+            greedy_schedule(offers, target, config=ScheduleConfig(engine=engine))
+            best[engine] = min(best[engine], time.perf_counter() - begin)
+    return {engine: (best[engine], results[engine]) for engine in engines}
+
+
+def crossover_sweep(
+    offer_count: int = 1024,
+    axis_days: Sequence[int] = (7, 30, 90, 365),
+    seed: int = 0,
+    repeats: int = 3,
+) -> list[dict[str, float | str | bool]]:
+    """Time both engines across a density ladder; one row per axis length.
+
+    Fixing the offer count and stretching the axis walks the density from
+    dense (short axis, placements collide constantly) to sparse (long
+    axis, placements rarely meet) — the single knob the engines disagree
+    on.  Each row records the density, both engines' best-of-``repeats``
+    wall times, the measured winner, what :func:`choose_engine` would have
+    picked, and whether the two engines' placements agreed bitwise (they
+    must; the row asserts the engine-equivalence contract end to end).
+    """
+    from repro.timeseries.axis import FIFTEEN_MINUTES, TimeAxis
+
+    start = datetime(2012, 3, 5)
+    rows: list[dict[str, float | str | bool]] = []
+    for days in axis_days:
+        axis = TimeAxis(start, FIFTEEN_MINUTES, 96 * days)
+        offers = sweep_offers(offer_count, axis, seed=seed)
+        rng = np.random.default_rng(seed + days)
+        target_values = rng.uniform(0.0, 2.0, axis.length)
+        from repro.timeseries.series import TimeSeries
+
+        target = TimeSeries(axis, target_values, name="sweep-target")
+        timed = _time_engines(offers, target, repeats)
+        vec_seconds, vec_result = timed["vectorized"]
+        inc_seconds, inc_result = timed["incremental"]
+        identical = [
+            (s.offer.offer_id, s.start, s.slice_energies)
+            for s in vec_result.schedules
+        ] == [
+            (s.offer.offer_id, s.start, s.slice_energies)
+            for s in inc_result.schedules
+        ]
+        rows.append(
+            {
+                "offers": float(offer_count),
+                "axis_days": float(days),
+                "density": placement_density(offers, axis),
+                "vectorized_seconds": round(vec_seconds, 6),
+                "incremental_seconds": round(inc_seconds, 6),
+                "measured_winner": (
+                    "incremental" if inc_seconds < vec_seconds else "vectorized"
+                ),
+                "auto_choice": choose_engine(offers, axis),
+                "engines_bitwise_identical": identical,
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "AUTO_DENSITY_CROSSOVER",
+    "AUTO_MIN_OFFERS",
+    "choose_engine",
+    "crossover_sweep",
+    "placement_density",
+    "resolve_engine",
+    "sweep_offers",
+]

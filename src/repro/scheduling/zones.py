@@ -26,10 +26,11 @@ past one market:
 
 Inside each zone the placement engine is selectable via
 :class:`~repro.scheduling.greedy.ScheduleConfig`; the zone-sharded hot
-path defaults to ``engine="incremental"`` (placements only re-score
-overlapping candidates), which is gated bitwise-identical to the
-vectorized engine and benchmarked in ``benchmarks/bench_zones.py``
-(``BENCH_zones.json``).
+path defaults to ``engine="auto"``, resolved per zone from that zone's
+own workload shape (:mod:`repro.scheduling.autotune`).  All engines are
+gated bitwise-identical (vectorized/incremental) or
+placement-identical (reference) and benchmarked in
+``benchmarks/bench_zones.py`` (``BENCH_zones.json``).
 """
 
 from __future__ import annotations
@@ -47,7 +48,11 @@ from repro.scheduling.greedy import ScheduleConfig, ScheduleResult
 from repro.timeseries.series import TimeSeries
 
 #: Engine the zone-sharded scheduler uses unless the caller says otherwise.
-ZONE_DEFAULT_CONFIG = ScheduleConfig(engine="incremental")
+#: ``"auto"`` resolves per zone from that zone's own workload shape (see
+#: :mod:`repro.scheduling.autotune`): dense shards take the vectorized
+#: engine, sparse ones the incremental engine — placements are bitwise
+#: identical either way, so the default is purely a wall-clock choice.
+ZONE_DEFAULT_CONFIG = ScheduleConfig(engine="auto")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,146 @@
+"""``aggregate_stream`` ≡ batch grouping+aggregation, bitwise.
+
+The streaming fold must replay the batch path exactly — profile floats,
+member offsets, minted ``agg`` ids — given the same offers, parameters and
+grid epoch.  Fast cases run on synthetic offers and the cached test fleet;
+the tier-2 sweep proves the contract on every conformance scenario.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    GroupingParams,
+    aggregate_all,
+    aggregate_stream,
+    group_offers,
+)
+from repro.api.registry import create_extractor
+from repro.conformance.matrix import scenario_matrix
+from repro.errors import AggregationError
+from repro.flexoffer.model import FlexOffer, ProfileSlice, offer_id_scope
+from repro.pipeline.fleet import run_sequential
+from repro.timeseries.axis import FIFTEEN_MINUTES
+from repro.workloads.scenarios import SCENARIO_START
+
+
+def make_offer(
+    start_intervals: int, n_slices: int, flex_intervals: int, seed: int
+) -> FlexOffer:
+    rng = np.random.default_rng(seed)
+    mins = rng.uniform(0.1, 0.4, n_slices)
+    return FlexOffer(
+        earliest_start=SCENARIO_START + start_intervals * FIFTEEN_MINUTES,
+        latest_start=SCENARIO_START + (start_intervals + flex_intervals) * FIFTEEN_MINUTES,
+        slices=tuple(
+            ProfileSlice(float(lo), float(lo * rng.uniform(1.1, 2.0))) for lo in mins
+        ),
+        resolution=FIFTEEN_MINUTES,
+        offer_id=f"syn-{seed}",
+    )
+
+
+def batch_and_stream(offers, params=None, epoch=None, keep_members=True):
+    """Both paths under identical id scopes; returns (batch, streamed)."""
+    if epoch is None:
+        epoch = min(o.earliest_start for o in offers)
+    with offer_id_scope("fleet"):
+        batch = aggregate_all(group_offers(list(offers), params, epoch=epoch))
+    with offer_id_scope("fleet"):
+        streamed = list(
+            aggregate_stream(offers, params, epoch=epoch, keep_members=keep_members)
+        )
+    return batch, streamed
+
+
+class TestStreamEquivalence:
+    def test_fleet_extraction_offers_bitwise(self, fleet):
+        result = run_sequential(fleet, extractor=create_extractor("basic"), seed=0)
+        batch, streamed = batch_and_stream(result.offers)
+        assert streamed == batch
+
+    def test_group_splitting_matches_insertion_order(self):
+        # 10 offers in one grid cell, split at 3: splits [0:3][3:6][6:9][9:].
+        offers = [make_offer(i % 2, 4, 20, seed=i) for i in range(10)]
+        params = GroupingParams(max_group_size=3)
+        batch, streamed = batch_and_stream(offers, params)
+        assert streamed == batch
+        assert [a.size for a in streamed] == [3, 3, 3, 1]
+
+    def test_out_of_order_starts_rebase_exactly(self):
+        # Same cell, arrival order runs *backwards* in time, so the stream
+        # re-anchors the accumulator repeatedly; sums must not drift.
+        offers = [make_offer(7 - i, 3, 30, seed=100 + i) for i in range(8)]
+        epoch = min(o.earliest_start for o in offers)
+        params = GroupingParams(start_tolerance=timedelta(hours=6))
+        batch, streamed = batch_and_stream(offers, params, epoch=epoch)
+        assert streamed == batch
+        assert streamed[0].member_offsets == batch[0].member_offsets
+
+    def test_default_epoch_is_first_offer(self):
+        offers = [make_offer(5 + i, 3, 20, seed=200 + i) for i in range(6)]
+        with offer_id_scope("fleet"):
+            anchored = aggregate_all(
+                group_offers(offers, epoch=offers[0].earliest_start)
+            )
+        with offer_id_scope("fleet"):
+            streamed = list(aggregate_stream(offers))
+        assert streamed == anchored
+
+    def test_keep_members_false_same_offers_no_members(self):
+        offers = [make_offer(i, 4, 25, seed=300 + i) for i in range(12)]
+        batch, streamed = batch_and_stream(offers, keep_members=False)
+        assert [a.offer for a in streamed] == [a.offer for a in batch]
+        assert all(a.members == () and a.member_offsets == () for a in streamed)
+
+    def test_accepts_a_pure_generator(self):
+        def generate():
+            for i in range(9):
+                yield make_offer(i % 3, 3, 18, seed=400 + i)
+
+        epoch = SCENARIO_START
+        with offer_id_scope("fleet"):
+            batch = aggregate_all(group_offers(list(generate()), epoch=epoch))
+        with offer_id_scope("fleet"):
+            streamed = list(aggregate_stream(generate(), epoch=epoch))
+        assert streamed == batch
+
+    def test_misaligned_offer_raises(self):
+        good = make_offer(0, 3, 20, seed=500)
+        from dataclasses import replace
+
+        bad = replace(
+            make_offer(0, 3, 20, seed=501),
+            earliest_start=SCENARIO_START + timedelta(minutes=7),
+            latest_start=SCENARIO_START + timedelta(minutes=7) + 20 * FIFTEEN_MINUTES,
+        )
+        with pytest.raises(AggregationError, match="not grid-aligned"):
+            list(aggregate_stream([good, bad], epoch=SCENARIO_START))
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(aggregate_stream([])) == []
+
+
+@pytest.mark.tier2
+class TestStreamEquivalenceMatrix:
+    """The bitwise contract over every conformance scenario's offers."""
+
+    @pytest.mark.parametrize(
+        "scenario", scenario_matrix(), ids=lambda s: s.name
+    )
+    def test_scenario_offers_bitwise(self, scenario):
+        try:
+            traces = list(scenario.build())
+        except TypeError:
+            pytest.skip(f"scenario {scenario.name} has no iterable fleet")
+        result = run_sequential(
+            traces, extractor=create_extractor("basic"), seed=scenario.seed
+        )
+        if not result.offers:
+            pytest.skip(f"scenario {scenario.name} extracted no offers")
+        batch, streamed = batch_and_stream(result.offers)
+        assert streamed == batch

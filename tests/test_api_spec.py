@@ -83,7 +83,7 @@ schedule_specs = st.builds(
         st.none(), st.floats(min_value=0.1, max_value=1e6, allow_nan=False)
     ),
     order=st.sampled_from(("least-flexible-first", "largest-first", "as-given")),
-    engine=st.sampled_from(("vectorized", "incremental", "reference")),
+    engine=st.sampled_from(("vectorized", "incremental", "reference", "auto")),
     improve_iterations=st.integers(min_value=0, max_value=10_000),
     improve_seed=st.integers(min_value=0, max_value=2**31),
     zones=st.one_of(

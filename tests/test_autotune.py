@@ -1,0 +1,210 @@
+"""Engine-crossover autotuner: density statistic, resolution, wiring.
+
+``engine="auto"`` must be a pure wall-clock decision: whatever the
+autotuner picks, placements are bitwise those of the engine it resolved
+to — and the choice itself must be a deterministic function of workload
+shape (offer count, profile spans, axis length), never of timing.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+import pytest
+
+from repro.aggregation.aggregate import aggregate_group
+from repro.api import ScheduleSpec
+from repro.errors import SchedulingError
+from repro.flexoffer.model import FlexOffer, ProfileSlice
+from repro.pipeline.fleet import schedule_aggregates
+from repro.scheduling.autotune import (
+    AUTO_DENSITY_CROSSOVER,
+    AUTO_MIN_OFFERS,
+    choose_engine,
+    placement_density,
+    resolve_engine,
+    sweep_offers,
+)
+from repro.scheduling.greedy import ScheduleConfig, greedy_schedule
+from repro.scheduling.zones import MarketZone, ZonedTarget, schedule_zones
+from repro.timeseries.axis import FIFTEEN_MINUTES, TimeAxis, axis_for_days
+from repro.timeseries.series import TimeSeries
+
+from tests.test_scheduling import START
+
+
+def _axis(days: int) -> TimeAxis:
+    return axis_for_days(START, days)
+
+
+def _target(axis: TimeAxis, seed: int = 7) -> TimeSeries:
+    rng = np.random.default_rng(seed)
+    return TimeSeries(axis, rng.uniform(0.0, 2.0, axis.length), name="target")
+
+
+def _sparse_workload() -> tuple[list[FlexOffer], TimeSeries]:
+    axis = _axis(120)  # long axis, placements rarely collide
+    return sweep_offers(AUTO_MIN_OFFERS + 16, axis, seed=1), _target(axis)
+
+
+def _dense_workload() -> tuple[list[FlexOffer], TimeSeries]:
+    axis = _axis(2)  # short axis, placements collide constantly
+    return sweep_offers(AUTO_MIN_OFFERS + 16, axis, seed=2), _target(axis)
+
+
+def _placement_keys(result):
+    return [
+        (s.offer.offer_id, s.start, s.slice_energies) for s in result.schedules
+    ]
+
+
+class TestPlacementDensity:
+    def test_empty_workload_is_zero(self):
+        assert placement_density([], _axis(1)) == 0.0
+
+    def test_matches_the_formula(self):
+        offers = sweep_offers(10, _axis(30), seed=0)
+        mean_span = sum(o.profile_intervals for o in offers) / len(offers)
+        expected = 2.0 * len(offers) * mean_span / (96 * 30)
+        assert placement_density(offers, _axis(30)) == pytest.approx(expected)
+
+    def test_scales_with_count_and_inverse_axis(self):
+        offers = sweep_offers(64, _axis(30), seed=0)
+        sparse = placement_density(offers, _axis(120))
+        dense = placement_density(offers, _axis(2))
+        assert dense > sparse
+        doubled = placement_density(offers + offers, _axis(30))
+        assert doubled == pytest.approx(2 * placement_density(offers, _axis(30)))
+
+
+class TestChooseEngine:
+    def test_small_workloads_stay_vectorized(self):
+        axis = _axis(365)
+        offers = sweep_offers(AUTO_MIN_OFFERS - 1, axis, seed=0)
+        # Density is far below the crossover, but tiny workloads cannot
+        # amortize the incremental engine's block machinery.
+        assert placement_density(offers, axis) < AUTO_DENSITY_CROSSOVER
+        assert choose_engine(offers, axis) == "vectorized"
+
+    def test_sparse_picks_incremental(self):
+        offers, target = _sparse_workload()
+        assert placement_density(offers, target.axis) < AUTO_DENSITY_CROSSOVER
+        assert choose_engine(offers, target.axis) == "incremental"
+
+    def test_dense_picks_vectorized(self):
+        offers, target = _dense_workload()
+        assert placement_density(offers, target.axis) > AUTO_DENSITY_CROSSOVER
+        assert choose_engine(offers, target.axis) == "vectorized"
+
+
+class TestResolveEngine:
+    def test_non_auto_configs_pass_through_unchanged(self):
+        offers, target = _dense_workload()
+        for engine in ("vectorized", "incremental", "reference"):
+            config = ScheduleConfig(engine=engine)
+            assert resolve_engine(config, offers, target.axis) is config
+
+    def test_auto_resolves_to_a_concrete_engine(self):
+        offers, target = _sparse_workload()
+        config = ScheduleConfig(engine="auto", improve_iterations=3)
+        resolved = resolve_engine(config, offers, target.axis)
+        assert resolved.engine == "incremental"
+        # Every other knob survives the replace.
+        assert resolved.improve_iterations == 3
+
+
+class TestAutoEngineSchedules:
+    @pytest.mark.parametrize("workload", ["sparse", "dense"])
+    def test_auto_is_bitwise_the_resolved_engine(self, workload):
+        offers, target = (
+            _sparse_workload() if workload == "sparse" else _dense_workload()
+        )
+        resolved = choose_engine(offers, target.axis)
+        auto = greedy_schedule(offers, target, config=ScheduleConfig(engine="auto"))
+        concrete = greedy_schedule(
+            offers, target, config=ScheduleConfig(engine=resolved)
+        )
+        assert _placement_keys(auto) == _placement_keys(concrete)
+        assert {s.offer.offer_id for s in auto.schedules} | {
+            o.offer_id for o in auto.unplaced
+        } == {o.offer_id for o in offers}
+
+    def test_auto_accepted_by_config_validation(self):
+        assert ScheduleConfig(engine="auto").engine == "auto"
+        with pytest.raises(SchedulingError):
+            ScheduleConfig(engine="warp")
+
+    def test_schedule_aggregates_resolves_auto_before_improving(self):
+        offers, target = _sparse_workload()
+        aggregates = tuple(
+            aggregate_group([a, b])
+            for a, b in zip(offers[0::2], offers[1::2])
+        )
+        config = ScheduleConfig(engine="auto", improve_iterations=5, improve_seed=3)
+        auto = schedule_aggregates(aggregates, target, config)
+        members = [aggregate.offer for aggregate in aggregates]
+        concrete = schedule_aggregates(
+            aggregates,
+            target,
+            ScheduleConfig(
+                engine=choose_engine(members, target.axis),
+                improve_iterations=5,
+                improve_seed=3,
+            ),
+        )
+        assert _placement_keys(auto) == _placement_keys(concrete)
+
+    def test_zoned_scheduling_accepts_auto(self):
+        offers, target = _sparse_workload()
+        aggregates = tuple(aggregate_group([offer]) for offer in offers)
+        zones = tuple(
+            MarketZone(name=name, target=target)
+            for name in ("north", "south")
+        )
+        assignment = {
+            aggregate.offer.offer_id: ("north" if index % 2 else "south")
+            for index, aggregate in enumerate(aggregates)
+        }
+        zoned = ZonedTarget(zones=zones, assignment=assignment)
+        result = schedule_zones(aggregates, zoned, ScheduleConfig(engine="auto"))
+        assert result.names == ("north", "south")
+        placed = sum(len(r.schedules) for r in result.results)
+        assert placed >= 1
+
+
+class TestSweepOffers:
+    def test_deterministic_per_seed(self):
+        axis = _axis(30)
+        one = sweep_offers(8, axis, seed=5)
+        two = sweep_offers(8, axis, seed=5)
+        assert [o.offer_id for o in one] == [o.offer_id for o in two]
+        assert all(
+            a.earliest_start == b.earliest_start
+            and a.latest_start == b.latest_start
+            and a.slices == b.slices
+            for a, b in zip(one, two)
+        )
+        assert [o.offer_id for o in sweep_offers(8, axis, seed=6)] != [
+            o.offer_id for o in one
+        ]
+
+    def test_offers_fit_the_axis(self):
+        axis = _axis(7)
+        for offer in sweep_offers(32, axis, seed=0):
+            assert offer.earliest_start >= axis.start
+            assert offer.latest_start > offer.earliest_start
+            assert offer.resolution == FIFTEEN_MINUTES
+
+
+class TestSpecWiring:
+    def test_spec_accepts_auto_and_round_trips(self):
+        spec = ScheduleSpec(engine="auto")
+        assert ScheduleSpec.from_dict(spec.to_dict()) == spec
+        assert spec.config().engine == "auto"
+
+    def test_engine_key_omitted_defaults_to_vectorized(self):
+        # Pre-autotuner spec files carry no "engine" key and must keep
+        # loading with the old default.
+        spec = ScheduleSpec.from_dict({"target": "wind"})
+        assert spec.engine == "vectorized"

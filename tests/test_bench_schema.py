@@ -1,9 +1,10 @@
 """Golden-schema guards for benchmark output artefacts.
 
-Four machine-readable bench artefacts are load-bearing outside this repo:
+Five machine-readable bench artefacts are load-bearing outside this repo:
 ``BENCH_fleet.json`` (the committed fleet-pipeline speedup baseline),
 ``BENCH_schedule.json`` (the scheduling-engine speedup baseline),
-``BENCH_zones.json`` (the zone-sharded multi-market baseline) and the
+``BENCH_zones.json`` (the zone-sharded multi-market baseline),
+``BENCH_scale.json`` (the million-household scale-out baseline) and the
 ``--bench-json`` table dump ``benchmarks/conftest.py`` writes for CI
 archiving.  Their *schemas* are pinned here — a drifted key, a renamed
 stage or a silently dropped section fails loudly instead of breaking
@@ -121,6 +122,52 @@ class TestZonesBenchBaseline:
             assert zone["name"]
             assert zone["offers"] > 0
             assert zone["price_cap"] >= zone["price_floor"] >= 0
+
+
+class TestScaleBenchBaseline:
+    def test_bench_scale_json_schema_matches_golden(self):
+        report = json.loads((REPO_ROOT / "BENCH_scale.json").read_text())
+        golden = json.loads((GOLDEN / "bench_scale_schema.json").read_text())
+        assert type_schema(report) == golden
+
+    def test_bench_scale_json_semantics(self):
+        report = json.loads((REPO_ROOT / "BENCH_scale.json").read_text())
+        # The throughput ladder covers the 1k/10k/100k rungs, each placing
+        # the whole fleet through stream -> aggregate -> autotuned schedule.
+        sizes = report["workload"]["sizes"]
+        assert sizes == [1_000, 10_000, 100_000]
+        for rung in report["throughput"]:
+            assert rung["households_per_second"] > 0
+            assert rung["placed"] + rung["unplaced"] == rung["aggregates"]
+            assert rung["engine_resolved"] in ("vectorized", "incremental")
+        # Shared-memory fan-out beats pickling dispatch by the gated factor
+        # on the committed 10k-household matrix, with identical results.
+        fanout = report["fanout"]
+        assert fanout["households"] == 10_000
+        assert fanout["meets_min_speedup"] is True
+        assert fanout["speedup"] >= 2.0
+        assert fanout["results_identical"] is True
+        # Streaming aggregation's peak memory is O(chunk): tripling the
+        # household count must not grow the tracemalloc peak ~3x, and the
+        # streaming path must undercut materializing the offer list.
+        streaming = report["streaming"]
+        assert streaming["peak_is_chunk_bound"] is True
+        assert streaming["peak_growth_at_3x_households"] < 2.0
+        assert (
+            streaming["streaming_peak_mb_small"]
+            < streaming["materialized_peak_mb_small"]
+        )
+        # The engine-crossover sweep: the sparse end is a workload where
+        # the incremental engine measurably beats the vectorized one and
+        # engine="auto" picks it; the dense end flips; every rung bitwise.
+        crossover = report["crossover"]
+        assert crossover["sparse_winner_is_incremental"] is True
+        assert crossover["auto_picks_sparse_winner"] is True
+        assert crossover["auto_picks_dense_winner"] is True
+        assert crossover["all_rungs_bitwise_identical"] is True
+        sparse = crossover["rows"][-1]
+        assert sparse["incremental_seconds"] < sparse["vectorized_seconds"]
+        assert sparse["density"] < crossover["density_crossover"]
 
 
 class TestBenchJsonWriter:

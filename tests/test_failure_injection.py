@@ -15,6 +15,8 @@ import pytest
 
 from repro.api.registry import create_extractor
 from repro.api.service import FlexibilityService
+from repro.pipeline.fleet import FleetPipeline
+from repro.pipeline.sharedmem import leaked_segments
 from repro.disaggregation.baseline import remove_baseline
 from repro.disaggregation.matching import match_pursuit
 from repro.appliances.database import default_database
@@ -215,6 +217,51 @@ class TestRegistryFailureInjection:
             result = create_extractor(name, flexible_share=0.05).extract(dead, rng)
             assert result.offers == []
             assert result.energy_conservation_error() < 1e-9
+
+
+class _ExplodingExtractor:
+    """An extractor that fails on every household.
+
+    Module-level so the worker pool can pickle it; used to drive the fleet
+    fan-out's failure paths.
+    """
+
+    def extract(self, series, rng):
+        raise RuntimeError("injected chunk failure")
+
+
+class TestWorkerPoolTeardown:
+    """A raising chunk must release the pool and every shared segment.
+
+    The coordinator owns the shared fleet matrix; whatever a worker does —
+    including blowing up mid-chunk — the run must surface the error and
+    leave ``/dev/shm`` exactly as it found it.
+    """
+
+    def test_shared_memory_fanout_releases_segments_on_failure(self, fleet):
+        pipeline = FleetPipeline(
+            extractor=_ExplodingExtractor(), workers=2, chunk_size=2
+        )
+        with pytest.raises(RuntimeError, match="injected chunk failure"):
+            pipeline.run(fleet)
+        assert leaked_segments() == []
+
+    def test_pickling_fanout_surfaces_failure(self, fleet):
+        pipeline = FleetPipeline(
+            extractor=_ExplodingExtractor(),
+            workers=2,
+            chunk_size=2,
+            shared_memory=False,
+        )
+        with pytest.raises(RuntimeError, match="injected chunk failure"):
+            pipeline.run(fleet)
+        assert leaked_segments() == []
+
+    def test_in_process_failure_touches_no_segments(self, fleet):
+        pipeline = FleetPipeline(extractor=_ExplodingExtractor(), workers=1)
+        with pytest.raises(RuntimeError, match="injected chunk failure"):
+            pipeline.run(fleet)
+        assert leaked_segments() == []
 
 
 class TestTinyHorizons:

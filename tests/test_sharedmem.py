@@ -1,0 +1,162 @@
+"""SharedFleetBuffer lifecycle and the shared-memory worker fan-out.
+
+The scale-out contract (docs/ARCHITECTURE.md): exactly one owner per
+segment, attachers are read-only and never unlink, close/unlink are
+idempotent, and no ``/dev/shm`` segment survives a pipeline run — crash
+paths included.  The fan-out itself must stay bitwise identical to both
+the pickling fan-out and the sequential oracle.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.pipeline.fleet import (
+    FleetPipeline,
+    _pack_jobs,
+    results_identical,
+    run_sequential,
+)
+from repro.pipeline.sharedmem import (
+    SEGMENT_PREFIX,
+    SharedArraySpec,
+    SharedFleetBuffer,
+    leaked_segments,
+)
+from repro.timeseries.axis import ONE_MINUTE, TimeAxis, axis_for_days
+from repro.timeseries.series import TimeSeries
+from repro.workloads.scenarios import SCENARIO_START
+
+
+@pytest.fixture()
+def matrix() -> np.ndarray:
+    return np.arange(12.0).reshape(3, 4)
+
+
+class TestLifecycle:
+    def test_create_copies_and_round_trips_bitwise(self, matrix):
+        with SharedFleetBuffer.create(matrix) as buffer:
+            assert buffer.owner
+            assert buffer.spec.shape == (3, 4)
+            assert buffer.spec.name.startswith(SEGMENT_PREFIX)
+            np.testing.assert_array_equal(buffer.array, matrix)
+            # The segment holds a copy: mutating the source is invisible.
+            matrix[0, 0] = 99.0
+            assert buffer.array[0, 0] == 0.0
+
+    def test_attach_sees_owner_writes_and_is_read_only(self, matrix):
+        with SharedFleetBuffer.create(matrix) as owner:
+            attached = SharedFleetBuffer.attach(owner.spec)
+            try:
+                assert not attached.owner
+                np.testing.assert_array_equal(attached.array, owner.array)
+                owner.array[1, 1] = -5.0
+                assert attached.array[1, 1] == -5.0
+                with pytest.raises(ValueError, match="read-only"):
+                    attached.array[0, 0] = 1.0
+            finally:
+                attached.close()
+
+    def test_double_close_and_double_unlink_are_safe(self, matrix):
+        buffer = SharedFleetBuffer.create(matrix)
+        buffer.close()
+        buffer.close()
+        assert buffer.closed
+        buffer.unlink()
+        buffer.unlink()
+        assert leaked_segments() == []
+
+    def test_array_after_close_raises(self, matrix):
+        buffer = SharedFleetBuffer.create(matrix)
+        buffer.close()
+        with pytest.raises(ValidationError, match="is closed"):
+            buffer.array
+        buffer.unlink()
+
+    def test_attached_side_must_not_unlink(self, matrix):
+        with SharedFleetBuffer.create(matrix) as owner:
+            attached = SharedFleetBuffer.attach(owner.spec)
+            try:
+                with pytest.raises(ValidationError, match="only the owner"):
+                    attached.unlink()
+            finally:
+                attached.close()
+
+    def test_unlink_after_segment_vanished_externally(self, matrix):
+        # Crash-recovery sweeps may remove the file behind the owner's back
+        # (``rm /dev/shm/repro-fleet-*``); owner teardown must still succeed.
+        buffer = SharedFleetBuffer.create(matrix)
+        Path("/dev/shm", buffer.spec.name).unlink()
+        buffer.close()
+        buffer.unlink()
+        assert leaked_segments() == []
+
+    def test_context_exit_unlinks_segment(self, matrix):
+        with SharedFleetBuffer.create(matrix) as buffer:
+            spec = buffer.spec
+            assert spec.name in leaked_segments()
+        assert spec.name not in leaked_segments()
+        with pytest.raises(FileNotFoundError):
+            SharedFleetBuffer.attach(spec)
+
+    def test_attach_context_never_unlinks(self, matrix):
+        with SharedFleetBuffer.create(matrix) as owner:
+            with SharedFleetBuffer.attach(owner.spec) as attached:
+                assert attached.array.shape == (3, 4)
+            # The attacher closed; the segment must still be reachable.
+            with SharedFleetBuffer.attach(owner.spec) as again:
+                np.testing.assert_array_equal(again.array, owner.array)
+
+    def test_rejects_empty_arrays_and_foreign_names(self):
+        with pytest.raises(ValidationError, match="empty array"):
+            SharedFleetBuffer.create(np.empty((0, 4)))
+        with pytest.raises(ValidationError, match="must start with"):
+            SharedFleetBuffer.create(np.ones(3), name="unmarked-segment")
+
+    def test_attach_rejects_spec_larger_than_segment(self, matrix):
+        with SharedFleetBuffer.create(matrix) as owner:
+            lying = SharedArraySpec(
+                name=owner.spec.name, shape=(3000, 4000), dtype=owner.spec.dtype
+            )
+            with pytest.raises(ValidationError, match="spec describes"):
+                SharedFleetBuffer.attach(lying)
+
+    def test_spec_describes_payload(self, matrix):
+        with SharedFleetBuffer.create(matrix) as buffer:
+            assert buffer.spec.nbytes == matrix.nbytes
+            assert np.dtype(buffer.spec.dtype) == matrix.dtype
+
+
+class TestFanOutEquivalence:
+    def test_shared_memory_fanout_bitwise_identical(self, fleet):
+        sequential = run_sequential(fleet, seed=0)
+        shared = FleetPipeline(workers=2, chunk_size=2, seed=0).run(fleet)
+        pickled = FleetPipeline(
+            workers=2, chunk_size=2, seed=0, shared_memory=False
+        ).run(fleet)
+        assert results_identical(shared, sequential)
+        assert results_identical(pickled, sequential)
+        assert leaked_segments() == []
+
+    def test_pack_jobs_row_layout(self, fleet):
+        pipeline = FleetPipeline()
+        jobs = pipeline._prepare(list(fleet))
+        matrix, axis, rows = _pack_jobs(jobs)
+        assert matrix.shape == (len(jobs), axis.length)
+        for row, (index, household_id, series) in zip(rows, jobs):
+            assert row[0] == row[1] == index
+            assert row[2] == household_id
+            np.testing.assert_array_equal(matrix[row[0]], series.values)
+
+    def test_pack_jobs_mixed_axes_fall_back(self):
+        day = axis_for_days(SCENARIO_START, 1)
+        minute = TimeAxis(SCENARIO_START, ONE_MINUTE, 24 * 60)
+        jobs = [
+            (0, "hh-0000", TimeSeries.full(day, 0.2)),
+            (1, "hh-0001", TimeSeries.full(minute, 0.2)),
+        ]
+        assert _pack_jobs(jobs) is None
