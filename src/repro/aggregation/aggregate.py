@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import timedelta
+from functools import cached_property
 
 import numpy as np
 
@@ -38,6 +39,23 @@ class AggregatedFlexOffer:
     def size(self) -> int:
         """Number of member offers."""
         return len(self.members)
+
+    @cached_property
+    def profile_bounds_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The aggregate profile as ``(energy_min, energy_max, durations)``
+        vectors, cached per aggregate.
+
+        Batch consumers (market bid derivation, fleet matrices) touch each
+        aggregate's slices many times; the offer itself is frozen, so the
+        extracted arrays are a safe one-time snapshot.
+        """
+        slices = self.offer.slices
+        n = len(slices)
+        return (
+            np.fromiter((s.energy_min for s in slices), dtype=np.float64, count=n),
+            np.fromiter((s.energy_max for s in slices), dtype=np.float64, count=n),
+            np.fromiter((s.duration for s in slices), dtype=np.intp, count=n),
+        )
 
 
 def aggregate_group(group: list[FlexOffer]) -> AggregatedFlexOffer:

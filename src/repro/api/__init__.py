@@ -54,6 +54,7 @@ from repro.api.spec import (
     RUN_KINDS,
     SPEC_VERSION,
     ExtractorSpec,
+    MarketSpec,
     PipelineSpec,
     RunSpec,
     ScenarioSpec,
@@ -79,6 +80,7 @@ __all__ = [
     "RUN_KINDS",
     "SPEC_VERSION",
     "ExtractorSpec",
+    "MarketSpec",
     "PipelineSpec",
     "RunSpec",
     "ScenarioSpec",

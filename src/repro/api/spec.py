@@ -170,6 +170,83 @@ SCHEDULE_TARGETS: tuple[str, ...] = ("wind", "flat")
 SCHEDULE_ORDERS: tuple[str, ...] = ("least-flexible-first", "largest-first", "as-given")
 SCHEDULE_ENGINES: tuple[str, ...] = ("vectorized", "incremental", "reference", "auto")
 
+#: Market-clearing engines — mirror ``repro.market.model.MARKET_ENGINES``
+#: (kept in sync by a test; duplicated so the spec layer stays import-light).
+MARKET_ENGINES: tuple[str, ...] = ("reference", "vectorized")
+
+
+@dataclass(frozen=True, slots=True)
+class MarketSpec:
+    """The declarative merit-order clearing stage of a zoned schedule.
+
+    Mirrors :class:`repro.market.model.MarketConfig`: the target axis is
+    divided into ``slices`` uniform market periods (one uniform clearing
+    price each), ``coupling_kwh`` bounds the cross-zone spill pass (0
+    disables it) and ``engine`` picks the execution plan.  Requires zones
+    with real price bands (``price_floor < price_cap``) — the scheduler
+    rejects clearing on unpriced zones.
+    """
+
+    slices: int = 8
+    coupling_kwh: float = 0.0
+    engine: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        if self.slices < 1:
+            raise SpecError(
+                f"schedule.market.slices must be >= 1, got {self.slices}"
+            )
+        if self.coupling_kwh < 0:
+            raise SpecError(
+                f"schedule.market.coupling_kwh must be >= 0, "
+                f"got {self.coupling_kwh}"
+            )
+        if self.engine not in MARKET_ENGINES:
+            raise SpecError(
+                f"schedule.market.engine must be one of "
+                f"{', '.join(MARKET_ENGINES)}, got {self.engine!r}"
+            )
+
+    def config(self):
+        """The stage configuration as the market layer's own dataclass."""
+        from repro.market.model import MarketConfig
+
+        return MarketConfig(
+            slices=self.slices,
+            coupling_kwh=self.coupling_kwh,
+            engine=self.engine,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "slices": self.slices,
+            "coupling_kwh": self.coupling_kwh,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MarketSpec":
+        allowed = tuple(f.name for f in fields(cls))
+        _require_keys(data, allowed, "pipeline.schedule.market")
+        kwargs: dict[str, Any] = {}
+        if "slices" in data:
+            kwargs["slices"] = _require_type(
+                data["slices"], (int,), "pipeline.schedule.market.slices"
+            )
+        if "coupling_kwh" in data:
+            kwargs["coupling_kwh"] = float(
+                _require_type(
+                    data["coupling_kwh"],
+                    (int, float),
+                    "pipeline.schedule.market.coupling_kwh",
+                )
+            )
+        if "engine" in data:
+            kwargs["engine"] = _require_type(
+                data["engine"], (str,), "pipeline.schedule.market.engine"
+            )
+        return cls(**kwargs)
+
 
 @dataclass(frozen=True, slots=True)
 class ZoneSpec:
@@ -179,7 +256,9 @@ class ZoneSpec:
     :class:`ScheduleSpec`'s ``target`` kind and this zone's own
     ``target_seed``; ``target_kwh`` (when given) rescales the zone's total
     energy.  ``price_floor``/``price_cap`` bound the zone's clearing price
-    (EUR/kWh, reporting only).  ``households`` lists the consumer ids
+    (EUR/kWh): with a :class:`MarketSpec` they define the zone's supply
+    ramp and bid band, otherwise they are reporting metadata.
+    ``households`` lists the consumer ids
     routed to this zone by the explicit assignment policy; households not
     listed under any zone fall back to the deterministic hash shard (see
     :func:`repro.scheduling.zones.assign_zone`).
@@ -271,7 +350,9 @@ class ScheduleSpec:
     (one synthesised target per :class:`ZoneSpec`; ``target_seed`` and
     ``target_kwh`` then apply per zone and the top-level ones are unused);
     the wire format omits the key when absent, so pre-zone spec files and
-    goldens keep loading unchanged.  The remaining fields mirror
+    goldens keep loading unchanged.  A non-null ``market`` additionally
+    runs merit-order clearing before placement (zoned runs only; the key
+    is likewise omitted when absent).  The remaining fields mirror
     :class:`repro.scheduling.greedy.ScheduleConfig`.
     """
 
@@ -283,6 +364,7 @@ class ScheduleSpec:
     improve_iterations: int = 0
     improve_seed: int = 0
     zones: tuple[ZoneSpec, ...] = ()
+    market: MarketSpec | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.zones, tuple):
@@ -318,6 +400,11 @@ class ScheduleSpec:
             raise SpecError("schedule.target_kwh must be > 0 (or null)")
         if self.improve_iterations < 0:
             raise SpecError("schedule.improve_iterations must be >= 0")
+        if self.market is not None and not self.zones:
+            raise SpecError(
+                "schedule.market requires schedule.zones: merit-order "
+                "clearing runs on zoned targets only"
+            )
 
     def config(self):
         """The stage configuration as the scheduling layer's own dataclass."""
@@ -328,6 +415,7 @@ class ScheduleSpec:
             engine=self.engine,
             improve_iterations=self.improve_iterations,
             improve_seed=self.improve_seed,
+            market=None if self.market is None else self.market.config(),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -342,6 +430,8 @@ class ScheduleSpec:
         }
         if self.zones:
             encoded["zones"] = [zone.to_dict() for zone in self.zones]
+        if self.market is not None:
+            encoded["market"] = self.market.to_dict()
         return encoded
 
     @classmethod
@@ -370,6 +460,11 @@ class ScheduleSpec:
                 data["zones"], (list, tuple), "pipeline.schedule.zones"
             )
             kwargs["zones"] = tuple(ZoneSpec.from_dict(z) for z in raw)
+        if "market" in data and data["market"] is not None:
+            market = _require_type(
+                data["market"], (Mapping,), "pipeline.schedule.market"
+            )
+            kwargs["market"] = MarketSpec.from_dict(market)
         return cls(**kwargs)
 
 

@@ -58,6 +58,8 @@ BENCH_SUITES: dict[str, str] = {
     "offers (BENCH_schedule.json)",
     "zones": "zone-sharded multi-market scheduling, incremental-gain vs "
     "reference engine (BENCH_zones.json)",
+    "market": "merit-order market clearing on the priced 220-aggregate "
+    "suite, batched vs reference bid derivation (BENCH_market.json)",
     "scale": "million-household scale-out: streaming throughput ladder, "
     "shared-memory fan-out vs pickling, O(chunk) memory proof and the "
     "engine-crossover sweep (BENCH_scale.json)",
@@ -177,11 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fleet size (fleet suite)")
     bench.add_argument("--days", type=int, default=None,
                        help="target axis length; defaults to the suite's "
-                       "canonical baseline (fleet/schedule/zones: 7, "
+                       "canonical baseline (fleet/schedule/zones/market: 7, "
                        "scale: 30)")
     bench.add_argument("--seed", type=int, default=None,
                        help="workload seed; defaults to the suite's canonical "
-                       "baseline seed (fleet: 13, schedule/zones: 17, "
+                       "baseline seed (fleet: 13, schedule/zones/market: 17, "
                        "scale: 23), so `--out BENCH_*.json` refreshes the "
                        "committed baseline on the same workload the pytest "
                        "gate measures")
@@ -190,9 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--chunk-size", type=int, default=8,
                        help="households per batch (fleet suite)")
     bench.add_argument("--aggregates", type=int, default=220,
-                       help="aggregated offers to place (schedule/zones suites)")
+                       help="aggregated offers to place "
+                       "(schedule/zones/market suites)")
     bench.add_argument("--zones", type=int, default=4,
-                       help="market zones to shard into (zones suite)")
+                       help="market zones to shard into (zones/market suites)")
     bench.add_argument("--sizes", type=_parse_sizes, default=None,
                        metavar="N,N,...",
                        help="comma-separated household ladder for the scale "
@@ -285,6 +288,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if isinstance(result.schedule, ZonedScheduleResult):
             print(f"\n{result.extractor} — zone schedule:")
             print(format_table(result.schedule.zone_rows()))
+            if result.schedule.clearing is not None:
+                print(f"\n{result.extractor} — market clearing:")
+                print(format_table(result.schedule.clearing.table_rows()))
     if args.out is not None:
         report.save(args.out)
         print(f"wrote {args.out}")
@@ -322,6 +328,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_schedule(args)
     if args.suite == "zones":
         return _cmd_bench_zones(args)
+    if args.suite == "market":
+        return _cmd_bench_market(args)
     if args.suite == "scale":
         return _cmd_bench_scale(args)
     from repro.pipeline import run_fleet_benchmark
@@ -418,6 +426,39 @@ def _cmd_bench_zones(args: argparse.Namespace) -> int:
         f"identical to vectorized: "
         f"{equivalence['incremental_identical_to_vectorized']}; "
         f"workers fan-out identical: {equivalence['workers_match_sequential']}"
+    )
+    if args.out is not None:
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_bench_market(args: argparse.Namespace) -> int:
+    from repro.market import market_table_rows, run_market_benchmark
+
+    if args.seed is None:
+        args.seed = 17  # the committed BENCH_market.json workload
+    if args.days is None:
+        args.days = 7
+    print(
+        f"Market benchmark: {args.aggregates} priced aggregates cleared over "
+        f"{args.zones} zone markets x {args.days} day targets (seed {args.seed}) ..."
+    )
+    report, _ = run_market_benchmark(
+        n_aggregates=args.aggregates,
+        days=args.days,
+        seed=args.seed,
+        zones=args.zones,
+        out_path=args.out,
+    )
+    print(format_table(market_table_rows(report)))
+    clearing = report["clearing"]
+    equivalence = report["equivalence"]
+    print(
+        f"\nclearing speedup: {clearing['speedup']}x over the reference "
+        f"scalar loops; acceptance sets identical: "
+        f"{equivalence['acceptance_identical']}; prices bitwise: "
+        f"{equivalence['prices_identical']}; welfare within "
+        f"{equivalence['fidelity_rtol']:g}: {equivalence['welfare_match']}"
     )
     if args.out is not None:
         print(f"wrote {args.out}")

@@ -32,8 +32,19 @@ guarantees added by the pipeline and API layers):
 ``zone-partition``
     Zoned cells only: every aggregate is scheduled in exactly one zone,
     in the zone the assignment policy (explicit household mapping,
-    hash-shard fallback) routes it to, and each zone's demand plan
+    hash-shard fallback) routes it to — or, on market-cleared cells, the
+    zone its clearing outcome placed it in — and each zone's demand plan
     conserves its placements' energy.
+``market-clearing``
+    Market-cleared cells only: the auction settles every cleared bid at
+    its slice's uniform price (budget balance), never charges a bid more
+    than it bid (individual rationality), and never rejects a bid as
+    priced-out while accepting a cheaper one in the same zone and slice
+    (merit-order consistency).
+``grouping-monotonicity``
+    Coarsening the grouping grid is monotone: doubling the (start,
+    flexibility) tolerances — 1x, 2x, 4x — never increases the number of
+    groups the cell's offers aggregate into.
 ``report-roundtrip``
     The cell's output survives the RunSpec→RunReport JSON wire format
     losslessly and deterministically.
@@ -453,7 +464,10 @@ def check_zone_partition(run: CellRun) -> InvariantResult:
       exactly the fleet's aggregates, with no offer in two zones;
     * **policy** — each aggregate sits in the zone the assignment policy
       (explicit household mapping, hash-shard fallback) of the cell's own
-      zoned target routes it to;
+      zoned target routes it to; on market-cleared cells the clearing
+      outcome is the routing authority instead (spilled bids legitimately
+      land in an adjacent zone, rejected bids stay home as unplaced), but
+      every bid's *home* zone must still match the assignment policy;
     * **per-zone energy conservation** — each zone's demand plan carries
       exactly the energy of the placements it claims (≤ 1e-6 kWh off).
     """
@@ -489,12 +503,28 @@ def check_zone_partition(run: CellRun) -> InvariantResult:
         )
     zoned = run.target
     routed = schedule.assignment()
+    outcomes = schedule.clearing.by_offer() if schedule.clearing is not None else None
     for aggregate in run.result.aggregates:
-        expected = assign_zone(aggregate, zoned)
-        actual = routed.get(aggregate.offer.offer_id)
+        offer_id = aggregate.offer.offer_id
+        policy_zone = assign_zone(aggregate, zoned)
+        expected = policy_zone
+        if outcomes is not None:
+            outcome = outcomes.get(offer_id)
+            if outcome is None:
+                violations.append(f"{offer_id}: missing from the clearing result")
+                continue
+            if outcome.home_zone != policy_zone:
+                violations.append(
+                    f"{offer_id}: clearing home zone {outcome.home_zone!r}, "
+                    f"policy routes it to {policy_zone!r}"
+                )
+            # Cleared bids are scheduled where they cleared (possibly an
+            # adjacent zone via spill); rejected bids stay home, unplaced.
+            expected = outcome.zone if outcome.cleared else outcome.home_zone
+        actual = routed.get(offer_id)
         if actual != expected:
             violations.append(
-                f"{aggregate.offer.offer_id}: scheduled in zone {actual!r}, "
+                f"{offer_id}: scheduled in zone {actual!r}, "
                 f"policy routes it to {expected!r}"
             )
     for zone, result in zip(schedule.zones, schedule.results):
@@ -512,6 +542,128 @@ def check_zone_partition(run: CellRun) -> InvariantResult:
             f"{len(schedule.zones)} zones, "
             f"{len(schedule.schedules)} placed offers"
         ),
+    )
+
+
+def check_market_clearing(run: CellRun) -> InvariantResult:
+    """Market-cleared cells: the auction is a well-formed uniform-price one.
+
+    Three economic facets of the clearing result:
+
+    * **budget balance** — in every (zone, market slice), the payments of
+      the cleared bids equal the slice's uniform price times its cleared
+      quantity, so consumer payments and producer revenue are the same
+      money;
+    * **individual rationality** — no cleared bid pays more per kWh than
+      its bid price (the uniform price sits at or below every accepted
+      bid, first pass and spill pass alike);
+    * **merit-order consistency** — within one (zone, slice), a bid the
+      auction rejected as ``"priced-out"`` never bids strictly more than
+      a locally accepted bid (migrated arrivals are excluded: the spill
+      pass runs after, and under, the local merit order).
+    """
+    from repro.scheduling.zones import ZonedScheduleResult
+
+    schedule = run.result.schedule
+    if (
+        not isinstance(schedule, ZonedScheduleResult)
+        or schedule.clearing is None
+    ):
+        return _skipped("market-clearing", "cell ran without market clearing")
+    clearing = schedule.clearing
+    violations: list[str] = []
+    rtol = 1e-9
+    for zone in clearing.zones:
+        slice_payments: dict[int, float] = {}
+        local_accept_min: dict[int, float] = {}
+        priced_out_max: dict[int, float] = {}
+        for outcome in zone.outcomes:
+            if outcome.cleared and outcome.quantity_kwh > 0.0:
+                slice_payments[outcome.slice_index] = (
+                    slice_payments.get(outcome.slice_index, 0.0)
+                    + outcome.payment_eur
+                )
+                bid_value = outcome.price * outcome.quantity_kwh
+                if outcome.payment_eur > bid_value * (1.0 + rtol) + 1e-12:
+                    violations.append(
+                        f"{outcome.offer_id}: pays {outcome.payment_eur:.9f} EUR "
+                        f"for a bid worth {bid_value:.9f} EUR "
+                        f"(individual rationality broken)"
+                    )
+                if not outcome.migrated:
+                    current = local_accept_min.get(outcome.slice_index)
+                    if current is None or outcome.price < current:
+                        local_accept_min[outcome.slice_index] = outcome.price
+            elif outcome.status == "rejected" and outcome.reason == "priced-out":
+                current = priced_out_max.get(outcome.slice_index)
+                if current is None or outcome.price > current:
+                    priced_out_max[outcome.slice_index] = outcome.price
+        for index, price in enumerate(zone.slice_prices):
+            paid = slice_payments.get(index, 0.0)
+            expected = price * zone.cleared_kwh[index]
+            if abs(paid - expected) > rtol * max(1.0, abs(expected)):
+                violations.append(
+                    f"zone {zone.zone} slice {index}: {paid:.9f} EUR paid for "
+                    f"{expected:.9f} EUR of cleared energy (budget broken)"
+                )
+        for index, rejected_price in priced_out_max.items():
+            accepted_price = local_accept_min.get(index)
+            if accepted_price is not None and rejected_price > accepted_price:
+                violations.append(
+                    f"zone {zone.zone} slice {index}: priced-out bid at "
+                    f"{rejected_price:.9f} EUR/kWh outbids an accepted one at "
+                    f"{accepted_price:.9f} (merit order broken)"
+                )
+    return _outcome(
+        "market-clearing",
+        violations,
+        detail=(
+            f"{len(clearing.outcomes)} bids, "
+            f"{len(clearing.accepted) + len(clearing.partial)} cleared, "
+            f"welfare {clearing.welfare_eur:.4f} EUR"
+        ),
+    )
+
+
+def check_grouping_monotonicity(run: CellRun) -> InvariantResult:
+    """Coarsening the grouping grid never increases the group count.
+
+    The grid partitions offers by ``floor(delta / tolerance)`` buckets on
+    (earliest start, time flexibility), so doubling both tolerances can
+    only merge cells, and the ``max_group_size`` splitter obeys
+    ``ceil((a+b)/M) <= ceil(a/M) + ceil(b/M)`` — the number of groups must
+    therefore be non-increasing along a 1x → 2x → 4x tolerance ladder.
+    This is the contract that makes the grouping grid a *compression knob*:
+    turning it coarser trades flexibility for fewer aggregates, never both
+    ways at once.
+    """
+    from repro.aggregation.grouping import GroupingParams, group_offers
+
+    offers = list(run.result.offers)
+    if not offers:
+        return _skipped("grouping-monotonicity", "cell produced no offers")
+    base = GroupingParams()
+    counts: list[int] = []
+    for scale in (1, 2, 4):
+        params = GroupingParams(
+            start_tolerance=base.start_tolerance * scale,
+            flexibility_tolerance=base.flexibility_tolerance * scale,
+            max_group_size=base.max_group_size,
+        )
+        counts.append(len(group_offers(offers, params)))
+    violations: list[str] = []
+    for (scale_a, count_a), (scale_b, count_b) in zip(
+        zip((1, 2), counts), zip((2, 4), counts[1:])
+    ):
+        if count_b > count_a:
+            violations.append(
+                f"{scale_b}x tolerances produce {count_b} groups, more than "
+                f"the {count_a} at {scale_a}x (coarsening must not split)"
+            )
+    return _outcome(
+        "grouping-monotonicity",
+        violations,
+        detail=f"1x/2x/4x grid -> {counts[0]}/{counts[1]}/{counts[2]} groups",
     )
 
 
@@ -574,6 +726,8 @@ INVARIANTS: dict[str, Callable[[CellRun], InvariantResult]] = {
     "engine-fidelity": check_engine_fidelity,
     "scheduling-feasibility": check_scheduling_feasibility,
     "zone-partition": check_zone_partition,
+    "market-clearing": check_market_clearing,
+    "grouping-monotonicity": check_grouping_monotonicity,
     "report-roundtrip": check_report_roundtrip,
 }
 

@@ -183,6 +183,13 @@ def scenario_matrix() -> tuple[ConformanceScenario, ...]:
             tags=frozenset({"appliance", "zoned", "market"}),
         ),
         ConformanceScenario(
+            name="priced-market",
+            description="Three-zone priced market: merit-order clearing "
+            "before placement, spill couplings between adjacent zones",
+            build=w.zoned_market_fleet,
+            tags=frozenset({"appliance", "zoned", "market", "priced"}),
+        ),
+        ConformanceScenario(
             name="tariff-switch",
             description="Night-tariff households with per-consumer one-tariff references",
             build=lambda: w.tariff_switch_fleet().dataset,

@@ -44,6 +44,7 @@ from repro.pipeline.fleet import (
     schedule_aggregates,
     stamp_household,
 )
+from repro.market.model import MarketConfig
 from repro.scheduling.greedy import ScheduleConfig
 
 #: Wire-format version of conformance reports; bump on incompatible change.
@@ -57,6 +58,11 @@ CONFORMANCE_VERSION = 1
 #: proven on every extractor's real fleet aggregates, not just benchmarks.
 CELL_SCHEDULE_CONFIG = ScheduleConfig()
 CELL_ZONED_SCHEDULE_CONFIG = ScheduleConfig(engine="incremental")
+#: ``priced``-tagged scenarios additionally clear a merit-order market
+#: before placement (small coupling so the spill pass is a live code path).
+CELL_PRICED_SCHEDULE_CONFIG = ScheduleConfig(
+    engine="incremental", market=MarketConfig(slices=6, coupling_kwh=2.0)
+)
 
 
 @dataclass(frozen=True)
@@ -274,6 +280,8 @@ def cell_schedule_target(scenario: ConformanceScenario, fleet):
 
 def cell_schedule_config(scenario: ConformanceScenario) -> ScheduleConfig:
     """The schedule-stage configuration of a scenario's cells."""
+    if "priced" in scenario.tags:
+        return CELL_PRICED_SCHEDULE_CONFIG
     if "zoned" in scenario.tags:
         return CELL_ZONED_SCHEDULE_CONFIG
     return CELL_SCHEDULE_CONFIG

@@ -36,6 +36,11 @@ class AggregationError(ReproError):
     """Flex-offer aggregation or disaggregation failed."""
 
 
+class MarketError(ReproError):
+    """Merit-order market clearing was misconfigured or failed
+    (see :mod:`repro.market`)."""
+
+
 class DataError(ReproError):
     """Input data is malformed (wrong shape, NaNs, negative energy, ...)."""
 

@@ -193,8 +193,12 @@ def zoned_result_to_dict(result: "ZonedScheduleResult") -> dict[str, Any]:
     carries its price band and its full schedule result (the zone's target
     series doubles as the zone's demand profile, so nothing else is
     needed to rebuild the :class:`~repro.scheduling.zones.MarketZone`).
+    Market-cleared runs add a ``"clearing"`` section
+    (:meth:`~repro.market.clearing.ClearingResult.to_dict`); the key is
+    omitted when the run never cleared, so pre-market goldens and readers
+    are untouched.
     """
-    return {
+    encoded: dict[str, Any] = {
         "zones": [
             {
                 "name": zone.name,
@@ -205,6 +209,9 @@ def zoned_result_to_dict(result: "ZonedScheduleResult") -> dict[str, Any]:
             for zone, zone_result in zip(result.zones, result.results)
         ]
     }
+    if result.clearing is not None:
+        encoded["clearing"] = result.clearing.to_dict()
+    return encoded
 
 
 def zoned_result_from_dict(data: dict[str, Any]) -> "ZonedScheduleResult":
@@ -227,7 +234,14 @@ def zoned_result_from_dict(data: dict[str, Any]) -> "ZonedScheduleResult":
             results.append(zone_result)
     except KeyError as exc:
         raise DataError(f"zoned schedule dict missing field: {exc}") from exc
-    return ZonedScheduleResult(zones=tuple(zones), results=tuple(results))
+    clearing = None
+    if data.get("clearing") is not None:
+        from repro.market.clearing import ClearingResult
+
+        clearing = ClearingResult.from_dict(data["clearing"])
+    return ZonedScheduleResult(
+        zones=tuple(zones), results=tuple(results), clearing=clearing
+    )
 
 
 def any_schedule_to_dict(

@@ -1,0 +1,289 @@
+"""The market-clearing benchmark: vectorized vs reference engine.
+
+The 220-aggregate suite again — but priced.  Where the scheduling
+benchmarks draw household-scale offers, this workload draws EV-fleet and
+heat-pump-scale ones (8–192 profile slices, 4–50 kWh totals, 6–36 h of
+start flexibility): bid derivation and bid-curve valuation scale with
+profile length, so richer profiles are exactly where the batched engine
+earns its keep.  Four price-banded zones, half the aggregates explicitly
+routed and half hash-sharded, with a 25 kWh inter-zone coupling so the
+spill pass runs too.
+
+The equivalence section is the subsystem's engine contract, enforced:
+acceptance sets (status/reason/zone/slice) must be *identical*, clearing
+prices and cleared quantities *bitwise* equal, and welfare — the only
+engine-specific arithmetic — reconciled at ``rtol=1e-9``.  The report is
+written to ``BENCH_market.json``; re-run via ``repro bench --suite
+market`` or ``pytest benchmarks/bench_market.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from datetime import datetime, timedelta
+from pathlib import Path
+
+import numpy as np
+
+from repro.aggregation.aggregate import AggregatedFlexOffer, aggregate_group
+from repro.flexoffer.generators import RandomGeneratorConfig, random_flexoffer
+from repro.flexoffer.model import offer_id_scope
+from repro.market.clearing import ClearingResult, clear_zones
+from repro.market.model import MarketConfig
+from repro.scheduling.zones import ZonedTarget, make_market_zones, routing_key
+from repro.timeseries.axis import axis_for_days
+from repro.workloads.scenarios import SCENARIO_START
+
+#: Relative tolerance for reference-vs-vectorized welfare metrics.  The
+#: engines value bid curves differently (per-interval scalar integration
+#: vs the closed-form curve integral); everything decision-bearing is
+#: bitwise identical and checked as such.
+MARKET_FIDELITY_RTOL = 1e-9
+
+#: Timing repetitions per engine; the minimum is reported.
+_TIMING_REPEATS = 3
+
+
+def build_market_workload(
+    n_aggregates: int = 220,
+    members_per_aggregate: int = 3,
+    days: int = 7,
+    seed: int = 17,
+    zones: int = 4,
+) -> tuple[list[AggregatedFlexOffer], ZonedTarget]:
+    """A deterministic priced workload: fleet-scale aggregates + zones.
+
+    Offers are EV-fleet/heat-pump shaped — long profiles (8–192 slices),
+    4–50 kWh of total energy, 6–36 h of start flexibility — aggregated in
+    groups of ``members_per_aggregate`` shifted/scaled copies (the shape
+    the grouping grid produces on real fleets).  The market is ``zones``
+    price-banded zones from :func:`make_market_zones`; half the
+    aggregates are routed through the explicit assignment mapping, the
+    rest through the hash-shard fallback.
+    """
+    from dataclasses import replace
+
+    from repro.flexoffer.model import next_offer_id
+
+    axis = axis_for_days(SCENARIO_START, days)
+    rng = np.random.default_rng(seed)
+    config = RandomGeneratorConfig(
+        slices_min=8,
+        slices_max=192,
+        total_energy_min=4.0,
+        total_energy_max=50.0,
+        time_flexibility_min=timedelta(hours=6),
+        time_flexibility_max=timedelta(hours=36),
+    )
+    aggregates: list[AggregatedFlexOffer] = []
+    with offer_id_scope("market-bench"):
+        for _ in range(n_aggregates):
+            base = random_flexoffer(axis, rng, config)
+            members = [base]
+            for _ in range(members_per_aggregate - 1):
+                offset = int(rng.integers(0, 9))  # within the 2 h grouping grid
+                shifted = base.shifted(axis.resolution * offset)
+                if shifted.latest_start + shifted.duration > axis.end:
+                    shifted = base
+                member = replace(
+                    shifted.scaled(float(rng.uniform(0.6, 1.4))),
+                    offer_id=next_offer_id("rand"),
+                )
+                members.append(member)
+            aggregates.append(aggregate_group(members))
+    flexible = sum(a.offer.profile_energy_max for a in aggregates)
+    market_zones = make_market_zones(
+        axis, zones, seed + 100, flexible / max(zones, 1)
+    )
+    assignment = {
+        routing_key(aggregate): market_zones[index % zones].name
+        for index, aggregate in enumerate(aggregates[: n_aggregates // 2])
+    }
+    return aggregates, ZonedTarget(zones=market_zones, assignment=assignment)
+
+
+def _timed(fn, repeats: int = _TIMING_REPEATS):
+    """Run ``fn`` ``repeats`` times; return (min seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _decisions(result: ClearingResult) -> list[tuple]:
+    """Everything decision-bearing about every bid, in a canonical order."""
+    return sorted(
+        (o.offer_id, o.home_zone, o.zone, o.slice_index, o.status, o.reason)
+        for o in result.outcomes
+    )
+
+
+def _settlements(result: ClearingResult) -> list[tuple]:
+    """Per-bid cleared quantity and payment (must be bitwise equal)."""
+    return sorted(
+        (o.offer_id, o.quantity_kwh, o.payment_eur) for o in result.outcomes
+    )
+
+
+def run_market_benchmark(
+    n_aggregates: int = 220,
+    members_per_aggregate: int = 3,
+    days: int = 7,
+    seed: int = 17,
+    zones: int = 4,
+    slices: int = 8,
+    coupling_kwh: float = 25.0,
+    out_path: Path | str | None = None,
+) -> tuple[dict, ClearingResult]:
+    """Benchmark merit-order clearing under both engines.
+
+    Times :func:`~repro.market.clearing.clear_zones` on the priced
+    220-aggregate suite, reconciles the engines (identical acceptance
+    sets, bitwise prices/quantities, welfare at ``rtol=1e-9``) and gates
+    the vectorized engine ≥3× over the reference scalar loops.  Returns
+    ``(report_dict, vectorized_result)``; ``out_path`` writes the
+    repository's ``BENCH_market.json`` baseline.
+    """
+    aggregates, zoned = build_market_workload(
+        n_aggregates, members_per_aggregate, days, seed, zones
+    )
+    reference_config = MarketConfig(
+        slices=slices, coupling_kwh=coupling_kwh, engine="reference"
+    )
+    vectorized_config = MarketConfig(
+        slices=slices, coupling_kwh=coupling_kwh, engine="vectorized"
+    )
+
+    # Warm-up (numpy dispatch, axis caches, per-aggregate profile-array
+    # caches) before any timed pass.
+    clear_zones(aggregates, zoned, reference_config)
+    clear_zones(aggregates, zoned, vectorized_config)
+
+    reference_seconds, reference_result = _timed(
+        lambda: clear_zones(aggregates, zoned, reference_config)
+    )
+    vectorized_seconds, vectorized_result = _timed(
+        lambda: clear_zones(aggregates, zoned, vectorized_config)
+    )
+    speedup = (
+        reference_seconds / vectorized_seconds
+        if vectorized_seconds > 0
+        else float("inf")
+    )
+
+    acceptance_identical = _decisions(reference_result) == _decisions(
+        vectorized_result
+    )
+    settlements_identical = _settlements(reference_result) == _settlements(
+        vectorized_result
+    )
+    prices_identical = all(
+        ref_zone.slice_prices == vec_zone.slice_prices
+        and ref_zone.cleared_kwh == vec_zone.cleared_kwh
+        for ref_zone, vec_zone in zip(reference_result.zones, vectorized_result.zones)
+    )
+    welfare_match = bool(
+        np.isclose(
+            reference_result.welfare_eur,
+            vectorized_result.welfare_eur,
+            rtol=MARKET_FIDELITY_RTOL,
+        )
+    ) and bool(
+        np.isclose(
+            reference_result.consumer_surplus_eur,
+            vectorized_result.consumer_surplus_eur,
+            rtol=MARKET_FIDELITY_RTOL,
+        )
+    )
+    budget_balanced = bool(
+        np.isclose(
+            vectorized_result.payments_eur,
+            vectorized_result.revenue_eur,
+            rtol=MARKET_FIDELITY_RTOL,
+        )
+    )
+
+    result = vectorized_result
+    report = {
+        "workload": {
+            "aggregates": len(aggregates),
+            "member_offers": sum(a.size for a in aggregates),
+            "avg_profile_slices": round(
+                sum(len(a.offer.slices) for a in aggregates) / len(aggregates), 2
+            ),
+            "days": days,
+            "seed": seed,
+            "zones": len(zoned.zones),
+            "mapped_keys": len(zoned.assignment),
+        },
+        "clearing": {
+            "reference_seconds": round(reference_seconds, 4),
+            "vectorized_seconds": round(vectorized_seconds, 4),
+            "speedup": round(speedup, 2),
+            "market_slices": slices,
+            "coupling_kwh": coupling_kwh,
+            "accepted": len(result.accepted),
+            "partial": len(result.partial),
+            "rejected": len(result.rejected),
+            "migrated": len(result.migrated),
+            "cleared_kwh": round(result.cleared_kwh, 6),
+            "revenue_eur": round(result.revenue_eur, 6),
+            "consumer_surplus_eur": round(result.consumer_surplus_eur, 6),
+            "producer_surplus_eur": round(result.producer_surplus_eur, 6),
+            "welfare_eur": round(result.welfare_eur, 6),
+        },
+        "zones": result.table_rows(),
+        "equivalence": {
+            "acceptance_identical": acceptance_identical,
+            "settlements_identical": settlements_identical,
+            "prices_identical": prices_identical,
+            "welfare_match": welfare_match,
+            "budget_balanced": budget_balanced,
+            "fidelity_rtol": MARKET_FIDELITY_RTOL,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "generated": datetime.now().isoformat(timespec="seconds"),
+        },
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report, vectorized_result
+
+
+def market_table_rows(report: dict) -> list[dict]:
+    """Human-readable rows for the market CLI/bench table."""
+    clearing = report["clearing"]
+    rows = [
+        {
+            "zone": zone["zone"],
+            "bids": zone["bids"],
+            "cleared": zone["accepted"] + zone["partial"],
+            "migrated_in": zone["migrated_in"],
+            "price_eur": zone["price_eur"],
+            "cleared_kwh": zone["cleared_kwh"],
+            "welfare_eur": zone["welfare_eur"],
+        }
+        for zone in report["zones"]
+    ]
+    rows.append(
+        {
+            "zone": "TOTAL",
+            "bids": clearing["accepted"]
+            + clearing["partial"]
+            + clearing["rejected"],
+            "cleared": clearing["accepted"] + clearing["partial"],
+            "migrated_in": clearing["migrated"],
+            "price_eur": "—",
+            "cleared_kwh": round(clearing["cleared_kwh"], 4),
+            "welfare_eur": round(clearing["welfare_eur"], 4),
+        }
+    )
+    return rows

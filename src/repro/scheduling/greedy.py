@@ -74,13 +74,17 @@ class ScheduleConfig:
     implementation: the vectorized market-scale engine or the original
     per-start reference.  ``improve_iterations``/``improve_seed`` configure
     the optional stochastic hill-climbing pass the fleet pipeline runs
-    after the greedy placement (0 disables it).
+    after the greedy placement (0 disables it).  ``market`` (a
+    :class:`repro.market.model.MarketConfig`) enables merit-order clearing
+    before placement on zoned targets; it is ignored by the single-market
+    greedy path.
     """
 
     order: str = "least-flexible-first"
     engine: str = "vectorized"  # "vectorized" | "incremental" | "reference" | "auto"
     improve_iterations: int = 0
     improve_seed: int = 0
+    market: object | None = None
 
     def __post_init__(self) -> None:
         if self.order not in _ORDERS:
@@ -91,6 +95,14 @@ class ScheduleConfig:
             )
         if self.improve_iterations < 0:
             raise SchedulingError("improve_iterations must be >= 0")
+        if self.market is not None:
+            # Imported lazily: repro.market sits above the scheduling layer.
+            from repro.market.model import MarketConfig
+
+            if not isinstance(self.market, MarketConfig):
+                raise SchedulingError(
+                    f"market must be a MarketConfig or None, got {self.market!r}"
+                )
 
 
 @dataclass(frozen=True)

@@ -37,8 +37,9 @@ from __future__ import annotations
 
 import zlib
 from collections.abc import Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from types import MappingProxyType
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -46,6 +47,9 @@ from repro.aggregation.aggregate import AggregatedFlexOffer
 from repro.errors import SchedulingError
 from repro.scheduling.greedy import ScheduleConfig, ScheduleResult
 from repro.timeseries.series import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.market.clearing import ClearingResult
 
 #: Engine the zone-sharded scheduler uses unless the caller says otherwise.
 #: ``"auto"`` resolves per zone from that zone's own workload shape (see
@@ -61,10 +65,12 @@ class MarketZone:
 
     ``target`` is the zone's own demand profile — the series its offers
     are scheduled against (e.g. the zone's RES surplus).  ``price_floor``
-    and ``price_cap`` bound the zone's clearing price (EUR/kWh); they do
-    not influence placement (the greedy objective tracks imbalance), but
-    they ride through the wire format and value the zone's scheduled
-    energy in reports at the band midpoint.
+    and ``price_cap`` bound the zone's clearing price (EUR/kWh): when a
+    :class:`~repro.market.model.MarketConfig` is set they parameterise the
+    zone's supply ramp in merit-order clearing (:mod:`repro.market`);
+    without one they only value the zone's scheduled energy in reports at
+    the band midpoint.  ``price_floor == price_cap == 0.0`` means "no
+    market" (see :attr:`priced`); clearing refuses such zones loudly.
     """
 
     name: str
@@ -87,6 +93,16 @@ class MarketZone:
     def price_mid(self) -> float:
         """Midpoint of the price band (the report's valuation price)."""
         return 0.5 * (self.price_floor + self.price_cap)
+
+    @property
+    def priced(self) -> bool:
+        """True when the zone has a real price band a market can clear on.
+
+        The all-zero default band is the explicit "no market" state: it is
+        valid for plain zoned placement but rejected by merit-order
+        clearing (a zero-width zero ramp would clear everything for free).
+        """
+        return self.price_floor > 0.0 or self.price_cap > 0.0
 
 
 @dataclass(frozen=True)
@@ -251,11 +267,14 @@ class ZonedScheduleResult:
     ``zones[i]``'s :class:`~repro.scheduling.greedy.ScheduleResult` over
     exactly the aggregates routed to it.  Scalar properties sum over
     zones, so a zoned result drops into the same report slots a
-    single-market result occupies.
+    single-market result occupies.  When the run cleared a market first,
+    ``clearing`` holds the :class:`~repro.market.clearing.ClearingResult`
+    (``None`` for plain zoned placement — old results are unchanged).
     """
 
     zones: tuple[MarketZone, ...]
     results: tuple[ScheduleResult, ...]
+    clearing: "ClearingResult | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "zones", tuple(self.zones))
@@ -330,8 +349,12 @@ class ZonedScheduleResult:
         )
 
     def summary(self) -> dict[str, float]:
-        """Scalar overview matching :meth:`ScheduleResult.summary`'s keys."""
-        return {
+        """Scalar overview matching :meth:`ScheduleResult.summary`'s keys.
+
+        Market-cleared runs append the clearing's welfare metrics
+        (``market_*`` keys); plain zoned runs keep the historical shape.
+        """
+        summary: dict[str, float] = {
             "schedule_placed": float(len(self.schedules)),
             "schedule_unplaced": float(len(self.unplaced)),
             "schedule_cost": self.cost,
@@ -340,6 +363,12 @@ class ZonedScheduleResult:
             "schedule_zones": float(len(self.zones)),
             "schedule_value_eur": self.market_value,
         }
+        if self.clearing is not None:
+            summary.update(
+                (key, float(value))
+                for key, value in self.clearing.summary().items()
+            )
+        return summary
 
     def zone_rows(self) -> list[dict[str, float | str]]:
         """One human-readable row per zone (CLI output)."""
@@ -383,11 +412,41 @@ def schedule_zones(
     runs share no state and are deterministic, so the result is identical
     to the sequential path for any worker count (asserted by
     ``benchmarks/bench_zones.py`` and the zone tests).
+
+    With ``config.market`` set, merit-order clearing runs *before*
+    placement (:func:`repro.market.clearing.clear_zones`): only cleared
+    bids are scheduled — in the zone they cleared in, which for spilled
+    bids differs from their home zone — and rejected bids surface as
+    unplaced offers of their home zone.  Clearing requires every zone to
+    be priced (:attr:`MarketZone.priced`).
     """
     if workers is not None and workers < 1:
         raise SchedulingError("workers must be >= 1 (or None)")
     config = config if config is not None else ZONE_DEFAULT_CONFIG
-    buckets = assign_zones(aggregates, zoned)
+    clearing = None
+    rejected: dict[str, list] = {}
+    if config.market is not None:
+        unpriced = sorted(zone.name for zone in zoned.zones if not zone.priced)
+        if unpriced:
+            raise SchedulingError(
+                f"market clearing requested but zone(s) {', '.join(unpriced)} "
+                "have no price band (price_floor == price_cap == 0.0); set "
+                "price_floor/price_cap on the zone or drop the market config"
+            )
+        from repro.market.clearing import clear_zones
+
+        clearing = clear_zones(aggregates, zoned, config.market)
+        outcomes = clearing.by_offer()
+        buckets = {zone.name: [] for zone in zoned.zones}
+        rejected = {zone.name: [] for zone in zoned.zones}
+        for aggregate in aggregates:
+            outcome = outcomes[aggregate.offer.offer_id]
+            if outcome.cleared:
+                buckets[outcome.zone].append(aggregate)
+            else:
+                rejected[outcome.home_zone].append(aggregate.offer)
+    else:
+        buckets = assign_zones(aggregates, zoned)
     if workers is not None and workers > 1 and len(zoned.zones) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
@@ -402,4 +461,11 @@ def schedule_zones(
             _schedule_one_zone(zone, buckets[zone.name], config)
             for zone in zoned.zones
         )
-    return ZonedScheduleResult(zones=zoned.zones, results=results)
+    if clearing is not None:
+        # Market-rejected bids were never handed to placement; account for
+        # them as unplaced offers of their home zone.
+        results = tuple(
+            replace(result, unplaced=list(result.unplaced) + rejected[zone.name])
+            for zone, result in zip(zoned.zones, results)
+        )
+    return ZonedScheduleResult(zones=zoned.zones, results=results, clearing=clearing)

@@ -1,10 +1,11 @@
 """Golden-schema guards for benchmark output artefacts.
 
-Five machine-readable bench artefacts are load-bearing outside this repo:
+Six machine-readable bench artefacts are load-bearing outside this repo:
 ``BENCH_fleet.json`` (the committed fleet-pipeline speedup baseline),
 ``BENCH_schedule.json`` (the scheduling-engine speedup baseline),
 ``BENCH_zones.json`` (the zone-sharded multi-market baseline),
-``BENCH_scale.json`` (the million-household scale-out baseline) and the
+``BENCH_scale.json`` (the million-household scale-out baseline),
+``BENCH_market.json`` (the merit-order clearing baseline) and the
 ``--bench-json`` table dump ``benchmarks/conftest.py`` writes for CI
 archiving.  Their *schemas* are pinned here — a drifted key, a renamed
 stage or a silently dropped section fails loudly instead of breaking
@@ -122,6 +123,45 @@ class TestZonesBenchBaseline:
             assert zone["name"]
             assert zone["offers"] > 0
             assert zone["price_cap"] >= zone["price_floor"] >= 0
+
+
+class TestMarketBenchBaseline:
+    def test_bench_market_json_schema_matches_golden(self):
+        report = json.loads((REPO_ROOT / "BENCH_market.json").read_text())
+        golden = json.loads((GOLDEN / "bench_market_schema.json").read_text())
+        assert type_schema(report) == golden
+
+    def test_bench_market_json_semantics(self):
+        report = json.loads((REPO_ROOT / "BENCH_market.json").read_text())
+        workload = report["workload"]
+        assert workload["aggregates"] >= 200
+        assert workload["zones"] >= 2
+        # Both assignment paths (explicit mapping, hash shard) exercised.
+        assert 0 < workload["mapped_keys"] < workload["aggregates"]
+        clearing = report["clearing"]
+        assert clearing["speedup"] >= 3.0
+        # Every disposition and the spill pass are live on the baseline.
+        assert clearing["accepted"] > 0
+        assert clearing["partial"] > 0
+        assert clearing["rejected"] > 0
+        assert clearing["migrated"] > 0
+        assert clearing["welfare_eur"] > 0
+        assert (
+            clearing["accepted"] + clearing["partial"] + clearing["rejected"]
+            == workload["aggregates"]
+        )
+        equivalence = report["equivalence"]
+        assert equivalence["acceptance_identical"] is True
+        assert equivalence["settlements_identical"] is True
+        assert equivalence["prices_identical"] is True
+        assert equivalence["welfare_match"] is True
+        assert equivalence["budget_balanced"] is True
+        assert equivalence["fidelity_rtol"] == 1e-9
+        # Per-zone books: settled revenue stays inside the price band.
+        for zone in report["zones"]:
+            assert zone["bids"] > 0
+            assert zone["cleared_kwh"] >= 0
+            assert zone["revenue_eur"] >= 0
 
 
 class TestScaleBenchBaseline:

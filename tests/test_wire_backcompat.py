@@ -1,0 +1,56 @@
+"""Version-N-1 wire compatibility: pre-market payloads keep loading.
+
+The market PR added an optional ``clearing`` section to the zoned schedule
+encoding and ``market_*`` summary keys to run reports.  Both are strictly
+additive: the ``clearing`` key is omitted when a run never cleared, so
+every encoder/decoder pair must keep round-tripping payloads written
+*before* the market subsystem existed.  The fixtures under
+``tests/data/golden/compat/`` are frozen copies of such pre-market
+encodings — they are never regenerated; a load or re-encode drift here is
+a wire-format break, not a golden refresh.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.api.service import RunReport
+from repro.flexoffer.io import zoned_result_from_dict, zoned_result_to_dict
+
+COMPAT = Path(__file__).parent / "data" / "golden" / "compat"
+
+
+class TestZonedResultBackcompat:
+    def test_pre_market_zoned_result_loads(self):
+        payload = json.loads((COMPAT / "zoned_result_v1.json").read_text())
+        result = zoned_result_from_dict(payload)
+        assert result.clearing is None
+        assert [zone.name for zone in result.zones] == ["north", "south"]
+        assert all(zone.priced for zone in result.zones)
+
+    def test_pre_market_zoned_result_reencodes_byte_for_byte(self):
+        text = (COMPAT / "zoned_result_v1.json").read_text()
+        payload = json.loads(text)
+        encoded = zoned_result_to_dict(zoned_result_from_dict(payload))
+        assert "clearing" not in encoded
+        assert encoded == payload
+        # Byte-for-byte under the canonical dump: nothing reordered,
+        # renamed, coerced or injected by the new market-aware encoder.
+        assert json.dumps(encoded, indent=2) + "\n" == json.dumps(
+            payload, indent=2
+        ) + "\n"
+
+
+class TestRunReportBackcompat:
+    def test_pre_market_run_report_loads(self):
+        payload = json.loads((COMPAT / "run_report_v1.json").read_text())
+        report = RunReport.from_dict(payload)
+        assert report.spec.name == "golden"
+        (result,) = report.results
+        assert "market_bids" not in result.summary
+
+    def test_pre_market_run_report_reencodes_byte_for_byte(self):
+        payload = json.loads((COMPAT / "run_report_v1.json").read_text())
+        report = RunReport.from_dict(payload)
+        assert report.to_dict() == payload
