@@ -11,6 +11,7 @@ than the cell width in both coordinates.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from datetime import datetime, timedelta
 
@@ -59,7 +60,11 @@ def group_offers(
         epoch = min(o.earliest_start for o in offers)
     cells: dict[tuple[int, int, float], list[FlexOffer]] = {}
     for offer in offers:
-        start_bucket = int((offer.earliest_start - epoch) / params.start_tolerance)
+        # floor, not int(): truncation toward zero would merge (-tol, 0) and
+        # [0, tol) into one double-width bucket for offers before the epoch.
+        start_bucket = math.floor(
+            (offer.earliest_start - epoch) / params.start_tolerance
+        )
         flex_bucket = int(offer.time_flexibility / params.flexibility_tolerance)
         key = (start_bucket, flex_bucket, offer.resolution.total_seconds())
         cells.setdefault(key, []).append(offer)

@@ -31,6 +31,7 @@ first offer anchors the grid.
 
 from __future__ import annotations
 
+import math
 from datetime import datetime, timedelta
 from typing import Iterable, Iterator
 
@@ -178,7 +179,11 @@ def aggregate_stream(
     for offer in offers:
         if epoch is None:
             epoch = offer.earliest_start
-        start_bucket = int((offer.earliest_start - epoch) / params.start_tolerance)
+        # floor, not int(): keeps pre-epoch offers in true single-width
+        # buckets — the same arithmetic as ``group_offers``.
+        start_bucket = math.floor(
+            (offer.earliest_start - epoch) / params.start_tolerance
+        )
         flex_bucket = int(offer.time_flexibility / params.flexibility_tolerance)
         key = (start_bucket, flex_bucket, offer.resolution.total_seconds())
         accumulators = cells.get(key)

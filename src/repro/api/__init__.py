@@ -24,8 +24,9 @@ Subsystem contract:
 
 * **Wire-format stability** — specs and reports are versioned and
   round-trip losslessly through JSON; optional stages (``schedule``,
-  ``zones``) are omitted from the encoding when absent so pre-existing
-  spec files and goldens keep loading (golden- and property-tested).
+  ``zones``, ``session``) are omitted from the encoding when absent so
+  pre-existing spec files and goldens keep loading (golden- and
+  property-tested).
 * **Strict validation** — unknown keys, wrong types and unsupported
   versions raise :class:`~repro.errors.SpecError` naming the offending
   path; registry misuse raises with the full list of alternatives
@@ -49,6 +50,7 @@ from repro.api.service import (
     ExtractorRunReport,
     FlexibilityService,
     RunReport,
+    build_schedule_target,
 )
 from repro.api.spec import (
     RUN_KINDS,
@@ -59,6 +61,7 @@ from repro.api.spec import (
     RunSpec,
     ScenarioSpec,
     ScheduleSpec,
+    SessionSpec,
     ZoneSpec,
     load_run_spec,
     save_run_spec,
@@ -77,6 +80,7 @@ __all__ = [
     "ExtractorRunReport",
     "FlexibilityService",
     "RunReport",
+    "build_schedule_target",
     "RUN_KINDS",
     "SPEC_VERSION",
     "ExtractorSpec",
@@ -85,6 +89,7 @@ __all__ = [
     "RunSpec",
     "ScenarioSpec",
     "ScheduleSpec",
+    "SessionSpec",
     "ZoneSpec",
     "load_run_spec",
     "save_run_spec",

@@ -464,3 +464,18 @@ class FlexibilityService:
                 f"{have} resolution; resample the series or use "
                 f"`repro simulate --grid total` for 1-minute data"
             )
+
+
+def build_schedule_target(spec: RunSpec) -> "TimeSeries | ZonedTarget | None":
+    """Synthesise a spec's schedule-stage target outside a service run.
+
+    The public face of the target builders above, for drivers that execute
+    specs without going through :meth:`FlexibilityService.run` — the
+    session replay driver (``repro session --replay``) being the one that
+    must build the *same* target a one-shot run would, or its equivalence
+    oracle means nothing.  Returns ``None`` when the spec has no schedule
+    stage.
+    """
+    if spec.pipeline.schedule is None:
+        return None
+    return FlexibilityService()._build_target(spec)

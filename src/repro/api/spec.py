@@ -469,6 +469,54 @@ class ScheduleSpec:
 
 
 @dataclass(frozen=True, slots=True)
+class SessionSpec:
+    """The declarative rolling-horizon session stage.
+
+    Configures :class:`repro.session.FlexibilitySession` for replay-driven
+    runs (``repro session --replay``): ``commit_horizon_minutes`` is the
+    window ahead of the data watermark inside which every replan freezes
+    its placements (``null`` never auto-commits — the setting under which
+    a fully ingested session bit-reproduces the one-shot pipeline).  Like
+    :class:`MarketSpec`, the wire format omits the whole key when the
+    stage is absent, so pre-session spec files keep loading unchanged.
+    """
+
+    commit_horizon_minutes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.commit_horizon_minutes is not None and self.commit_horizon_minutes < 0:
+            raise SpecError(
+                "pipeline.session.commit_horizon_minutes must be >= 0 (or null), "
+                f"got {self.commit_horizon_minutes}"
+            )
+
+    def commit_horizon(self) -> timedelta | None:
+        """The horizon as the session layer's own unit."""
+        if self.commit_horizon_minutes is None:
+            return None
+        return timedelta(minutes=self.commit_horizon_minutes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"commit_horizon_minutes": self.commit_horizon_minutes}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SessionSpec":
+        allowed = tuple(f.name for f in fields(cls))
+        _require_keys(data, allowed, "pipeline.session")
+        kwargs: dict[str, Any] = {}
+        if (
+            "commit_horizon_minutes" in data
+            and data["commit_horizon_minutes"] is not None
+        ):
+            kwargs["commit_horizon_minutes"] = _require_type(
+                data["commit_horizon_minutes"],
+                (int,),
+                "pipeline.session.commit_horizon_minutes",
+            )
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True, slots=True)
 class PipelineSpec:
     """How the fleet execution is batched, fanned out, grouped — and,
     optionally, scheduled.
@@ -476,9 +524,10 @@ class PipelineSpec:
     Mirrors :class:`repro.pipeline.FleetPipeline` plus the
     :class:`repro.aggregation.grouping.GroupingParams` grid, in
     JSON-scalar units (minutes for the grouping tolerances).  A non-null
-    ``schedule`` enables the market-facing schedule stage; the key is
-    omitted from the wire format when absent so pre-schedule spec files and
-    goldens keep loading unchanged.
+    ``schedule`` enables the market-facing schedule stage; a non-null
+    ``session`` configures the rolling-horizon replay session.  Either key
+    is omitted from the wire format when absent so pre-schedule (and
+    pre-session) spec files and goldens keep loading unchanged.
     """
 
     chunk_size: int = 8
@@ -487,6 +536,7 @@ class PipelineSpec:
     flexibility_tolerance_minutes: int = 240
     max_group_size: int = 64
     schedule: ScheduleSpec | None = None
+    session: SessionSpec | None = None
 
     def __post_init__(self) -> None:
         if self.chunk_size < 1:
@@ -520,6 +570,8 @@ class PipelineSpec:
         }
         if self.schedule is not None:
             encoded["schedule"] = self.schedule.to_dict()
+        if self.session is not None:
+            encoded["session"] = self.session.to_dict()
         return encoded
 
     @classmethod
@@ -533,6 +585,8 @@ class PipelineSpec:
             value = data[key]
             if key == "schedule":
                 kwargs[key] = None if value is None else ScheduleSpec.from_dict(value)
+            elif key == "session":
+                kwargs[key] = None if value is None else SessionSpec.from_dict(value)
             elif key == "workers" and value is None:
                 kwargs[key] = None
             else:

@@ -6,6 +6,7 @@ Installed as the ``repro`` console script::
     repro extract    --input data/hh-0000.csv --approach peak-based \
                      --param flexible_share=0.05 --out offers.json
     repro run        --spec examples/specs/smoke.json --out report.json
+    repro session    --replay examples/specs/session_events.json
     repro approaches
     repro evaluate   --households 6 --days 7
     repro bench      --households 20 --days 7 --out BENCH_fleet.json
@@ -152,6 +153,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="override the spec's worker fan-out")
 
+    ses = sub.add_parser(
+        "session",
+        help="replay a recorded ingest/replan/commit event stream through "
+        "a rolling-horizon flexibility session",
+    )
+    ses.add_argument("--replay", type=Path, required=True,
+                     help="session events JSON (spec + ordered event list)")
+    ses.add_argument("--out", type=Path, default=None,
+                     help="write the full replay report JSON here")
+
     sub.add_parser("approaches", help="list every registered extraction approach")
 
     ev = sub.add_parser("evaluate", help="run the approach comparison")
@@ -295,6 +306,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         report.save(args.out)
         print(f"wrote {args.out}")
     return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    from repro.session import replay_session
+
+    report = replay_session(args.replay)
+    label = report["spec_name"] or args.replay.stem
+    print(
+        f"session {label!r}: {report['events']} events, "
+        f"{len(report['replans'])} snapshots"
+    )
+    print(format_table(report["replans"]))
+    print(
+        f"\ncommitted placements: {report['committed']}; "
+        f"stable across replans: {report['committed_stable']}"
+    )
+    if args.out is not None:
+        import json
+
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return 0 if report["committed_stable"] else 1
 
 
 def _cmd_approaches(_args: argparse.Namespace) -> int:
@@ -575,6 +608,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "extract": _cmd_extract,
         "run": _cmd_run,
+        "session": _cmd_session,
         "approaches": _cmd_approaches,
         "evaluate": _cmd_evaluate,
         "bench": _cmd_bench,

@@ -48,6 +48,11 @@ guarantees added by the pipeline and API layers):
 ``report-roundtrip``
     The cell's output survives the RunSpec→RunReport JSON wire format
     losslessly and deterministically.
+``committed-placement-stability``
+    A mini rolling-horizon session over the cell's first two households
+    never moves a committed placement: once a placement falls inside the
+    commit horizon, every later replan reproduces it bitwise, both in the
+    committed ledger and in the combined schedule.
 
 Invariants never raise on contract violations — they return them as
 messages — so one broken cell cannot hide the rest of the matrix.
@@ -716,6 +721,90 @@ def check_report_roundtrip(run: CellRun) -> InvariantResult:
     )
 
 
+def check_committed_placement_stability(run: CellRun) -> InvariantResult:
+    """Committed placements survive later replans bitwise.
+
+    Drives a deliberately small :class:`~repro.session.FlexibilitySession`
+    — the cell's approach over its first two households, two ingest halves
+    with a replan after each, and a six-hour commit horizon — and checks
+    that every placement committed at the first replan reappears
+    *unchanged* in the second replan's committed ledger and in its
+    combined schedule.  This is the session subsystem's dispatch contract:
+    a placement inside the commit horizon has already been sent out and
+    must never be re-planned.
+    """
+    from datetime import timedelta
+
+    from repro.session import FlexibilitySession
+    from repro.timeseries.series import TimeSeries
+
+    if run.result.schedule is None:
+        return _skipped(
+            "committed-placement-stability", "cell ran without a schedule stage"
+        )
+    if not isinstance(run.target, TimeSeries):
+        return _skipped(
+            "committed-placement-stability",
+            "sessions re-plan plain targets only; zoned markets keep the "
+            "one-shot pipeline",
+        )
+    if run.entry.name in run.scenario.per_household_params:
+        return _skipped(
+            "committed-placement-stability",
+            "per-household extractor parameters; no shared session extractor",
+        )
+    traces = run.fleet.traces[:2]
+    session = FlexibilitySession.for_fleet(
+        traces,
+        extractor=run.make_extractor(),
+        seed=run.scenario.seed,
+        target=run.target,
+        commit_horizon=timedelta(hours=6),
+    )
+    from repro.api.registry import input_series_for
+
+    inputs = [input_series_for(session.extractor, trace) for trace in traces]
+    half = inputs[0].axis.length // 2
+    violations: list[str] = []
+    try:
+        for index, series in enumerate(inputs):
+            session.ingest(index, 0, series.values[:half])
+        first = session.replan()
+        for index, series in enumerate(inputs):
+            session.ingest(index, half, series.values[half:])
+        second = session.replan()
+    except ReproError as exc:
+        return _outcome(
+            "committed-placement-stability",
+            [f"mini-session raised {type(exc).__name__}: {exc}"],
+        )
+    later_committed = {s.offer.offer_id: s for s in second.committed}
+    later_planned = (
+        {}
+        if second.schedule is None
+        else {s.offer.offer_id: s for s in second.schedule.schedules}
+    )
+    for placement in first.committed:
+        offer_id = placement.offer.offer_id
+        if later_committed.get(offer_id) != placement:
+            violations.append(
+                f"{offer_id}: committed placement changed between replans"
+            )
+        if later_planned.get(offer_id) != placement:
+            violations.append(
+                f"{offer_id}: committed placement missing from (or moved in) "
+                f"the later combined schedule"
+            )
+    return _outcome(
+        "committed-placement-stability",
+        violations,
+        detail=(
+            f"{len(first.committed)} committed at replan 1, "
+            f"{len(second.committed)} at replan 2"
+        ),
+    )
+
+
 #: The invariant library, in report order.  Adding an entry here enrolls it
 #: on every cell of the matrix.
 INVARIANTS: dict[str, Callable[[CellRun], InvariantResult]] = {
@@ -729,6 +818,7 @@ INVARIANTS: dict[str, Callable[[CellRun], InvariantResult]] = {
     "market-clearing": check_market_clearing,
     "grouping-monotonicity": check_grouping_monotonicity,
     "report-roundtrip": check_report_roundtrip,
+    "committed-placement-stability": check_committed_placement_stability,
 }
 
 

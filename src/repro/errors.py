@@ -41,6 +41,12 @@ class MarketError(ReproError):
     (see :mod:`repro.market`)."""
 
 
+class SessionError(ReproError):
+    """A rolling-horizon flexibility session was driven out of contract
+    (bad ingest bounds, unsupported target kind, malformed replay events;
+    see :mod:`repro.session`)."""
+
+
 class DataError(ReproError):
     """Input data is malformed (wrong shape, NaNs, negative energy, ...)."""
 

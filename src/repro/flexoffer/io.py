@@ -264,6 +264,137 @@ def any_schedule_from_dict(
     return schedule_result_from_dict(data)
 
 
+# ---------------------------------------------------------------------- #
+# Report deltas: diffable successive session snapshots
+# ---------------------------------------------------------------------- #
+
+#: Wire-format version of report deltas; bump on incompatible change.
+REPORT_DELTA_VERSION = 1
+
+
+def _keyed_delta(old_items: list, new_items: list, key) -> dict[str, Any]:
+    """Diff two keyed lists: upserted entries, removed keys, final order.
+
+    ``upserted`` holds every new entry whose key is absent from ``old`` or
+    whose content changed; ``order`` pins the exact output sequence, so
+    applying the delta is order-lossless even when nothing else changed.
+    """
+    old_by = {key(item): item for item in old_items}
+    new_keys = {key(item) for item in new_items}
+    return {
+        "upserted": [
+            item
+            for item in new_items
+            if key(item) not in old_by or old_by[key(item)] != item
+        ],
+        "removed": sorted(k for k in old_by if k not in new_keys),
+        "order": [key(item) for item in new_items],
+    }
+
+
+def _apply_keyed(base_items: list, delta: dict[str, Any], key) -> list:
+    merged = {key(item): item for item in base_items}
+    for item in delta["upserted"]:
+        merged[key(item)] = item
+    for removed in delta["removed"]:
+        merged.pop(removed, None)
+    try:
+        return [merged[k] for k in delta["order"]]
+    except KeyError as exc:
+        raise DataError(f"report delta order references unknown key {exc}") from exc
+
+
+def _offer_key(offer: dict[str, Any]) -> str:
+    return offer["offer_id"]
+
+
+def _embedded_offer_key(item: dict[str, Any]) -> str:
+    return item["offer"]["offer_id"]
+
+
+def _household_key(item: dict[str, Any]) -> str:
+    return item["household_id"]
+
+
+def _schedule_delta(old: dict | None, new: dict | None) -> dict[str, Any]:
+    """Diff two encoded schedule results; wholesale replace when the frame
+    (presence, zoned-ness, axis or target) changed."""
+    if (
+        old is None
+        or new is None
+        or "zones" in old
+        or "zones" in new
+        or old["axis"] != new["axis"]
+        or old["target"] != new["target"]
+    ):
+        return {"replaced": new}
+    return {
+        "schedules": _keyed_delta(old["schedules"], new["schedules"], _embedded_offer_key),
+        "unplaced": _keyed_delta(old["unplaced"], new["unplaced"], _offer_key),
+    }
+
+
+def _apply_schedule_delta(base: dict | None, delta: dict[str, Any]) -> dict | None:
+    if "replaced" in delta:
+        return delta["replaced"]
+    if base is None:
+        raise DataError("schedule delta is incremental but the base has no schedule")
+    return {
+        "axis": base["axis"],
+        "target": base["target"],
+        "schedules": _apply_keyed(base["schedules"], delta["schedules"], _embedded_offer_key),
+        "unplaced": _apply_keyed(base["unplaced"], delta["unplaced"], _offer_key),
+    }
+
+
+def report_delta(old: dict[str, Any], new: dict[str, Any]) -> dict[str, Any]:
+    """The versioned diff between two successive session snapshot dicts.
+
+    Operates on :meth:`repro.session.SessionSnapshot.to_dict` encodings.
+    Households are keyed by household id, aggregates and committed
+    placements by offer id, and the schedule section diffs its placements
+    the same way (falling back to wholesale replacement when the axis or
+    target changed).  The round trip is exact:
+    ``apply_report_delta(report_delta(a, b), a) == b`` for any two
+    snapshots of the same session (property-tested).
+    """
+    return {
+        "version": REPORT_DELTA_VERSION,
+        "base_state_version": old["state_version"],
+        "state_version": new["state_version"],
+        "watermark": new["watermark"],
+        "households": _keyed_delta(old["households"], new["households"], _household_key),
+        "aggregates": _keyed_delta(
+            old["aggregates"], new["aggregates"], _embedded_offer_key
+        ),
+        "committed": _keyed_delta(old["committed"], new["committed"], _embedded_offer_key),
+        "schedule": _schedule_delta(old.get("schedule"), new.get("schedule")),
+    }
+
+
+def apply_report_delta(delta: dict[str, Any], base: dict[str, Any]) -> dict[str, Any]:
+    """Reconstruct the newer snapshot dict from the older one plus a delta."""
+    version = delta.get("version", REPORT_DELTA_VERSION)
+    if version != REPORT_DELTA_VERSION:
+        raise DataError(f"unsupported report-delta version {version}")
+    if delta["base_state_version"] != base["state_version"]:
+        raise DataError(
+            f"report delta applies to state version {delta['base_state_version']}, "
+            f"base is at {base['state_version']}"
+        )
+    return {
+        "version": base["version"],
+        "state_version": delta["state_version"],
+        "watermark": delta["watermark"],
+        "households": _apply_keyed(base["households"], delta["households"], _household_key),
+        "aggregates": _apply_keyed(
+            base["aggregates"], delta["aggregates"], _embedded_offer_key
+        ),
+        "schedule": _apply_schedule_delta(base.get("schedule"), delta["schedule"]),
+        "committed": _apply_keyed(base["committed"], delta["committed"], _embedded_offer_key),
+    }
+
+
 def save_flexoffers(offers: list[FlexOffer], path: str | Path) -> None:
     """Write a list of flex-offers to a JSON file."""
     payload = [flexoffer_to_dict(o) for o in offers]

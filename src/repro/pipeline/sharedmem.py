@@ -20,7 +20,12 @@ Ownership contract (enforced here, documented in docs/ARCHITECTURE.md):
   under its siblings.
 * ``close``/``unlink`` are idempotent, and ``unlink`` tolerates a segment
   that already vanished (e.g. the owner cleaned up after a worker crash),
-  so teardown paths can run unconditionally.
+  so teardown paths can run unconditionally.  ``close`` in particular
+  never raises even while vended :attr:`SharedFleetBuffer.array` views are
+  still alive: the buffer marks itself closed immediately and defers the
+  actual unmap until the last live view is garbage-collected — unmapping
+  under a live view would either raise ``BufferError`` or (worse, with
+  views that hold no buffer export) leave them dangling.
 
 Every segment name carries the :data:`SEGMENT_PREFIX` marker so leak
 checks (tests, the failure-injection suite) can scan ``/dev/shm`` for
@@ -30,6 +35,7 @@ stragglers without touching unrelated segments.
 from __future__ import annotations
 
 import secrets
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from pathlib import Path
@@ -80,6 +86,7 @@ class SharedFleetBuffer:
         self._owner = owner
         self._closed = False
         self._unlinked = False
+        self._views: list[weakref.ref[np.ndarray]] = []
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -150,6 +157,8 @@ class SharedFleetBuffer:
         )
         if not self._owner:
             view.flags.writeable = False
+        self._views = [ref for ref in self._views if ref() is not None]
+        self._views.append(weakref.ref(view))
         return view
 
     # ------------------------------------------------------------------ #
@@ -157,10 +166,29 @@ class SharedFleetBuffer:
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Drop this process's mapping.  Idempotent; never unlinks."""
-        if not self._closed:
-            self._closed = True
+        """Drop this process's mapping.  Idempotent; never unlinks or raises.
+
+        Vended :attr:`array` views pin the mapping: depending on how numpy
+        acquired the buffer, unmapping under a live view either raises
+        ``BufferError`` or silently leaves the view dangling.  So with live
+        views the buffer only marks itself closed (no new views can be
+        vended) and hands the real ``SharedMemory.close`` to a finalizer
+        that fires once the last surviving view is garbage-collected.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        live = [view for view in (ref() for ref in self._views) if view is not None]
+        self._views.clear()
+        if live:
+            pending = _PendingClose(self._shm, len(live))
+            for view in live:
+                weakref.finalize(view, pending.view_died)
+            return
+        try:
             self._shm.close()
+        except BufferError:  # pragma: no cover - view minted outside .array
+            pass
 
     def unlink(self) -> None:
         """Remove the segment from the system.  Owner-only; idempotent.
@@ -196,6 +224,30 @@ class SharedFleetBuffer:
         state = "closed" if self.closed else "open"
         role = "owner" if self._owner else "attached"
         return f"SharedFleetBuffer({self._spec.name!r}, {role}, {state})"
+
+
+class _PendingClose:
+    """Counts down live views of a closed buffer; unmaps after the last one.
+
+    One instance is shared by every view that was alive when ``close`` ran;
+    closing after the *first* view death would dangle the remaining views,
+    so the mapping is dropped only when the count reaches zero.
+    """
+
+    __slots__ = ("_shm", "_remaining")
+
+    def __init__(self, shm: shared_memory.SharedMemory, remaining: int) -> None:
+        self._shm = shm
+        self._remaining = remaining
+
+    def view_died(self) -> None:
+        self._remaining -= 1
+        if self._remaining > 0:
+            return
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - foreign export still live
+            pass
 
 
 def _forget(name: str) -> None:

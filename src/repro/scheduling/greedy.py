@@ -161,7 +161,10 @@ def _placement_gain(remaining: np.ndarray, energies: np.ndarray) -> float:
 
 
 def start_grid(
-    offer: FlexOffer, axis: TimeAxis, require_fit: bool = True
+    offer: FlexOffer,
+    axis: TimeAxis,
+    require_fit: bool = True,
+    earliest_allowed: datetime | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """The offer's feasible-start grid as ``(steps, first_indices)`` arrays.
 
@@ -172,7 +175,9 @@ def start_grid(
     ``earliest_start`` (so the start datetime is ``earliest_start +
     steps[i] * resolution``); ``first_indices[i]`` is the axis index of the
     interval containing that start.  ``require_fit`` additionally drops
-    starts whose profile would overrun the axis end.
+    starts whose profile would overrun the axis end.  ``earliest_allowed``
+    further drops starts before that instant — the rolling-horizon
+    session's commit boundary, where the past is no longer schedulable.
     """
     one_us = timedelta(microseconds=1)
     res_us = offer.resolution // one_us
@@ -184,6 +189,8 @@ def start_grid(
     total_us = axis_us * axis.length
     first_indices = off_us // axis_us
     valid = (off_us >= 0) & (off_us < total_us)
+    if earliest_allowed is not None:
+        valid &= off_us >= (earliest_allowed - axis.start) // one_us
     if require_fit:
         n = offer.profile_intervals
         valid &= first_indices + n <= axis.length
@@ -209,9 +216,15 @@ class _PlacementPlan:
     start_indices: np.ndarray
 
 
-def _build_plan(offer: FlexOffer, axis: TimeAxis) -> _PlacementPlan:
+def _build_plan(
+    offer: FlexOffer,
+    axis: TimeAxis,
+    earliest_allowed: datetime | None = None,
+) -> _PlacementPlan:
     lows, highs = offer.slice_expansion_arrays()
-    steps, indices = start_grid(offer, axis, require_fit=True)
+    steps, indices = start_grid(
+        offer, axis, require_fit=True, earliest_allowed=earliest_allowed
+    )
     return _PlacementPlan(
         offer=offer,
         n=lows.size,
@@ -387,7 +400,10 @@ def _score_group_upfront(
 
 
 def _greedy_incremental(
-    queue: list[FlexOffer], axis: TimeAxis, remaining: np.ndarray
+    queue: list[FlexOffer],
+    axis: TimeAxis,
+    remaining: np.ndarray,
+    earliest_allowed: datetime | None = None,
 ) -> tuple[list[ScheduledFlexOffer], list[FlexOffer]]:
     """The ``engine="incremental"`` placement loop.
 
@@ -404,7 +420,7 @@ def _greedy_incremental(
     included) is identical to the vectorized engine's.  Peak cache memory
     is one block's gains, not the whole queue's.
     """
-    plans = [_build_plan(offer, axis) for offer in queue]
+    plans = [_build_plan(offer, axis, earliest_allowed) for offer in queue]
     views: dict[int, np.ndarray] = {
         n: sliding_window_view(remaining, n)
         for n in {plan.n for plan in plans}
@@ -490,6 +506,7 @@ def greedy_schedule(
     target: TimeSeries,
     order: str | None = None,
     config: ScheduleConfig | None = None,
+    earliest_allowed: datetime | None = None,
 ) -> ScheduleResult:
     """Greedily schedule offers to soak up the target series.
 
@@ -506,6 +523,12 @@ def greedy_schedule(
         Overrides ``config.order`` when given.
     config:
         Engine/order selection; defaults to the vectorized engine.
+    earliest_allowed:
+        When set, no placement may start before this instant (every
+        engine applies the same start-grid filter).  The rolling-horizon
+        session passes its commit boundary here so re-planned offers
+        cannot reach back into the frozen window.  ``None`` — the default
+        — is bitwise-identical to the pre-session behaviour.
     """
     config = config if config is not None else ScheduleConfig()
     if order is not None:
@@ -526,7 +549,9 @@ def greedy_schedule(
         config = replace(config, engine=choose_engine(queue, axis))
     remaining = target.values.copy()
     if config.engine == "incremental":
-        schedules, unplaced = _greedy_incremental(queue, axis, remaining)
+        schedules, unplaced = _greedy_incremental(
+            queue, axis, remaining, earliest_allowed
+        )
         return ScheduleResult(
             schedules=schedules,
             demand=schedules_to_series(schedules, axis),
@@ -537,7 +562,7 @@ def greedy_schedule(
     if vectorized:
         # Hoist every offer's bounds/starts once; offers sharing a profile
         # length share a single window view over the residual.
-        plans = [_build_plan(offer, axis) for offer in queue]
+        plans = [_build_plan(offer, axis, earliest_allowed) for offer in queue]
         views: dict[int, np.ndarray] = {
             n: sliding_window_view(remaining, n)
             for n in {plan.n for plan in plans}
@@ -554,7 +579,7 @@ def greedy_schedule(
                 else None
             )
         else:
-            placement = _best_start(offer, remaining, axis)
+            placement = _best_start(offer, remaining, axis, earliest_allowed)
         if placement is None:
             unplaced.append(offer)
             continue
@@ -597,7 +622,10 @@ def naive_schedule(offers: list[FlexOffer], target: TimeSeries) -> ScheduleResul
 
 
 def _best_start(
-    offer: FlexOffer, remaining: np.ndarray, axis
+    offer: FlexOffer,
+    remaining: np.ndarray,
+    axis,
+    earliest_allowed: datetime | None = None,
 ) -> tuple[datetime, np.ndarray] | None:
     """The feasible start with the highest placement gain, or ``None``.
 
@@ -610,6 +638,8 @@ def _best_start(
     n = len(expansion)
     best: tuple[float, datetime, np.ndarray] | None = None
     for start in offer.feasible_starts():
+        if earliest_allowed is not None and start < earliest_allowed:
+            continue
         if not axis.contains(start):
             continue
         first = axis.index_of(start)

@@ -1,0 +1,36 @@
+"""Rolling-horizon flexibility sessions (the ROADMAP's online service).
+
+A :class:`FlexibilitySession` keeps a fleet's extraction + scheduling
+state alive between meter-reading arrivals: ingest dirties households,
+replan re-extracts only those, and commit freezes the placements a real
+dispatcher would already have sent out.  ``state`` holds the appendable
+:class:`FleetState` / immutable :class:`SessionSnapshot` split; ``replay``
+drives a session from a recorded JSON event stream (``repro session
+--replay``).
+"""
+
+from repro.session.replay import (
+    SESSION_EVENTS_VERSION,
+    load_session_events,
+    replay_session,
+    session_for_spec,
+)
+from repro.session.state import (
+    COMMIT_ID_PREFIX,
+    SNAPSHOT_VERSION,
+    FleetState,
+    FlexibilitySession,
+    SessionSnapshot,
+)
+
+__all__ = [
+    "COMMIT_ID_PREFIX",
+    "SESSION_EVENTS_VERSION",
+    "SNAPSHOT_VERSION",
+    "FleetState",
+    "FlexibilitySession",
+    "SessionSnapshot",
+    "load_session_events",
+    "replay_session",
+    "session_for_spec",
+]

@@ -12,6 +12,8 @@ from datetime import timedelta
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.aggregation import (
     GroupingParams,
@@ -123,6 +125,111 @@ class TestStreamEquivalence:
 
     def test_empty_stream_yields_nothing(self):
         assert list(aggregate_stream([])) == []
+
+
+class TestGridBucketFloor:
+    """The grouping grid must floor, not truncate, around the epoch.
+
+    ``int()`` truncates toward zero, so offers in ``(-tol, 0)`` and
+    ``[0, tol)`` used to share bucket 0 — one double-width cell straddling
+    the epoch.  Offers *before* the epoch are routine whenever the epoch is
+    taken from a later batch (or a session's first replan sees a stale
+    household), so the bucket arithmetic must be a true floor.
+    """
+
+    def test_pre_epoch_offers_get_their_own_bucket(self):
+        params = GroupingParams(start_tolerance=timedelta(hours=6))
+        # One hour before the epoch and one hour after: distinct buckets
+        # (-1 and 0), NOT the single double-width bucket truncation made.
+        before = make_offer(-4, 3, 30, seed=600)
+        after = make_offer(4, 3, 30, seed=601)
+        groups = group_offers([before, after], params, epoch=SCENARIO_START)
+        assert len(groups) == 2
+
+    def test_pre_epoch_stream_matches_batch_bitwise(self):
+        params = GroupingParams(start_tolerance=timedelta(hours=6))
+        offers = [make_offer(i - 6, 3, 30, seed=620 + i) for i in range(12)]
+        batch, streamed = batch_and_stream(
+            offers, params, epoch=SCENARIO_START
+        )
+        assert streamed == batch
+        assert len(batch) >= 2  # epoch really is straddled
+
+    def test_exactly_on_epoch_lands_in_bucket_zero(self):
+        params = GroupingParams(start_tolerance=timedelta(hours=6))
+        on_epoch = make_offer(0, 3, 30, seed=640)
+        just_before = make_offer(-1, 3, 30, seed=641)
+        groups = group_offers([on_epoch, just_before], params, epoch=SCENARIO_START)
+        assert len(groups) == 2
+
+
+class TestMemberOffsetPairing:
+    """Re-anchoring must keep each member paired with *its* offset.
+
+    The batch path keeps members in insertion order (it never sorts), so
+    the stream's prepend-and-shift re-anchor must preserve the pairing
+    ``offset_i = (member_i.earliest_start - group_start) / resolution``
+    for the original arrival order — this pins the invariant the
+    N-to-1 disaggregation contract silently relies on.
+    """
+
+    def test_offsets_point_at_their_own_members(self):
+        # Backwards arrival re-anchors repeatedly; every member's offset
+        # must still locate that member's own start inside the aggregate.
+        offers = [make_offer(9 - i, 3, 40, seed=700 + i) for i in range(10)]
+        params = GroupingParams(start_tolerance=timedelta(hours=6))
+        _, streamed = batch_and_stream(offers, params)
+        assert streamed  # the workload must aggregate something
+        for aggregate in streamed:
+            assert len(aggregate.members) == len(aggregate.member_offsets)
+            for member, offset in zip(aggregate.members, aggregate.member_offsets):
+                delta = member.earliest_start - aggregate.offer.earliest_start
+                assert delta == offset * member.resolution
+
+    def test_pairing_matches_batch_in_arrival_order(self):
+        offers = [make_offer((i * 5) % 11, 4, 40, seed=720 + i) for i in range(11)]
+        params = GroupingParams(start_tolerance=timedelta(hours=6))
+        batch, streamed = batch_and_stream(offers, params)
+        batch_pairs = [
+            [(m.offer_id, off) for m, off in zip(a.members, a.member_offsets)]
+            for a in batch
+        ]
+        stream_pairs = [
+            [(m.offer_id, off) for m, off in zip(a.members, a.member_offsets)]
+            for a in streamed
+        ]
+        assert stream_pairs == batch_pairs
+
+
+class TestEpochPlacementProperty:
+    """Hypothesis: stream ≡ batch bitwise wherever the epoch falls.
+
+    The epoch may sit *after* some offers (a later batch's first start, a
+    session replanning stale households), driving the grid into negative
+    buckets — the regression surface of the ``int()``-truncation bug.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        starts=st.lists(
+            st.integers(-30, 30), min_size=2, max_size=10
+        ),
+        epoch_intervals=st.integers(-10, 10),
+        tolerance_hours=st.sampled_from([1, 3, 6]),
+    )
+    def test_any_epoch_stream_matches_batch(
+        self, starts, epoch_intervals, tolerance_hours
+    ):
+        offers = [
+            make_offer(start, 3, 30, seed=800 + i)
+            for i, start in enumerate(starts)
+        ]
+        params = GroupingParams(
+            start_tolerance=timedelta(hours=tolerance_hours)
+        )
+        epoch = SCENARIO_START + epoch_intervals * FIFTEEN_MINUTES
+        batch, streamed = batch_and_stream(offers, params, epoch=epoch)
+        assert streamed == batch
 
 
 @pytest.mark.tier2

@@ -251,6 +251,80 @@ class TestEngineEquivalence:
         ]
 
 
+class TestEarliestAllowed:
+    """The ``earliest_allowed`` commit boundary every engine must respect.
+
+    A rolling-horizon session freezes placements inside its commit
+    horizon; re-planning the open window passes the boundary down, and no
+    engine may place a start before it.  ``None`` must stay bitwise the
+    pre-session behaviour.
+    """
+
+    def test_boundary_pushes_start_past_earlier_spike(self):
+        axis = axis_for_days(START, 1)
+        target_values = np.zeros(axis.length)
+        target_values[16:18] = 1.0  # 04:00 spike the offer would prefer
+        target = TimeSeries(axis, target_values)
+        fo = offer(start_h=0.0, flex_h=20.0, e=2.0)
+        boundary = START + timedelta(hours=12)
+        for engine in ("vectorized", "incremental", "reference"):
+            result = greedy_schedule(
+                [fo],
+                target,
+                config=ScheduleConfig(engine=engine),
+                earliest_allowed=boundary,
+            )
+            assert len(result.schedules) == 1, engine
+            assert result.schedules[0].start >= boundary, engine
+
+    def test_window_entirely_before_boundary_is_unplaced(self):
+        axis = axis_for_days(START, 1)
+        target = TimeSeries.full(axis, 1.0)
+        fo = offer(start_h=1.0, flex_h=2.0, e=1.0)  # window closes 03:00
+        for engine in ("vectorized", "incremental", "reference"):
+            result = greedy_schedule(
+                [fo],
+                target,
+                config=ScheduleConfig(engine=engine),
+                earliest_allowed=START + timedelta(hours=6),
+            )
+            assert result.schedules == [], engine
+            assert [o.offer_id for o in result.unplaced] == [fo.offer_id], engine
+
+    def test_none_is_bitwise_the_default(self):
+        from repro.scheduling import build_schedule_workload
+
+        aggregates, target = build_schedule_workload(n_aggregates=20, seed=29)
+        offers = [a.offer for a in aggregates]
+        plain = greedy_schedule(offers, target)
+        gated = greedy_schedule(offers, target, earliest_allowed=None)
+        assert gated == plain
+
+    def test_engines_agree_under_a_boundary(self):
+        from repro.scheduling import build_schedule_workload
+
+        aggregates, target = build_schedule_workload(n_aggregates=30, seed=31)
+        offers = [a.offer for a in aggregates]
+        boundary = target.axis.start + timedelta(hours=36)
+        results = [
+            greedy_schedule(
+                offers,
+                target,
+                config=ScheduleConfig(engine=engine),
+                earliest_allowed=boundary,
+            )
+            for engine in ("vectorized", "incremental", "reference")
+        ]
+        for result in results:
+            for schedule in result.schedules:
+                assert schedule.start >= boundary
+        placements = [
+            [(s.offer.offer_id, s.start) for s in result.schedules]
+            for result in results
+        ]
+        assert placements[0] == placements[1] == placements[2]
+
+
 class TestStartGrid:
     def test_matches_feasible_starts_filter(self):
         from repro.scheduling.greedy import start_grid

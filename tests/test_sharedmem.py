@@ -131,6 +131,67 @@ class TestLifecycle:
             assert np.dtype(buffer.spec.dtype) == matrix.dtype
 
 
+class TestCloseWithLiveViews:
+    """Closing under live views must defer the unmap, never corrupt them.
+
+    ``SharedMemory.close()`` unmaps the segment even while numpy views
+    built on ``shm.buf`` still point into it (they hold no buffer export),
+    so an eager close used to turn every outstanding view into a dangling
+    pointer.  The buffer now tracks its views and defers the real close
+    until the last one is garbage-collected.
+    """
+
+    def test_close_with_live_view_keeps_view_readable(self, matrix):
+        buffer = SharedFleetBuffer.create(matrix)
+        view = buffer.array
+        buffer.close()  # must not raise BufferError, must not unmap
+        assert buffer.closed
+        np.testing.assert_array_equal(view, np.arange(12.0).reshape(3, 4))
+        del view
+        buffer.unlink()
+        assert leaked_segments() == []
+
+    def test_owner_exit_with_live_view(self, matrix):
+        # Failure injection: a consumer keeps the array past the owner's
+        # ``with`` block — the exact shape of a worker outliving a chunk.
+        with SharedFleetBuffer.create(matrix) as buffer:
+            view = buffer.array
+        assert buffer.closed
+        assert float(view[2, 3]) == 11.0
+        del view
+        assert leaked_segments() == []
+
+    def test_multiple_views_all_must_die_before_unmap(self, matrix):
+        buffer = SharedFleetBuffer.create(matrix)
+        first = buffer.array
+        second = buffer.array
+        buffer.close()
+        del first
+        # One view is still alive: the segment must still be mapped.
+        assert float(second[0, 1]) == 1.0
+        del second
+        buffer.unlink()
+        assert leaked_segments() == []
+
+    def test_attacher_close_with_live_view(self, matrix):
+        with SharedFleetBuffer.create(matrix) as owner:
+            attached = SharedFleetBuffer.attach(owner.spec)
+            view = attached.array
+            attached.close()
+            np.testing.assert_array_equal(view, owner.array)
+            del view
+
+    def test_views_before_close_do_not_leak_segments(self, matrix):
+        # The deferred-close path must still release the segment: after
+        # the views die and unlink runs, /dev/shm holds nothing of ours.
+        buffer = SharedFleetBuffer.create(matrix)
+        views = [buffer.array for _ in range(5)]
+        buffer.close()
+        views.clear()
+        buffer.unlink()
+        assert leaked_segments() == []
+
+
 class TestFanOutEquivalence:
     def test_shared_memory_fanout_bitwise_identical(self, fleet):
         sequential = run_sequential(fleet, seed=0)
