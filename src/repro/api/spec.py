@@ -479,15 +479,27 @@ class SessionSpec:
     a fully ingested session bit-reproduces the one-shot pipeline).  Like
     :class:`MarketSpec`, the wire format omits the whole key when the
     stage is absent, so pre-session spec files keep loading unchanged.
+
+    ``journal_snapshot_every`` tunes the durable journal (``repro session
+    --journal DIR``): how many replans pass between WAL snapshot
+    compactions.  ``null`` takes the journal layer's default; the wire
+    format omits the key when unset, so existing spec files and goldens
+    keep loading (and re-encoding) unchanged.
     """
 
     commit_horizon_minutes: int | None = None
+    journal_snapshot_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.commit_horizon_minutes is not None and self.commit_horizon_minutes < 0:
             raise SpecError(
                 "pipeline.session.commit_horizon_minutes must be >= 0 (or null), "
                 f"got {self.commit_horizon_minutes}"
+            )
+        if self.journal_snapshot_every is not None and self.journal_snapshot_every < 1:
+            raise SpecError(
+                "pipeline.session.journal_snapshot_every must be >= 1 (or null), "
+                f"got {self.journal_snapshot_every}"
             )
 
     def commit_horizon(self) -> timedelta | None:
@@ -497,22 +509,21 @@ class SessionSpec:
         return timedelta(minutes=self.commit_horizon_minutes)
 
     def to_dict(self) -> dict[str, Any]:
-        return {"commit_horizon_minutes": self.commit_horizon_minutes}
+        data: dict[str, Any] = {"commit_horizon_minutes": self.commit_horizon_minutes}
+        if self.journal_snapshot_every is not None:
+            data["journal_snapshot_every"] = self.journal_snapshot_every
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SessionSpec":
         allowed = tuple(f.name for f in fields(cls))
         _require_keys(data, allowed, "pipeline.session")
         kwargs: dict[str, Any] = {}
-        if (
-            "commit_horizon_minutes" in data
-            and data["commit_horizon_minutes"] is not None
-        ):
-            kwargs["commit_horizon_minutes"] = _require_type(
-                data["commit_horizon_minutes"],
-                (int,),
-                "pipeline.session.commit_horizon_minutes",
-            )
+        for key in ("commit_horizon_minutes", "journal_snapshot_every"):
+            if key in data and data[key] is not None:
+                kwargs[key] = _require_type(
+                    data[key], (int,), f"pipeline.session.{key}"
+                )
         return cls(**kwargs)
 
 

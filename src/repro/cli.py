@@ -162,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="session events JSON (spec + ordered event list)")
     ses.add_argument("--out", type=Path, default=None,
                      help="write the full replay report JSON here")
+    ses.add_argument("--journal", type=Path, default=None,
+                     help="journal every event into a durable write-ahead "
+                     "log in this directory (crash-recoverable)")
+    ses.add_argument("--resume", action="store_true",
+                     help="recover the session from --journal first, then "
+                     "replay only the events the crashed run never applied")
 
     sub.add_parser("approaches", help="list every registered extraction approach")
 
@@ -309,9 +315,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_session(args: argparse.Namespace) -> int:
+    from repro.errors import SessionReplayError
     from repro.session import replay_session
 
-    report = replay_session(args.replay)
+    if args.resume and args.journal is None:
+        print("error: --resume needs --journal DIR", file=sys.stderr)
+        return 2
+    try:
+        report = replay_session(
+            args.replay, journal_dir=args.journal, resume=args.resume
+        )
+    except SessionReplayError as exc:
+        # The partial report is still written: progress up to the failed
+        # event survives for diagnosis (and the journal, if any, makes the
+        # applied prefix recoverable with --resume).
+        if args.out is not None and exc.report is not None:
+            import json
+
+            args.out.write_text(json.dumps(exc.report, indent=2, sort_keys=True) + "\n")
+            print(f"wrote partial report to {args.out}", file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     label = report["spec_name"] or args.replay.stem
     print(
         f"session {label!r}: {report['events']} events, "

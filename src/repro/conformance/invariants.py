@@ -53,6 +53,11 @@ guarantees added by the pipeline and API layers):
     never moves a committed placement: once a placement falls inside the
     commit horizon, every later replan reproduces it bitwise, both in the
     committed ledger and in the combined schedule.
+``crash-recovery-equivalence``
+    The durability contract: a journaled mini-session killed at an event
+    boundary and recovered via :class:`~repro.session.SessionJournal`
+    (latest snapshot + WAL tail) finishes the remaining events in a state
+    bitwise identical to the uninterrupted run's final snapshot.
 
 Invariants never raise on contract violations — they return them as
 messages — so one broken cell cannot hide the rest of the matrix.
@@ -805,6 +810,102 @@ def check_committed_placement_stability(run: CellRun) -> InvariantResult:
     )
 
 
+def check_crash_recovery_equivalence(run: CellRun) -> InvariantResult:
+    """Kill + resume at an event boundary reproduces the uninterrupted run.
+
+    Drives the same mini-session shape as ``committed-placement-stability``
+    (first two households, two ingest halves with a replan after each,
+    six-hour commit horizon, plus a closing explicit commit) three ways:
+    uninterrupted in memory, journaled into a WAL with a snapshot per
+    replan, and — for two crash boundaries — journaled only up to the
+    boundary, recovered via snapshot + WAL tail, and finished.  The
+    boundaries are chosen so recovery exercises both tail shapes: an
+    ``ingest`` record after the snapshot (k=4) and a ``commit`` record
+    after it (k=7, the full log).  Every recovered run's final snapshot
+    must be bitwise the uninterrupted one.
+    """
+    import tempfile
+    from datetime import timedelta
+
+    from repro.session import FlexibilitySession, SessionJournal, restore_session
+    from repro.timeseries.series import TimeSeries
+
+    name = "crash-recovery-equivalence"
+    if run.result.schedule is None:
+        return _skipped(name, "cell ran without a schedule stage")
+    if not isinstance(run.target, TimeSeries):
+        return _skipped(
+            name,
+            "sessions re-plan plain targets only; zoned markets keep the "
+            "one-shot pipeline",
+        )
+    if run.entry.name in run.scenario.per_household_params:
+        return _skipped(
+            name, "per-household extractor parameters; no shared session extractor"
+        )
+    traces = run.fleet.traces[:2]
+
+    def fresh_session() -> FlexibilitySession:
+        return FlexibilitySession.for_fleet(
+            traces,
+            extractor=run.make_extractor(),
+            seed=run.scenario.seed,
+            target=run.target,
+            commit_horizon=timedelta(hours=6),
+        )
+
+    from repro.api.registry import input_series_for
+
+    probe = fresh_session()
+    inputs = [input_series_for(probe.extractor, trace) for trace in traces]
+    half = inputs[0].axis.length // 2
+    events: list[tuple] = [
+        ("ingest", 0, 0, inputs[0].values[:half]),
+        ("ingest", 1, 0, inputs[1].values[:half]),
+        ("replan",),
+        ("ingest", 0, half, inputs[0].values[half:]),
+        ("ingest", 1, half, inputs[1].values[half:]),
+        ("replan",),
+    ]
+
+    def apply(session: FlexibilitySession, tail: list[tuple]) -> None:
+        for event in tail:
+            if event[0] == "ingest":
+                session.ingest(event[1], event[2], event[3])
+            elif event[0] == "replan":
+                session.replan()
+            else:
+                session.commit(event[1])
+
+    violations: list[str] = []
+    try:
+        baseline = probe
+        apply(baseline, events)
+        events.append(("commit", baseline.state.watermark + timedelta(hours=12)))
+        apply(baseline, events[-1:])
+        final = baseline.snapshot().to_dict()
+        for boundary in (4, len(events)):
+            with tempfile.TemporaryDirectory() as tmp:
+                crashed = fresh_session()
+                crashed.attach_journal(SessionJournal.create(tmp, snapshot_every=1))
+                apply(crashed, events[:boundary])
+                crashed.journal.close()  # "crash": the rest never happens
+                recovered = restore_session(fresh_session(), tmp)
+                apply(recovered, events[boundary:])
+                if recovered.snapshot().to_dict() != final:
+                    violations.append(
+                        f"resume at event boundary {boundary} diverged from "
+                        f"the uninterrupted run"
+                    )
+    except ReproError as exc:
+        return _outcome(name, [f"mini-session raised {type(exc).__name__}: {exc}"])
+    return _outcome(
+        name,
+        violations,
+        detail=f"2 crash boundaries over {len(events)} events, both bitwise equal",
+    )
+
+
 #: The invariant library, in report order.  Adding an entry here enrolls it
 #: on every cell of the matrix.
 INVARIANTS: dict[str, Callable[[CellRun], InvariantResult]] = {
@@ -819,6 +920,7 @@ INVARIANTS: dict[str, Callable[[CellRun], InvariantResult]] = {
     "grouping-monotonicity": check_grouping_monotonicity,
     "report-roundtrip": check_report_roundtrip,
     "committed-placement-stability": check_committed_placement_stability,
+    "crash-recovery-equivalence": check_crash_recovery_equivalence,
 }
 
 

@@ -441,6 +441,7 @@ def _crashed_cell_report(
 
 
 def _run_cell_to_dict(
+    position: int,
     scenario_name: str,
     extractor_name: str,
     invariants: tuple[str, ...] | None,
@@ -450,10 +451,14 @@ def _run_cell_to_dict(
     Module-level (so it pickles under multiprocessing) and dict-valued (so
     the parent rebuilds the exact :class:`CellReport` the in-process path
     would have produced — the worker-fanout ≡ in-process contract).
+    ``position`` is the cell's matrix index (the fault-injection
+    coordinate of the worker-death tests).
     """
     from repro.api.registry import get_entry
     from repro.conformance.matrix import get_scenario
+    from repro.testing import faults
 
+    faults.fire("conformance-cell", position)
     scenario = get_scenario(scenario_name)
     entry = get_entry(extractor_name)
     try:
@@ -478,7 +483,11 @@ def run_conformance(
     the matrix.  ``workers`` > 1 fans cells out over a process pool —
     every cell is deterministic, so the report is identical to the
     in-process run (cells arrive in matrix order regardless of which
-    worker finishes first).
+    worker finishes first).  The fan-out rides the fault-tolerant
+    dispatcher: a worker killed outright (OOM, segfault) rebuilds the
+    pool and re-dispatches only the outstanding cells, and a cell whose
+    retries run out executes in-process — a dead worker can therefore
+    never fail, or lose, a cell.
     """
     from repro.errors import ValidationError
 
@@ -492,23 +501,35 @@ def run_conformance(
     if workers is not None and workers > 1 and len(cells) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_cell_to_dict, scenario.name, entry.name, selected)
-                for scenario, entry in cells
-            ]
-            reports = []
-            for (scenario, entry), future in zip(cells, futures):
-                try:
-                    reports.append(CellReport.from_dict(future.result()))
-                except Exception as exc:  # noqa: BLE001 - isolation is the contract
-                    # Python-level cell failures come back as failing
-                    # reports from the worker; this catches *hard* worker
-                    # deaths (OOM kill, segfault → BrokenProcessPool) so
-                    # one dead process still yields a report for every
-                    # cell instead of aborting the matrix.
-                    reports.append(_crashed_cell_report(scenario, entry, exc))
-        return ConformanceReport(cells=tuple(reports))
+        from repro.pipeline.dispatch import dispatch_chunks
+
+        def run_cell_locally(position: int) -> dict[str, Any]:
+            # The in-process degradation path after retry exhaustion.
+            # Deliberately *not* routed through the module-level
+            # _run_cell_to_dict: that name is the worker entry (and the
+            # worker-death tests' injection point) — the local fallback
+            # must run the real cell.
+            scenario, entry = cells[position]
+            try:
+                report = check_cell(run_cell(scenario, entry, selected), selected)
+            except Exception as exc:  # noqa: BLE001 - isolation is the contract
+                report = _crashed_cell_report(scenario, entry, exc)
+            return report.to_dict()
+
+        task_args = [
+            (position, scenario.name, entry.name, selected)
+            for position, (scenario, entry) in enumerate(cells)
+        ]
+        dicts = dispatch_chunks(
+            task_args,
+            _run_cell_to_dict,
+            lambda: ProcessPoolExecutor(max_workers=workers),
+            run_cell_locally,
+            label="conformance cells",
+        )
+        return ConformanceReport(
+            cells=tuple(CellReport.from_dict(data) for data in dicts)
+        )
 
     reports = []
     for scenario, entry in cells:

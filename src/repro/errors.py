@@ -47,6 +47,36 @@ class SessionError(ReproError):
     see :mod:`repro.session`)."""
 
 
+class SessionReplayError(SessionError):
+    """A recorded event stream failed mid-replay.
+
+    Carries the partial replay report (with its ``failed_event`` marker)
+    in :attr:`report` so the CLI can still write the diagnostic artifact
+    before exiting non-zero.
+    """
+
+    def __init__(self, message: str, report: dict | None = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class PersistenceError(ReproError):
+    """A session journal (write-ahead log or snapshot) is unreadable,
+    corrupt beyond the torn-tail tolerance, or was driven out of contract
+    (see :mod:`repro.session.persistence`)."""
+
+
+class WorkerRetryError(ReproError):
+    """Fault-tolerant worker dispatch exhausted its retry budget and the
+    sequential fallback was disabled (see :mod:`repro.pipeline.dispatch`)."""
+
+
+class SharedMemorySegmentError(ReproError):
+    """A shared-memory fleet segment could not be attached — typically the
+    owning coordinator unlinked it before (or while) a worker attached
+    (see :mod:`repro.pipeline.sharedmem`)."""
+
+
 class DataError(ReproError):
     """Input data is malformed (wrong shape, NaNs, negative energy, ...)."""
 
@@ -59,3 +89,10 @@ class RegistryError(ReproError):
 class SpecError(ReproError):
     """A declarative run spec is malformed: unknown keys, wrong types, or an
     unsupported version (see :mod:`repro.api.spec`)."""
+
+
+class DegradedExecutionWarning(RuntimeWarning):
+    """Execution completed, but on a degraded path: a shared-memory segment
+    could not be created (pickled dispatch took over) or worker retries ran
+    out (chunks finished in-process).  Results are bitwise identical on the
+    degraded path; the warning exists so operators notice the slowdown."""

@@ -22,6 +22,12 @@ Subsystem contract:
   benchmark and the conformance matrix on every run.
 """
 
+from repro.pipeline.dispatch import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    backoff_seconds,
+    dispatch_chunks,
+)
 from repro.pipeline.bench import (
     FIDELITY_RTOL,
     SCALE_FANOUT_MIN_SPEEDUP,
@@ -55,6 +61,10 @@ from repro.pipeline.sharedmem import (
 )
 
 __all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "backoff_seconds",
+    "dispatch_chunks",
     "SEGMENT_PREFIX",
     "SharedArraySpec",
     "SharedFleetBuffer",

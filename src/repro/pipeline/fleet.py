@@ -23,6 +23,7 @@ benchmark and the conformance matrix all assert this equivalence; use
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
@@ -32,7 +33,9 @@ import numpy as np
 from repro.aggregation.aggregate import AggregatedFlexOffer, aggregate_all
 from repro.aggregation.grouping import GroupingParams, group_offers
 from repro.api.registry import create_extractor
-from repro.errors import ValidationError
+from repro.errors import DegradedExecutionWarning, ValidationError
+from repro.pipeline.dispatch import RetryPolicy, dispatch_chunks
+from repro.testing import faults
 from repro.evaluation.comparison import SEED_STRIDE, input_series_for
 from repro.extraction.base import FlexibilityExtractor
 from repro.flexoffer.model import FlexOffer, offer_id_scope
@@ -376,13 +379,15 @@ def _init_worker(extractor: FlexibilityExtractor) -> None:
 
 
 def _run_chunk_in_worker(
-    seed: int, jobs: list[tuple[int, str, TimeSeries]]
+    chunk_index: int, seed: int, jobs: list[tuple[int, str, TimeSeries]]
 ) -> tuple[list[HouseholdOutput], dict[str, float]]:
     assert _WORKER_EXTRACTOR is not None, "worker pool initializer did not run"
+    faults.fire("fleet-chunk", chunk_index)
     return _run_chunk(_WORKER_EXTRACTOR, seed, jobs)
 
 
 def _run_shared_chunk_in_worker(
+    chunk_index: int,
     seed: int,
     spec: SharedArraySpec,
     axis: TimeAxis,
@@ -397,6 +402,7 @@ def _run_shared_chunk_in_worker(
     so extractors behave (and their outputs stay bitwise) identically.
     """
     assert _WORKER_EXTRACTOR is not None, "worker pool initializer did not run"
+    faults.fire("fleet-chunk", chunk_index)
     with SharedFleetBuffer.attach(spec) as buffer:
         matrix = buffer.array
         jobs = [
@@ -486,7 +492,15 @@ class FleetPipeline:
         ``False`` forces the legacy pickling fan-out — kept selectable so
         the scale benchmark can measure the difference.  Either way the
         results are bitwise identical.  Fleets whose inputs do not share a
-        time axis silently fall back to pickling.
+        time axis silently fall back to pickling, and a fleet whose segment
+        *creation* fails (e.g. ``/dev/shm`` full) falls back to pickling
+        under a :class:`~repro.errors.DegradedExecutionWarning`.
+    retry:
+        Fault-tolerance policy of the worker fan-out (see
+        :class:`~repro.pipeline.dispatch.RetryPolicy`): dead workers
+        rebuild the pool and re-dispatch only the outstanding chunks;
+        chunks whose retries run out finish in-process.  Results are
+        bitwise identical on every path.  ``None`` uses the defaults.
     seed:
         Base seed; household ``i`` always draws from
         ``default_rng(seed + 7919·i)``, matching the evaluation harness.
@@ -505,6 +519,7 @@ class FleetPipeline:
         seed: int = 0,
         schedule: ScheduleConfig | None = None,
         shared_memory: bool = True,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if chunk_size < 1:
             raise ValidationError("chunk_size must be >= 1")
@@ -519,6 +534,7 @@ class FleetPipeline:
         self.seed = seed
         self.schedule = schedule
         self.shared_memory = shared_memory
+        self.retry = retry
 
     # ------------------------------------------------------------------ #
     # Stages
@@ -604,52 +620,71 @@ class FleetPipeline:
         outputs: list[HouseholdOutput],
         timings: StageTimings,
     ) -> None:
-        """Run the chunks over a process pool, collecting as futures finish.
+        """Run the chunks through the fault-tolerant dispatcher.
 
         The shared-memory path stages all inputs in one segment up front and
         submits row descriptors; the pickling path submits the series
-        themselves.  Teardown is guaranteed in both directions: a raising
-        chunk cancels the not-yet-started chunks (instead of draining the
-        whole queue before surfacing the error), and the owner side of the
-        shared segment is closed *and unlinked* on every exit path — worker
-        crashes included — so no ``/dev/shm`` segment outlives the run.
+        themselves.  Failed segment creation (a full ``/dev/shm``) demotes
+        the run to the pickling path under a warning instead of aborting.
+        Worker loss is survived by :func:`~repro.pipeline.dispatch.
+        dispatch_chunks` (pool rebuild, outstanding-only re-dispatch,
+        in-process degradation), while a chunk that *raises* still
+        propagates with the not-yet-started chunks cancelled.  The owner
+        side of the shared segment is closed *and unlinked* on every exit
+        path — worker crashes included — so no ``/dev/shm`` segment
+        outlives the run.
         """
         packed = _pack_jobs(jobs) if self.shared_memory else None
         with ExitStack() as stack:
             if packed is not None:
                 matrix, axis, rows = packed
-                buffer = stack.enter_context(SharedFleetBuffer.create(matrix))
+                try:
+                    buffer = stack.enter_context(SharedFleetBuffer.create(matrix))
+                except (OSError, MemoryError) as exc:
+                    warnings.warn(
+                        DegradedExecutionWarning(
+                            "shared-memory segment creation failed "
+                            f"({exc}); falling back to pickled dispatch"
+                        ),
+                        stacklevel=2,
+                    )
+                    packed = None
+            if packed is not None:
                 row_chunks = [
                     rows[first : first + self.chunk_size]
                     for first in range(0, len(rows), self.chunk_size)
                 ]
-            pool = stack.enter_context(
-                ProcessPoolExecutor(
+                worker_fn = _run_shared_chunk_in_worker
+                task_args = [
+                    (index, self.seed, buffer.spec, axis, chunk)
+                    for index, chunk in enumerate(row_chunks)
+                ]
+            else:
+                worker_fn = _run_chunk_in_worker
+                task_args = [
+                    (index, self.seed, chunk) for index, chunk in enumerate(chunks)
+                ]
+
+            def pool_factory() -> ProcessPoolExecutor:
+                return ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_init_worker,
                     initargs=(self.extractor,),
                 )
+
+            results = dispatch_chunks(
+                task_args,
+                worker_fn,
+                pool_factory,
+                # Degraded chunks recompute from the original in-process
+                # jobs — same seeds, same id scopes, bitwise-same outputs.
+                lambda index: _run_chunk(self.extractor, self.seed, chunks[index]),
+                policy=self.retry,
+                label="fleet extraction",
             )
-            if packed is not None:
-                futures = [
-                    pool.submit(
-                        _run_shared_chunk_in_worker, self.seed, buffer.spec, axis, chunk
-                    )
-                    for chunk in row_chunks
-                ]
-            else:
-                futures = [
-                    pool.submit(_run_chunk_in_worker, self.seed, chunk)
-                    for chunk in chunks
-                ]
-            try:
-                for future in futures:
-                    chunk_outputs, chunk_timings = future.result()
-                    outputs.extend(chunk_outputs)
-                    timings.merge(chunk_timings)
-            except BaseException:
-                pool.shutdown(wait=True, cancel_futures=True)
-                raise
+            for chunk_outputs, chunk_timings in results:
+                outputs.extend(chunk_outputs)
+                timings.merge(chunk_timings)
 
 
 def run_sequential(

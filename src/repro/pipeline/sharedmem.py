@@ -42,7 +42,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import SharedMemorySegmentError, ValidationError
+from repro.testing import faults
 
 #: Prefix of every segment this module creates; leak scans key on it.
 SEGMENT_PREFIX = "repro-fleet-"
@@ -103,6 +104,7 @@ class SharedFleetBuffer:
                 f"segment names must start with {SEGMENT_PREFIX!r}, got {name!r}"
             )
         name = name or f"{SEGMENT_PREFIX}{secrets.token_hex(8)}"
+        faults.fire("shm-create")
         shm = shared_memory.SharedMemory(name=name, create=True, size=array.nbytes)
         spec = SharedArraySpec(
             name=shm.name, shape=tuple(array.shape), dtype=array.dtype.str
@@ -113,8 +115,21 @@ class SharedFleetBuffer:
 
     @classmethod
     def attach(cls, spec: SharedArraySpec) -> "SharedFleetBuffer":
-        """Attach to an existing segment by spec; the result never unlinks."""
-        shm = shared_memory.SharedMemory(name=spec.name)
+        """Attach to an existing segment by spec; the result never unlinks.
+
+        A segment that no longer exists raises
+        :class:`~repro.errors.SharedMemorySegmentError` naming the segment:
+        the usual cause is lifecycle inversion — the owning coordinator
+        unlinked the segment before (or while) this worker attached.
+        """
+        try:
+            shm = shared_memory.SharedMemory(name=spec.name)
+        except FileNotFoundError as exc:
+            raise SharedMemorySegmentError(
+                f"shared segment {spec.name!r} does not exist; the owning "
+                "coordinator likely unlinked it before this attach — keep "
+                "the owner's SharedFleetBuffer open until every worker is done"
+            ) from exc
         if shm.size < spec.nbytes:
             shm.close()
             raise ValidationError(

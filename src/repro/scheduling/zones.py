@@ -50,6 +50,7 @@ from repro.timeseries.series import TimeSeries
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.market.clearing import ClearingResult
+    from repro.pipeline.dispatch import RetryPolicy
 
 #: Engine the zone-sharded scheduler uses unless the caller says otherwise.
 #: ``"auto"`` resolves per zone from that zone's own workload shape (see
@@ -397,11 +398,25 @@ def _schedule_one_zone(
     return schedule_aggregates(aggregates, zone.target, config)
 
 
+def _schedule_zone_task(
+    position: int,
+    zone: MarketZone,
+    aggregates: list[AggregatedFlexOffer],
+    config: ScheduleConfig,
+) -> ScheduleResult:
+    """Worker entry for one zone: fault probe plus the zone run."""
+    from repro.testing import faults
+
+    faults.fire("zone-worker", position)
+    return _schedule_one_zone(zone, aggregates, config)
+
+
 def schedule_zones(
     aggregates: tuple[AggregatedFlexOffer, ...] | list[AggregatedFlexOffer],
     zoned: ZonedTarget,
     config: ScheduleConfig | None = None,
     workers: int | None = None,
+    retry: "RetryPolicy | None" = None,
 ) -> ZonedScheduleResult:
     """Schedule every zone of a zoned market independently.
 
@@ -411,7 +426,11 @@ def schedule_zones(
     own target.  ``workers`` > 1 fans zones out over a process pool; zone
     runs share no state and are deterministic, so the result is identical
     to the sequential path for any worker count (asserted by
-    ``benchmarks/bench_zones.py`` and the zone tests).
+    ``benchmarks/bench_zones.py`` and the zone tests).  The fan-out rides
+    the fault-tolerant dispatcher: a worker killed mid-zone rebuilds the
+    pool and re-dispatches only the outstanding zones (``retry``, a
+    :class:`~repro.pipeline.dispatch.RetryPolicy`, tunes the policy), so
+    one dead process never aborts — or changes — the market run.
 
     With ``config.market`` set, merit-order clearing runs *before*
     placement (:func:`repro.market.clearing.clear_zones`): only cleared
@@ -450,12 +469,24 @@ def schedule_zones(
     if workers is not None and workers > 1 and len(zoned.zones) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_schedule_one_zone, zone, buckets[zone.name], config)
-                for zone in zoned.zones
-            ]
-            results = tuple(future.result() for future in futures)
+        from repro.pipeline.dispatch import dispatch_chunks
+
+        task_args = [
+            (position, zone, buckets[zone.name], config)
+            for position, zone in enumerate(zoned.zones)
+        ]
+        results = tuple(
+            dispatch_chunks(
+                task_args,
+                _schedule_zone_task,
+                lambda: ProcessPoolExecutor(max_workers=workers),
+                lambda position: _schedule_one_zone(
+                    zoned.zones[position], buckets[zoned.zones[position].name], config
+                ),
+                policy=retry,
+                label="zone scheduling",
+            )
+        )
     else:
         results = tuple(
             _schedule_one_zone(zone, buckets[zone.name], config)

@@ -6,9 +6,19 @@ replan re-extracts only those, and commit freezes the placements a real
 dispatcher would already have sent out.  ``state`` holds the appendable
 :class:`FleetState` / immutable :class:`SessionSnapshot` split; ``replay``
 drives a session from a recorded JSON event stream (``repro session
---replay``).
+--replay``); ``persistence`` makes sessions durable — a checksummed JSONL
+write-ahead log with snapshot compaction and crash recovery
+(``repro session --journal DIR`` / ``--resume``).
 """
 
+from repro.session.persistence import (
+    DEFAULT_SNAPSHOT_EVERY,
+    JOURNAL_VERSION,
+    SessionJournal,
+    decode_state,
+    encode_state,
+    restore_session,
+)
 from repro.session.replay import (
     SESSION_EVENTS_VERSION,
     load_session_events,
@@ -25,12 +35,18 @@ from repro.session.state import (
 
 __all__ = [
     "COMMIT_ID_PREFIX",
+    "DEFAULT_SNAPSHOT_EVERY",
+    "JOURNAL_VERSION",
     "SESSION_EVENTS_VERSION",
     "SNAPSHOT_VERSION",
     "FleetState",
     "FlexibilitySession",
+    "SessionJournal",
     "SessionSnapshot",
+    "decode_state",
+    "encode_state",
     "load_session_events",
     "replay_session",
+    "restore_session",
     "session_for_spec",
 ]

@@ -37,10 +37,11 @@ from typing import Any
 
 from repro.api.service import build_schedule_target
 from repro.api.spec import RunSpec
-from repro.errors import SessionError
+from repro.errors import SessionError, SessionReplayError
 from repro.evaluation.comparison import input_series_for
 from repro.flexoffer.io import report_delta
 from repro.session.state import FlexibilitySession, SessionSnapshot
+from repro.testing import faults
 
 #: Wire-format version of session event files and replay reports.
 SESSION_EVENTS_VERSION = 1
@@ -137,13 +138,86 @@ def _committed_stable(snapshots: list[SessionSnapshot]) -> bool:
     return True
 
 
-def replay_session(path: str | Path) -> dict[str, Any]:
+def _apply_event(session, inputs, position, event) -> SessionSnapshot | None:
+    """Apply one replay event; returns the snapshot for replan events."""
+    kind = event["type"]
+    if kind == "ingest":
+        try:
+            household = int(event["household"])
+            first = int(event["first"])
+            count = int(event["count"])
+        except KeyError as exc:
+            raise SessionError(
+                f"events[{position}]: ingest needs household/first/count "
+                f"(missing {exc})"
+            ) from exc
+        if not 0 <= household < len(inputs):
+            raise SessionError(
+                f"events[{position}]: household {household} out of range"
+            )
+        values = inputs[household].values[first : first + count]
+        if values.size != count:
+            raise SessionError(
+                f"events[{position}]: ingest [{first}, {first + count}) "
+                f"overruns the input series"
+            )
+        session.ingest(household, first, values)
+        return None
+    if kind == "replan":
+        return session.replan()
+    try:
+        through = datetime.fromisoformat(event["through"])
+    except KeyError as exc:
+        raise SessionError(f"events[{position}]: commit needs 'through'") from exc
+    except ValueError as exc:
+        raise SessionError(f"events[{position}]: {exc}") from exc
+    session.commit(through)
+    return None
+
+
+def _build_report(
+    spec: RunSpec,
+    events: list[dict[str, Any]],
+    snapshots: list[SessionSnapshot],
+    failed_event: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    dicts = [snapshot.to_dict() for snapshot in snapshots]
+    report = {
+        "version": SESSION_EVENTS_VERSION,
+        "spec_name": spec.name,
+        "events": len(events),
+        "replans": [_replan_row(snapshot) for snapshot in snapshots],
+        "committed": len(snapshots[-1].committed) if snapshots else 0,
+        "committed_stable": _committed_stable(snapshots),
+        "deltas": [report_delta(old, new) for old, new in zip(dicts, dicts[1:])],
+        "final": dicts[-1] if dicts else None,
+    }
+    if failed_event is not None:
+        report["failed_event"] = failed_event
+    return report
+
+
+def replay_session(
+    path: str | Path,
+    journal_dir: str | Path | None = None,
+    resume: bool = False,
+) -> dict[str, Any]:
     """Drive a session through a recorded event file; return the report.
 
     The report carries one row per replan, the
     :func:`~repro.flexoffer.io.report_delta` between successive snapshots,
     the final snapshot's full encoding, and ``committed_stable`` — whether
     every committed placement survived every later snapshot bitwise.
+
+    With ``journal_dir`` the session journals every event into a durable
+    WAL there (``repro session --journal DIR``); ``resume=True`` recovers
+    the session from that journal first and replays only the events the
+    crashed run never applied (``--resume``) — the recovered final state
+    is bitwise the uninterrupted run's.
+
+    A mid-stream failure does not discard the partial progress: the report
+    built so far — tagged with a ``failed_event`` marker — rides on the
+    raised :class:`~repro.errors.SessionReplayError`.
     """
     spec, events = load_session_events(path)
     from repro.simulation.dataset import generate_fleet
@@ -155,58 +229,66 @@ def replay_session(path: str | Path) -> dict[str, Any]:
     session = session_for_spec(spec, fleet=fleet)
     inputs = [input_series_for(session.extractor, trace) for trace in fleet]
 
+    applied = 0
     snapshots: list[SessionSnapshot] = []
-    for position, event in enumerate(events):
-        kind = event["type"]
-        if kind == "ingest":
-            try:
-                household = int(event["household"])
-                first = int(event["first"])
-                count = int(event["count"])
-            except KeyError as exc:
+    if journal_dir is not None:
+        from repro.session.persistence import SessionJournal, restore_session
+
+        if resume:
+            journal = SessionJournal.open(journal_dir)
+            if journal.spec is not None and journal.spec != spec.to_dict():
                 raise SessionError(
-                    f"events[{position}]: ingest needs household/first/count "
-                    f"(missing {exc})"
-                ) from exc
-            if not 0 <= household < len(inputs):
-                raise SessionError(
-                    f"events[{position}]: household {household} out of range"
+                    f"journal at {journal_dir} was recorded under a different "
+                    f"run spec than {path}; refusing to resume"
                 )
-            values = inputs[household].values[first : first + count]
-            if values.size != count:
-                raise SessionError(
-                    f"events[{position}]: ingest [{first}, {first + count}) "
-                    f"overruns the input series"
-                )
-            session.ingest(household, first, values)
-        elif kind == "replan":
-            snapshots.append(session.replan())
+            restore_session(session, journal)
+            # WAL seq N is events[N-1]: skip what recovery already applied.
+            applied = journal.last_seq
+            if session.state.version > 0:
+                # Seed the delta chain with the recovered state so the
+                # remaining replans diff against it, and so a tail with no
+                # replan still reports the recovered final snapshot.
+                snapshots.append(session.snapshot())
         else:
-            try:
-                through = datetime.fromisoformat(event["through"])
-            except KeyError as exc:
-                raise SessionError(
-                    f"events[{position}]: commit needs 'through'"
-                ) from exc
-            except ValueError as exc:
-                raise SessionError(f"events[{position}]: {exc}") from exc
-            session.commit(through)
+            session_spec = spec.pipeline.session
+            journal = SessionJournal.create(
+                journal_dir,
+                spec=spec.to_dict(),
+                snapshot_every=(
+                    None
+                    if session_spec is None
+                    else session_spec.journal_snapshot_every
+                ),
+            )
+            session.attach_journal(journal)
+
+    for position, event in enumerate(events):
+        if position < applied:
+            continue
+        try:
+            faults.fire("session-event", position)
+            snapshot = _apply_event(session, inputs, position, event)
+        except Exception as exc:
+            report = _build_report(
+                spec,
+                events,
+                snapshots,
+                failed_event={
+                    "position": position,
+                    "type": event.get("type"),
+                    "error": str(exc),
+                },
+            )
+            raise SessionReplayError(
+                f"events[{position}] ({event.get('type')}) failed: {exc}",
+                report=report,
+            ) from exc
+        if snapshot is not None:
+            snapshots.append(snapshot)
 
     if not snapshots:
         raise SessionError("event stream never replanned; nothing to report")
     if session.state.version > snapshots[-1].version:
         # A trailing commit published a newer state than the last replan.
         snapshots.append(session.snapshot())
-    dicts = [snapshot.to_dict() for snapshot in snapshots]
-    return {
-        "version": SESSION_EVENTS_VERSION,
-        "spec_name": spec.name,
-        "events": len(events),
-        "replans": [_replan_row(snapshot) for snapshot in snapshots],
-        "committed": len(snapshots[-1].committed),
-        "committed_stable": _committed_stable(snapshots),
-        "deltas": [
-            report_delta(old, new) for old, new in zip(dicts, dicts[1:])
-        ],
-        "final": dicts[-1],
-    }
+    return _build_report(spec, events, snapshots)

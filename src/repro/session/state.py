@@ -278,6 +278,12 @@ class FlexibilitySession:
         self._state = FleetState(households=states)
         if target is not None:
             self._state.committed_demand = np.zeros(target.axis.length)
+        #: Attached :class:`~repro.session.persistence.SessionJournal`
+        #: (None = in-memory session).  While ``_replaying`` is set the
+        #: event methods are being driven by recovery and must not journal.
+        self.journal = None
+        self._replaying = False
+        self._replans_since_snapshot = 0
 
     @classmethod
     def for_fleet(cls, fleet, **kwargs: Any) -> "FlexibilitySession":
@@ -295,6 +301,57 @@ class FlexibilitySession:
             series = input_series_for(extractor, trace)
             households.append((trace.config.household_id, series.axis, series.name))
         return cls(households, **kwargs)
+
+    @classmethod
+    def resume(cls, journal_dir, fleet=None) -> "FlexibilitySession":
+        """Recover a session from its journal directory.
+
+        Rebuilds the session from the :class:`~repro.api.spec.RunSpec`
+        stored in the WAL header (simulating the fleet unless ``fleet`` is
+        given), restores the newest intact snapshot, replays the WAL tail,
+        and re-attaches the journal — so the caller gets back exactly the
+        session the crashed process would have had, ready for new events.
+        """
+        from repro.api.spec import RunSpec
+        from repro.errors import PersistenceError
+        from repro.session.persistence import SessionJournal, restore_session
+        from repro.session.replay import session_for_spec
+
+        journal = SessionJournal.open(journal_dir)
+        if journal.spec is None:
+            raise PersistenceError(
+                f"journal at {journal_dir} stores no run spec; rebuild the "
+                "session yourself and call "
+                "repro.session.persistence.restore_session"
+            )
+        session = session_for_spec(RunSpec.from_dict(journal.spec), fleet=fleet)
+        return restore_session(session, journal)
+
+    def attach_journal(self, journal, _resuming: bool = False) -> None:
+        """Journal every future event of this session into ``journal``.
+
+        Outside recovery the journal must be fresh (header only) and the
+        session pristine — otherwise the WAL would open mid-history and
+        replaying it could never reproduce the state.
+        """
+        from repro.errors import PersistenceError
+
+        if self.journal is not None:
+            raise PersistenceError("session already has a journal attached")
+        if not _resuming:
+            state = self._state
+            if state.version > 0 or any(h.covered.any() for h in state.households):
+                raise PersistenceError(
+                    "cannot attach a journal mid-session: the WAL would "
+                    "miss the events that built the current state"
+                )
+            if journal.last_seq != 0:
+                raise PersistenceError(
+                    "journal already holds events; use FlexibilitySession."
+                    "resume (or restore_session) instead of attach_journal"
+                )
+        self.journal = journal
+        self._replans_since_snapshot = 0
 
     # ------------------------------------------------------------------ #
     # Events
@@ -321,12 +378,19 @@ class FlexibilitySession:
                 f"ingest [{first}, {first + chunk.size}) overruns household "
                 f"{household}'s axis (length {target.axis.length})"
             )
+        # WAL-first: the record hits the log before the buffer mutates, so
+        # recovery replays exactly the events whose effects may exist.
+        self._journal_event(
+            "ingest",
+            {"household": household, "first": first, "values": chunk.tolist()},
+        )
         target.values[first : first + chunk.size] = chunk
         target.covered[first : first + chunk.size] = True
         target.dirty = True
 
     def replan(self) -> SessionSnapshot:
         """Re-extract dirty households, re-aggregate, re-plan, publish."""
+        self._journal_event("replan", {})
         state = self._state
         for household in state.households:
             if not household.dirty:
@@ -359,6 +423,7 @@ class FlexibilitySession:
         ):
             self._commit_through(state.watermark + self.commit_horizon)
         state.version += 1
+        self._maybe_snapshot()
         return self.snapshot()
 
     def commit(self, through: datetime) -> int:
@@ -369,6 +434,9 @@ class FlexibilitySession:
         """
         if self.target is None:
             raise SessionError("cannot commit placements: session has no target")
+        # Commits are the events the market side relies on, so their WAL
+        # records are fsynced before the state moves.
+        self._journal_event("commit", {"through": through.isoformat()}, durable=True)
         newly = self._commit_through(through)
         if newly:
             self._state.version += 1
@@ -390,6 +458,25 @@ class FlexibilitySession:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+
+    def _journal_event(
+        self, kind: str, data: dict[str, Any], durable: bool = False
+    ) -> None:
+        if self.journal is None or self._replaying:
+            return
+        self.journal.append(kind, data, durable=durable)
+
+    def _maybe_snapshot(self) -> None:
+        """Compact the journal every ``snapshot_every`` replans."""
+        if self.journal is None or self._replaying:
+            return
+        self._replans_since_snapshot += 1
+        if self._replans_since_snapshot < self.journal.snapshot_every:
+            return
+        from repro.session.persistence import encode_state
+
+        self.journal.write_snapshot(encode_state(self))
+        self._replans_since_snapshot = 0
 
     def _reschedule(self) -> None:
         """Re-plan the open window against the residual target."""

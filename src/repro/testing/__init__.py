@@ -1,0 +1,25 @@
+"""Deterministic test harnesses for the :mod:`repro` package.
+
+Currently one member: :mod:`repro.testing.faults`, the fault-injection
+harness behind the crash-recovery and worker-retry test suites.  Nothing
+in here is imported by production code paths beyond cheap, env-gated
+``fire()`` probes.
+"""
+
+from repro.testing.faults import (
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    inject_faults,
+)
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "inject_faults",
+]

@@ -264,6 +264,118 @@ class TestWorkerPoolTeardown:
         assert leaked_segments() == []
 
 
+class TestFaultHarnessWorkerDeath:
+    """Real process-pool workers killed by the fault harness.
+
+    The dispatch layer's contract: a worker death (``os._exit`` mid-chunk,
+    the shape of an OOM kill) is recovered — by a rebuilt pool when the
+    fault was transient, by in-process degradation when it is persistent —
+    and the results are bitwise the no-fault run's either way.
+    """
+
+    RETRY = None  # set in setup to keep the import at use-site
+
+    def _retry(self, **kwargs):
+        from repro.pipeline.dispatch import RetryPolicy
+
+        kwargs.setdefault("backoff_base_seconds", 0.0)
+        kwargs.setdefault("backoff_max_seconds", 0.0)
+        return RetryPolicy(**kwargs)
+
+    def test_transient_fleet_worker_crash_retries_to_identical_results(
+        self, fleet, tmp_path
+    ):
+        import warnings
+
+        from repro.pipeline.fleet import results_identical, run_sequential
+        from repro.testing import faults
+
+        sequential = run_sequential(fleet, seed=0)
+        pipeline = FleetPipeline(
+            workers=2, chunk_size=2, seed=0, retry=self._retry()
+        )
+        with faults.inject_faults(
+            faults.FaultSpec("fleet-chunk", index=1), latch_dir=str(tmp_path)
+        ):
+            with warnings.catch_warnings():
+                # One latched crash is absorbed by a retry: no degradation.
+                warnings.simplefilter("error")
+                result = pipeline.run(fleet)
+        assert results_identical(result, sequential)
+        assert leaked_segments() == []
+        # The latch proves the worker really died once.
+        assert list(tmp_path.glob("fired-fleet-chunk-*"))
+
+    def test_persistent_fleet_worker_crash_degrades_to_identical_results(
+        self, fleet
+    ):
+        from repro.errors import DegradedExecutionWarning
+        from repro.pipeline.fleet import results_identical, run_sequential
+        from repro.testing import faults
+
+        sequential = run_sequential(fleet, seed=0)
+        pipeline = FleetPipeline(
+            workers=2, chunk_size=2, seed=0,
+            retry=self._retry(max_attempts=2),
+        )
+        # No latch directory: the crash fires on every delivery, so the
+        # chunk exhausts its attempts and finishes in-process.
+        with faults.inject_faults(faults.FaultSpec("fleet-chunk", index=0)):
+            with pytest.warns(DegradedExecutionWarning, match="in-process"):
+                result = pipeline.run(fleet)
+        assert results_identical(result, sequential)
+        assert leaked_segments() == []
+
+    def test_shm_creation_failure_falls_back_to_pickled_dispatch(self, fleet):
+        from repro.errors import DegradedExecutionWarning
+        from repro.pipeline.fleet import results_identical, run_sequential
+        from repro.testing import faults
+
+        sequential = run_sequential(fleet, seed=0)
+        pipeline = FleetPipeline(workers=2, chunk_size=2, seed=0)
+        # A full /dev/shm must degrade the transport, never the run.
+        with faults.inject_faults(faults.FaultSpec("shm-create", mode="oserror")):
+            with pytest.warns(DegradedExecutionWarning, match="pickled dispatch"):
+                result = pipeline.run(fleet)
+        assert results_identical(result, sequential)
+        assert leaked_segments() == []
+
+    def test_zone_worker_crash_recovers_identical_schedule(self, fleet):
+        from repro.errors import DegradedExecutionWarning
+        from repro.pipeline.fleet import fleet_zoned_target
+        from repro.scheduling.zones import schedule_zones
+        from repro.testing import faults
+
+        extractor = create_extractor("peak-based", flexible_share=0.05)
+        aggregates = FleetPipeline(extractor, chunk_size=2).run(fleet).aggregates
+        zoned = fleet_zoned_target(fleet, zones=2)
+        sequential = schedule_zones(aggregates, zoned)
+        with faults.inject_faults(faults.FaultSpec("zone-worker", index=0)):
+            with pytest.warns(DegradedExecutionWarning, match="in-process"):
+                fanned = schedule_zones(
+                    aggregates, zoned, workers=2,
+                    retry=self._retry(max_attempts=1),
+                )
+        assert fanned == sequential
+
+    def test_conformance_worker_crash_recovers_identical_report(self):
+        from repro.conformance import run_conformance
+        from repro.errors import DegradedExecutionWarning
+        from repro.testing import faults
+
+        kwargs = dict(
+            scenarios=["seasonal-summer"],
+            extractors=["basic", "peak-based"],
+            invariants=["offer-validity"],
+        )
+        in_process = run_conformance(**kwargs)
+        with faults.inject_faults(faults.FaultSpec("conformance-cell", index=0)):
+            with pytest.warns(DegradedExecutionWarning, match="in-process"):
+                report = run_conformance(**kwargs, workers=2)
+        assert report.to_dict() == in_process.to_dict()
+        assert report.passed
+
+
 class TestTinyHorizons:
     def test_single_interval_series(self, rng):
         axis = TimeAxis(START, axis_for_days(START, 1).resolution, 1)

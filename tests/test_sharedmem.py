@@ -14,7 +14,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.errors import ValidationError
+from repro.errors import SharedMemorySegmentError, ValidationError
 from repro.pipeline.fleet import (
     FleetPipeline,
     _pack_jobs,
@@ -100,8 +100,13 @@ class TestLifecycle:
             spec = buffer.spec
             assert spec.name in leaked_segments()
         assert spec.name not in leaked_segments()
-        with pytest.raises(FileNotFoundError):
+        # A late attach must not leak the raw FileNotFoundError: it comes
+        # back as the pinned ReproError subclass naming the segment and
+        # the likely owner-unlinked-early cause.
+        with pytest.raises(SharedMemorySegmentError, match=spec.name) as excinfo:
             SharedFleetBuffer.attach(spec)
+        assert "unlinked it before this attach" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, FileNotFoundError)
 
     def test_attach_context_never_unlinks(self, matrix):
         with SharedFleetBuffer.create(matrix) as owner:
