@@ -277,6 +277,52 @@ class FlexibilityService:
             series = series * (target_kwh / series.total())
         return series
 
+    def _build_scenarios(
+        self, spec: RunSpec, target: "TimeSeries | ZonedTarget"
+    ) -> "list[TimeSeries] | None":
+        """Synthesise the robust mode's quantile scenario fan, if any.
+
+        A spec with ``schedule.robust`` set gets one scenario series per
+        configured quantile level — the deterministic symmetric fan of
+        :func:`repro.scheduling.robust.synthetic_fan` around the point
+        target (spec validation already rejected zoned targets, so
+        ``target`` is a plain series here).  Returns ``None`` for point
+        scheduling, which keeps pre-robust runs byte-identical.
+        """
+        schedule = spec.pipeline.schedule
+        if schedule is None or schedule.robust is None:
+            return None
+        from repro.scheduling.robust import synthetic_fan
+
+        return synthetic_fan(target, schedule.robust.config())
+
+    @staticmethod
+    def _uncertainty_summary(
+        schedule: "ScheduleResult",
+        scenarios: "list[TimeSeries]",
+        robust_spec,
+    ) -> dict[str, Any]:
+        """Per-quantile realized costs of the robust schedule (run summary).
+
+        Scores the placed schedule against every scenario in the fan with
+        :func:`repro.scheduling.robust.evaluate_realized`; the low/median/
+        high rows bound the schedule's imbalance across the forecast
+        uncertainty band.
+        """
+        from repro.scheduling.robust import evaluate_realized
+
+        costs = [
+            evaluate_realized(schedule, scenario).realized_cost
+            for scenario in scenarios
+        ]
+        return {
+            "robust_risk": robust_spec.risk,
+            "robust_scenarios": float(len(scenarios)),
+            "realized_cost_low_q": costs[0],
+            "realized_cost_median_q": costs[len(costs) // 2],
+            "realized_cost_high_q": costs[-1],
+        }
+
     def _build_zoned_target(self, spec: RunSpec) -> "ZonedTarget":
         from repro.scheduling.zones import MarketZone, ZonedTarget
 
@@ -305,6 +351,9 @@ class FlexibilityService:
         fleet = self._simulate(spec)
         schedule_spec = spec.pipeline.schedule
         target = self._build_target(spec) if schedule_spec is not None else None
+        scenarios = (
+            self._build_scenarios(spec, target) if target is not None else None
+        )
         results = []
         for extractor_spec in spec.extractors:
             pipeline = FleetPipeline(
@@ -315,7 +364,7 @@ class FlexibilityService:
                 seed=spec.scenario.seed,
                 schedule=None if schedule_spec is None else schedule_spec.config(),
             )
-            fleet_result = pipeline.run(fleet, target=target)
+            fleet_result = pipeline.run(fleet, target=target, scenarios=scenarios)
             summary = {
                 "offers": float(len(fleet_result.offers)),
                 "aggregates": float(len(fleet_result.aggregates)),
@@ -323,6 +372,12 @@ class FlexibilityService:
             }
             if fleet_result.schedule is not None:
                 summary.update(fleet_result.schedule.summary())
+                if scenarios is not None:
+                    summary.update(
+                        self._uncertainty_summary(
+                            fleet_result.schedule, scenarios, schedule_spec.robust
+                        )
+                    )
             results.append(
                 ExtractorRunReport(
                     extractor=extractor_spec.name,

@@ -174,6 +174,10 @@ SCHEDULE_ENGINES: tuple[str, ...] = ("vectorized", "incremental", "reference", "
 #: (kept in sync by a test; duplicated so the spec layer stays import-light).
 MARKET_ENGINES: tuple[str, ...] = ("reference", "vectorized")
 
+#: Risk measures — mirror ``repro.scheduling.robust.RISK_MEASURES`` (kept
+#: in sync by a test; duplicated so the spec layer stays import-light).
+ROBUST_RISKS: tuple[str, ...] = ("expected", "cvar")
+
 
 @dataclass(frozen=True, slots=True)
 class MarketSpec:
@@ -245,6 +249,102 @@ class MarketSpec:
             kwargs["engine"] = _require_type(
                 data["engine"], (str,), "pipeline.schedule.market.engine"
             )
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class RobustSpec:
+    """The declarative uncertainty-aware mode of the schedule stage.
+
+    Mirrors :class:`repro.scheduling.robust.RobustConfig`: placements are
+    scored against a quantile scenario fan instead of the point target
+    alone.  ``quantiles`` are the fan's levels (strictly increasing, in
+    ``(0, 1)``), ``risk`` aggregates the per-scenario gains
+    (``"expected"`` weights them by level mass, ``"cvar"`` plans for the
+    worst ``alpha`` tail), and ``sigma`` is the relative spread of the
+    fan the service synthesises around the target when no explicit
+    forecast fan is supplied.  Plain (non-zoned) targets only.
+    """
+
+    quantiles: tuple[float, ...] = (0.1, 0.5, 0.9)
+    risk: str = "expected"
+    alpha: float = 0.3
+    sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.quantiles, tuple):
+            object.__setattr__(self, "quantiles", tuple(self.quantiles))
+        if not self.quantiles:
+            raise SpecError("schedule.robust.quantiles must be non-empty")
+        for level in self.quantiles:
+            if not 0.0 < level < 1.0:
+                raise SpecError(
+                    f"schedule.robust.quantiles must lie in (0, 1), got {level}"
+                )
+        if any(b <= a for a, b in zip(self.quantiles, self.quantiles[1:])):
+            raise SpecError(
+                "schedule.robust.quantiles must be strictly increasing, "
+                f"got {self.quantiles}"
+            )
+        if self.risk not in ROBUST_RISKS:
+            raise SpecError(
+                f"schedule.robust.risk must be one of {', '.join(ROBUST_RISKS)}, "
+                f"got {self.risk!r}"
+            )
+        if not 0.0 < self.alpha <= 1.0:
+            raise SpecError(
+                f"schedule.robust.alpha must be in (0, 1], got {self.alpha}"
+            )
+        if self.sigma < 0:
+            raise SpecError(f"schedule.robust.sigma must be >= 0, got {self.sigma}")
+
+    def config(self):
+        """The mode configuration as the scheduling layer's own dataclass."""
+        from repro.scheduling.robust import RobustConfig
+
+        return RobustConfig(
+            quantiles=self.quantiles,
+            risk=self.risk,
+            alpha=self.alpha,
+            sigma=self.sigma,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "quantiles": list(self.quantiles),
+            "risk": self.risk,
+            "alpha": self.alpha,
+            "sigma": self.sigma,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RobustSpec":
+        allowed = tuple(f.name for f in fields(cls))
+        _require_keys(data, allowed, "pipeline.schedule.robust")
+        kwargs: dict[str, Any] = {}
+        if "quantiles" in data:
+            raw = _require_type(
+                data["quantiles"], (list, tuple), "pipeline.schedule.robust.quantiles"
+            )
+            kwargs["quantiles"] = tuple(
+                float(
+                    _require_type(
+                        q, (int, float), "pipeline.schedule.robust.quantiles[]"
+                    )
+                )
+                for q in raw
+            )
+        if "risk" in data:
+            kwargs["risk"] = _require_type(
+                data["risk"], (str,), "pipeline.schedule.robust.risk"
+            )
+        for key in ("alpha", "sigma"):
+            if key in data:
+                kwargs[key] = float(
+                    _require_type(
+                        data[key], (int, float), f"pipeline.schedule.robust.{key}"
+                    )
+                )
         return cls(**kwargs)
 
 
@@ -352,8 +452,11 @@ class ScheduleSpec:
     the wire format omits the key when absent, so pre-zone spec files and
     goldens keep loading unchanged.  A non-null ``market`` additionally
     runs merit-order clearing before placement (zoned runs only; the key
-    is likewise omitted when absent).  The remaining fields mirror
-    :class:`repro.scheduling.greedy.ScheduleConfig`.
+    is likewise omitted when absent).  A non-null ``robust``
+    (:class:`RobustSpec`) scores placements against a quantile scenario
+    fan — the service synthesises the fan from a quantile forecast of the
+    target (plain targets only; the key is omitted when absent).  The
+    remaining fields mirror :class:`repro.scheduling.greedy.ScheduleConfig`.
     """
 
     target: str = "wind"
@@ -365,6 +468,7 @@ class ScheduleSpec:
     improve_seed: int = 0
     zones: tuple[ZoneSpec, ...] = ()
     market: MarketSpec | None = None
+    robust: RobustSpec | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.zones, tuple):
@@ -405,6 +509,18 @@ class ScheduleSpec:
                 "schedule.market requires schedule.zones: merit-order "
                 "clearing runs on zoned targets only"
             )
+        if self.robust is not None:
+            if self.zones:
+                raise SpecError(
+                    "schedule.robust applies to plain targets only; zoned "
+                    "markets keep point scheduling"
+                )
+            if self.engine == "incremental":
+                raise SpecError(
+                    "schedule.robust supports the vectorized and reference "
+                    'engines (and "auto"); the incremental engine is '
+                    "point-target only"
+                )
 
     def config(self):
         """The stage configuration as the scheduling layer's own dataclass."""
@@ -416,6 +532,7 @@ class ScheduleSpec:
             improve_iterations=self.improve_iterations,
             improve_seed=self.improve_seed,
             market=None if self.market is None else self.market.config(),
+            robust=None if self.robust is None else self.robust.config(),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -432,6 +549,8 @@ class ScheduleSpec:
             encoded["zones"] = [zone.to_dict() for zone in self.zones]
         if self.market is not None:
             encoded["market"] = self.market.to_dict()
+        if self.robust is not None:
+            encoded["robust"] = self.robust.to_dict()
         return encoded
 
     @classmethod
@@ -465,6 +584,11 @@ class ScheduleSpec:
                 data["market"], (Mapping,), "pipeline.schedule.market"
             )
             kwargs["market"] = MarketSpec.from_dict(market)
+        if "robust" in data and data["robust"] is not None:
+            robust = _require_type(
+                data["robust"], (Mapping,), "pipeline.schedule.robust"
+            )
+            kwargs["robust"] = RobustSpec.from_dict(robust)
         return cls(**kwargs)
 
 

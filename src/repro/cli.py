@@ -64,6 +64,9 @@ BENCH_SUITES: dict[str, str] = {
     "scale": "million-household scale-out: streaming throughput ladder, "
     "shared-memory fan-out vs pickling, O(chunk) memory proof and the "
     "engine-crossover sweep (BENCH_scale.json)",
+    "uncertainty": "robust quantile-fan scheduling vs point scheduling: "
+    "overhead gate, bitwise engine equivalence and per-quantile realized "
+    "costs (BENCH_uncertainty.json)",
 }
 
 
@@ -308,6 +311,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if result.schedule.clearing is not None:
                 print(f"\n{result.extractor} — market clearing:")
                 print(format_table(result.schedule.clearing.table_rows()))
+        if "robust_risk" in result.summary:
+            summary = result.summary
+            print(f"\n{result.extractor} — uncertainty (robust scheduling):")
+            print(
+                format_table(
+                    [
+                        {
+                            "quantile": band,
+                            "realized_cost": round(summary[key], 4),
+                        }
+                        for band, key in (
+                            ("low", "realized_cost_low_q"),
+                            ("median", "realized_cost_median_q"),
+                            ("high", "realized_cost_high_q"),
+                        )
+                    ]
+                )
+            )
+            print(
+                f"risk measure: {summary['robust_risk']} over "
+                f"{int(summary['robust_scenarios'])} quantile scenarios"
+            )
     if args.out is not None:
         report.save(args.out)
         print(f"wrote {args.out}")
@@ -389,6 +414,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_market(args)
     if args.suite == "scale":
         return _cmd_bench_scale(args)
+    if args.suite == "uncertainty":
+        return _cmd_bench_uncertainty(args)
     from repro.pipeline import run_fleet_benchmark
 
     if args.seed is None:
@@ -552,6 +579,38 @@ def _cmd_bench_scale(args: argparse.Namespace) -> int:
         f"households); auto picks the sparse winner: "
         f"{crossover['auto_picks_sparse_winner']}; engines bitwise "
         f"identical on every rung: {crossover['all_rungs_bitwise_identical']}"
+    )
+    if args.out is not None:
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_bench_uncertainty(args: argparse.Namespace) -> int:
+    from repro.scheduling import run_uncertainty_benchmark, uncertainty_table_rows
+
+    if args.seed is None:
+        args.seed = 17  # the committed BENCH_uncertainty.json workload
+    if args.days is None:
+        args.days = 7
+    print(
+        f"Uncertainty benchmark: {args.aggregates} aggregated offers x "
+        f"{args.days} day target, robust quantile fan vs point scheduling "
+        f"(seed {args.seed}) ..."
+    )
+    report, _ = run_uncertainty_benchmark(
+        n_aggregates=args.aggregates,
+        days=args.days,
+        seed=args.seed,
+        out_path=args.out,
+    )
+    print(format_table(uncertainty_table_rows(report)))
+    greedy = report["greedy"]
+    equivalence = report["equivalence"]
+    print(
+        f"\nrobust overhead: {greedy['overhead']}x point scheduling "
+        f"(gate <= {greedy['overhead_gate']:g}x: {greedy['meets_overhead_gate']}); "
+        f"reference identical: {equivalence['robust_reference_identical']}; "
+        f"deterministic: {equivalence['deterministic_across_runs']}"
     )
     if args.out is not None:
         print(f"wrote {args.out}")

@@ -58,6 +58,24 @@ guarantees added by the pipeline and API layers):
     boundary and recovered via :class:`~repro.session.SessionJournal`
     (latest snapshot + WAL tail) finishes the remaining events in a state
     bitwise identical to the uninterrupted run's final snapshot.
+``replan-no-worse-realized``
+    The uncertainty contract of the robust-scheduling subsystem: a
+    mini-session that committed its early placements and then learns the
+    *realized* series (a deterministic perturbation of the cell's target)
+    never does worse by re-planning the open window against it — the
+    re-planned schedule's realized imbalance is at most the stale
+    schedule's, committed placements frozen in both.
+``fleet-monotonicity``
+    Metamorphic: doubling the cell's (mini) fleet — every household
+    cloned with fresh ids but the *same* extraction rng seeds — never
+    shrinks the total energy the extract→group→aggregate chain emits.
+    More flexibility in can never mean less flexibility out.
+``disaggregation-fairness``
+    Across schedule→disaggregate probes of the cell's multi-member
+    aggregates, no member is systematically starved: every member's
+    allocated energy share stays above a floor proportional to its
+    capacity share, and the spread of allocation/capacity ratios stays
+    under a pinned Gini bound.
 
 Invariants never raise on contract violations — they return them as
 messages — so one broken cell cannot hide the rest of the matrix.
@@ -98,6 +116,30 @@ _ROUNDTRIP_PROBES: tuple[tuple[float, str], ...] = (
     (1.0, "earliest"),
     (0.5, "latest"),
 )
+
+#: Schedule probes of the disaggregation-fairness check.  Deliberately
+#: excludes the all-minimum probe (level 0.0): at minimum energy every
+#: member legitimately receives only its own floor, which says nothing
+#: about how *discretionary* energy is shared.
+_FAIRNESS_PROBES: tuple[tuple[float, str], ...] = (
+    (0.5, "earliest"),
+    (1.0, "earliest"),
+    (0.5, "latest"),
+)
+
+#: Fairness floor: each member must receive at least this fraction of its
+#: capacity-proportional share of the energy actually allocated.
+FAIRNESS_MIN_SHARE = 0.2
+
+#: Fairness spread bound on the members' allocation/capacity ratios.
+#: 0.0 is perfectly proportional sharing; the slack admits the slack-
+#: proportional remainder rule's legitimate tilt toward flexible members.
+FAIRNESS_GINI_BOUND = 0.5
+
+#: How many multi-member aggregates the fairness check probes per cell
+#: (bounds invariant cost on offer-heavy cells; aggregates are probed in
+#: deterministic report order).
+FAIRNESS_MAX_AGGREGATES = 6
 
 
 @dataclass(frozen=True)
@@ -906,6 +948,276 @@ def check_crash_recovery_equivalence(run: CellRun) -> InvariantResult:
     )
 
 
+def check_replan_no_worse_realized(run: CellRun) -> InvariantResult:
+    """Re-planning against the realized series never worsens realized cost.
+
+    Drives a mini-session (first two households, no auto-commit horizon):
+    ingest the first input halves, replan, freeze the early placements
+    with an explicit commit through the target's midpoint, ingest the
+    rest and replan — that is the *stale* schedule, planned against the
+    forecast target.  Then reveal the realized series (a deterministic
+    ±12.5% perturbation of the target), retarget the session and replan
+    the open window.  Committed placements are frozen in both plans, so
+    the re-planned schedule must score at least as well against the
+    realized series as the stale one — learning the truth can only help.
+    This is the oracle that pins the robust-scheduling subsystem's
+    ``evaluate_realized``/``retarget`` loop end to end.
+    """
+    from repro.scheduling.robust import evaluate_realized
+    from repro.session import FlexibilitySession
+    from repro.timeseries.series import TimeSeries
+
+    name = "replan-no-worse-realized"
+    if run.result.schedule is None:
+        return _skipped(name, "cell ran without a schedule stage")
+    if not isinstance(run.target, TimeSeries):
+        return _skipped(
+            name,
+            "sessions re-plan plain targets only; zoned markets keep the "
+            "one-shot pipeline",
+        )
+    if run.entry.name in run.scenario.per_household_params:
+        return _skipped(
+            name, "per-household extractor parameters; no shared session extractor"
+        )
+    traces = run.fleet.traces[:2]
+    session = FlexibilitySession.for_fleet(
+        traces,
+        extractor=run.make_extractor(),
+        seed=run.scenario.seed,
+        target=run.target,
+    )
+    from repro.api.registry import input_series_for
+
+    inputs = [input_series_for(session.extractor, trace) for trace in traces]
+    half = inputs[0].axis.length // 2
+    axis = run.target.axis
+    mid_instant = axis.start + (axis.length // 2) * axis.resolution
+    rng = np.random.default_rng(run.scenario.seed + 104729)
+    realized = TimeSeries(
+        axis,
+        run.target.values * (1.0 + 0.25 * (rng.random(axis.length) - 0.5)),
+        name=f"{run.target.name}-realized",
+    )
+    try:
+        for index, series in enumerate(inputs):
+            session.ingest(index, 0, series.values[:half])
+        session.replan()
+        session.commit(mid_instant)
+        for index, series in enumerate(inputs):
+            session.ingest(index, half, series.values[half:])
+        stale = session.replan()
+        if stale.schedule is None:
+            return _skipped(name, "mini-session produced no schedule to score")
+        stale_eval = evaluate_realized(stale.schedule, realized)
+        session.retarget(realized)
+        fresh = session.replan()
+        if fresh.schedule is None:
+            return _outcome(name, ["re-planned mini-session lost its schedule"])
+        fresh_eval = evaluate_realized(fresh.schedule, realized)
+    except ReproError as exc:
+        return _outcome(name, [f"mini-session raised {type(exc).__name__}: {exc}"])
+    violations: list[str] = []
+    tolerance = 1e-9 * max(1.0, abs(stale_eval.realized_cost))
+    if fresh_eval.realized_cost > stale_eval.realized_cost + tolerance:
+        violations.append(
+            f"re-planning against the realized series worsened realized cost: "
+            f"{fresh_eval.realized_cost:.9f} vs stale {stale_eval.realized_cost:.9f}"
+        )
+    return _outcome(
+        name,
+        violations,
+        detail=(
+            f"stale {stale_eval.realized_cost:.4f} -> replanned "
+            f"{fresh_eval.realized_cost:.4f} realized cost, "
+            f"{len(stale.committed)} committed placements frozen"
+        ),
+    )
+
+
+def _mini_fleet_energy(run: CellRun, clone_factor: int) -> float:
+    """|total aggregate midpoint energy| of a (possibly cloned) mini fleet.
+
+    Re-runs the extract→group→aggregate chain over the cell's first two
+    households, ``clone_factor`` times each.  Clone ``j`` reuses the rng
+    stream of household ``j % base`` (same seeds — bitwise the same
+    extraction) under a fresh offer-id scope and household id (fresh
+    ids), exactly the metamorphic doubling the invariant promises.
+    The absolute value keeps production-level cells (negative-energy sign
+    convention) on the same "more is more" scale as consumption cells.
+    """
+    from repro.aggregation.aggregate import aggregate_all
+    from repro.aggregation.grouping import group_offers
+    from repro.api.registry import input_series_for
+    from repro.evaluation.comparison import SEED_STRIDE
+    from repro.flexoffer.model import offer_id_scope
+    from repro.pipeline.fleet import stamp_household
+
+    traces = run.fleet.traces[:2]
+    base = len(traces)
+    offers: list[FlexOffer] = []
+    for job in range(base * clone_factor):
+        index = job % base
+        trace = traces[index]
+        extractor = run.make_extractor()
+        rng = np.random.default_rng(run.scenario.seed + SEED_STRIDE * index)
+        series = input_series_for(extractor, trace)
+        suffix = "" if job < base else f"~clone{job // base}"
+        with offer_id_scope(f"mono-h{index}{suffix}"):
+            result = extractor.extract(series, rng)
+        offers.extend(
+            stamp_household(result.offers, trace.config.household_id + suffix)
+        )
+    groups = group_offers(offers, None)
+    with offer_id_scope(f"mono-fleet-x{clone_factor}"):
+        aggregates = aggregate_all(groups)
+    return abs(
+        float(
+            sum(s.midpoint for a in aggregates for s in a.offer.slices)
+        )
+    )
+
+
+def check_fleet_monotonicity(run: CellRun) -> InvariantResult:
+    """Doubling the fleet (fresh ids, same seeds) never shrinks energy out.
+
+    Metamorphic relation over the extract→group→aggregate chain: cloning
+    every household of a two-household mini fleet — fresh household and
+    offer ids, the *same* per-household rng seeds, so each clone extracts
+    bitwise the same offers — must at least double the inputs, and the
+    aggregated output energy must therefore never *shrink*.  Catches id
+    collisions silently dropping offers, grouping that loses members at
+    scale, and aggregation folding clones into each other.
+    """
+    name = "fleet-monotonicity"
+    if run.entry.name in run.scenario.per_household_params:
+        return _skipped(
+            name, "per-household extractor parameters; clone parameters ambiguous"
+        )
+    try:
+        base_energy = _mini_fleet_energy(run, clone_factor=1)
+        doubled_energy = _mini_fleet_energy(run, clone_factor=2)
+    except ReproError as exc:
+        return _outcome(name, [f"mini-fleet run raised {type(exc).__name__}: {exc}"])
+    violations: list[str] = []
+    tolerance = 1e-9 * max(1.0, base_energy)
+    if doubled_energy < base_energy - tolerance:
+        violations.append(
+            f"doubled fleet aggregates {doubled_energy:.6f} kWh, less than the "
+            f"base fleet's {base_energy:.6f} kWh (monotonicity broken)"
+        )
+    return _outcome(
+        name,
+        violations,
+        detail=f"base {base_energy:.3f} kWh -> doubled {doubled_energy:.3f} kWh",
+    )
+
+
+def _gini(values: list[float]) -> float:
+    """Gini coefficient of non-negative values (0 = equal, →1 = one-takes-all)."""
+    sorted_values = np.sort(np.asarray(values, dtype=np.float64))
+    n = sorted_values.size
+    total = float(sorted_values.sum())
+    if n < 2 or total <= 0.0:
+        return 0.0
+    ranks = np.arange(1, n + 1)
+    return float((2 * ranks - n - 1) @ sorted_values / (n * total))
+
+
+def _fairness_violations(
+    label: str, allocations: list[float], capacities: list[float]
+) -> list[str]:
+    """Starvation checks on one aggregate's member energy allocations.
+
+    Pure over its inputs (the unit fixture proves it fires on a
+    constructed starvation), shared by the matrix invariant: every member
+    with capacity must receive at least ``FAIRNESS_MIN_SHARE`` of its
+    capacity-proportional share of the allocated total, and the Gini
+    coefficient of allocation/capacity ratios must stay under
+    ``FAIRNESS_GINI_BOUND``.
+    """
+    violations: list[str] = []
+    total_alloc = float(sum(allocations))
+    total_cap = float(sum(capacities))
+    if total_alloc <= 0.0 or total_cap <= 0.0:
+        return violations
+    ratios: list[float] = []
+    for member, (alloc, cap) in enumerate(zip(allocations, capacities)):
+        if cap <= 0.0:
+            continue
+        floor = FAIRNESS_MIN_SHARE * (cap / total_cap) * total_alloc
+        if alloc < floor - 1e-9:
+            violations.append(
+                f"{label}: member {member} starved — allocated {alloc:.6f} kWh, "
+                f"floor {floor:.6f} (capacity share {cap / total_cap:.1%})"
+            )
+        ratios.append(alloc / cap)
+    spread = _gini(ratios)
+    if spread > FAIRNESS_GINI_BOUND:
+        violations.append(
+            f"{label}: allocation/capacity Gini {spread:.3f} exceeds "
+            f"{FAIRNESS_GINI_BOUND} (systematic starvation)"
+        )
+    return violations
+
+
+def check_disaggregation_fairness(run: CellRun) -> InvariantResult:
+    """No aggregate member is systematically starved by disaggregation.
+
+    Probes each multi-member aggregate's schedule→disaggregate loop at
+    the ``_FAIRNESS_PROBES`` (mid and max energy, earliest and latest
+    start), sums each member's allocated |energy| across the probes, and
+    applies :func:`_fairness_violations`: a per-member floor proportional
+    to capacity share plus a Gini bound on allocation/capacity ratios.
+    Capacity is each member's largest-magnitude slice bound summed over
+    slices, which keeps production-level (negative-energy) members on the
+    same scale as consumption members.
+    """
+    name = "disaggregation-fairness"
+    probed = [a for a in run.result.aggregates if len(a.members) > 1]
+    if not probed:
+        return _skipped(name, "cell produced no multi-member aggregates")
+    probed = probed[:FAIRNESS_MAX_AGGREGATES]
+    violations: list[str] = []
+    for aggregate in probed:
+        label = aggregate.offer.offer_id
+        allocations = [0.0] * len(aggregate.members)
+        try:
+            for level, start_kind in _FAIRNESS_PROBES:
+                offer = aggregate.offer
+                start = (
+                    offer.earliest_start
+                    if start_kind == "earliest"
+                    else offer.latest_start
+                )
+                schedule = default_schedule(offer, start=start, level=level)
+                for member, part in enumerate(_disaggregate(aggregate, schedule)):
+                    allocations[member] += abs(part.total_energy)
+        except ReproError as exc:
+            violations.append(
+                f"{label}: fairness probe raised {type(exc).__name__}: {exc}"
+            )
+            continue
+        capacities = [
+            float(
+                sum(
+                    max(abs(s.energy_min), abs(s.energy_max))
+                    for s in member.slices
+                )
+            )
+            for member in aggregate.members
+        ]
+        violations.extend(_fairness_violations(label, allocations, capacities))
+    return _outcome(
+        name,
+        violations,
+        detail=(
+            f"{len(probed)} multi-member aggregates x "
+            f"{len(_FAIRNESS_PROBES)} probes"
+        ),
+    )
+
+
 #: The invariant library, in report order.  Adding an entry here enrolls it
 #: on every cell of the matrix.
 INVARIANTS: dict[str, Callable[[CellRun], InvariantResult]] = {
@@ -921,6 +1233,9 @@ INVARIANTS: dict[str, Callable[[CellRun], InvariantResult]] = {
     "report-roundtrip": check_report_roundtrip,
     "committed-placement-stability": check_committed_placement_stability,
     "crash-recovery-equivalence": check_crash_recovery_equivalence,
+    "replan-no-worse-realized": check_replan_no_worse_realized,
+    "fleet-monotonicity": check_fleet_monotonicity,
+    "disaggregation-fairness": check_disaggregation_fairness,
 }
 
 

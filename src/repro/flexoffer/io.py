@@ -18,6 +18,7 @@ from repro.flexoffer.model import FlexOffer, ProfileSlice
 from repro.flexoffer.schedule import ScheduledFlexOffer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.forecasting.quantiles import QuantileForecast
     from repro.scheduling.greedy import ScheduleResult
     from repro.scheduling.zones import ZonedScheduleResult
 
@@ -262,6 +263,58 @@ def any_schedule_from_dict(
     if "zones" in data:
         return zoned_result_from_dict(data)
     return schedule_result_from_dict(data)
+
+
+def quantile_forecast_to_dict(forecast: "QuantileForecast") -> dict[str, Any]:
+    """Encode a quantile forecast (axis + point + per-level curves).
+
+    The axis is stored once; the point forecast and every quantile curve
+    share it, so only names and value arrays travel per curve.  Levels and
+    curves are kept in the forecast's (strictly increasing) level order —
+    the round trip through :func:`quantile_forecast_from_dict` is exact.
+    """
+    axis = forecast.axis
+    return {
+        "axis": {
+            "start": _dt(axis.start),
+            "resolution_seconds": axis.resolution.total_seconds(),
+            "length": axis.length,
+        },
+        "point": {
+            "name": forecast.point.name,
+            "values": [float(v) for v in forecast.point.values],
+        },
+        "levels": [float(level) for level in forecast.levels],
+        "curves": [
+            {"name": curve.name, "values": [float(v) for v in curve.values]}
+            for curve in forecast.curves
+        ],
+    }
+
+
+def quantile_forecast_from_dict(data: dict[str, Any]) -> "QuantileForecast":
+    """Decode a quantile forecast from its dict encoding."""
+    from repro.forecasting.quantiles import QuantileForecast
+    from repro.timeseries.axis import TimeAxis
+    from repro.timeseries.series import TimeSeries
+
+    try:
+        axis = TimeAxis(
+            start=_parse_dt(data["axis"]["start"]),
+            resolution=timedelta(seconds=data["axis"]["resolution_seconds"]),
+            length=int(data["axis"]["length"]),
+        )
+        point = TimeSeries(
+            axis, data["point"]["values"], name=data["point"].get("name", "")
+        )
+        levels = tuple(float(level) for level in data["levels"])
+        curves = tuple(
+            TimeSeries(axis, curve["values"], name=curve.get("name", ""))
+            for curve in data["curves"]
+        )
+    except KeyError as exc:
+        raise DataError(f"quantile forecast dict missing field: {exc}") from exc
+    return QuantileForecast(point=point, levels=levels, curves=curves)
 
 
 # ---------------------------------------------------------------------- #

@@ -10,6 +10,10 @@ Subsystem contract:
   window; the backtest is a pure fold over the series.
 * **Uniform interface** — all forecasters share one signature and live in
   the :data:`FORECASTERS` table, so evaluation code never special-cases.
+* **Quantile fans** — :mod:`repro.forecasting.quantiles` lifts any point
+  forecaster to a :class:`QuantileForecast` (monotone per-level curves
+  derived from rolling-backtest residual blocks), the scenario input of
+  robust scheduling (:mod:`repro.scheduling.robust`).
 """
 
 from repro.forecasting.evaluate import BacktestReport, mae, mape, rmse, rolling_backtest
@@ -20,6 +24,15 @@ from repro.forecasting.models import (
     holt_winters,
     persistence,
     seasonal_naive,
+)
+from repro.forecasting.quantiles import (
+    DEFAULT_LEVELS,
+    QuantileForecast,
+    drift_quantiles,
+    quantile_forecast,
+    quantile_forecast_from_residuals,
+    residual_blocks,
+    seasonal_naive_quantiles,
 )
 
 __all__ = [
@@ -34,4 +47,11 @@ __all__ = [
     "holt_winters",
     "persistence",
     "seasonal_naive",
+    "DEFAULT_LEVELS",
+    "QuantileForecast",
+    "drift_quantiles",
+    "quantile_forecast",
+    "quantile_forecast_from_residuals",
+    "residual_blocks",
+    "seasonal_naive_quantiles",
 ]

@@ -61,9 +61,22 @@ def rolling_backtest(
 
     ``model`` is any callable ``(history, horizon) -> TimeSeries`` (the
     signatures in :mod:`repro.forecasting.models` fit directly).
+
+    Window contract (pinned by ``tests/test_forecasting_backtest.py``):
+    the first fold trains on ``series[:train_intervals]`` and scores
+    ``series[train_intervals:train_intervals + horizon]``; origins slide
+    by ``step`` (default ``horizon``, i.e. non-overlapping folds) while a
+    full horizon remains, so a trailing remainder shorter than ``horizon``
+    is dropped rather than scored on a short window.
     """
+    if horizon < 1:
+        raise DataError("horizon must be >= 1")
+    if train_intervals < 1:
+        raise DataError("train_intervals must be >= 1")
     if step is None:
         step = horizon
+    if step < 1:
+        raise DataError("step must be >= 1")
     n = len(series)
     if train_intervals + horizon > n:
         raise DataError("series too short for one backtest fold")

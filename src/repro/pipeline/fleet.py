@@ -33,7 +33,7 @@ import numpy as np
 from repro.aggregation.aggregate import AggregatedFlexOffer, aggregate_all
 from repro.aggregation.grouping import GroupingParams, group_offers
 from repro.api.registry import create_extractor
-from repro.errors import DegradedExecutionWarning, ValidationError
+from repro.errors import DegradedExecutionWarning, SchedulingError, ValidationError
 from repro.pipeline.dispatch import RetryPolicy, dispatch_chunks
 from repro.testing import faults
 from repro.evaluation.comparison import SEED_STRIDE, input_series_for
@@ -327,6 +327,7 @@ def schedule_aggregates(
     aggregates: tuple[AggregatedFlexOffer, ...] | list[AggregatedFlexOffer],
     target: TimeSeries | ZonedTarget,
     config: ScheduleConfig | None = None,
+    scenarios: list[TimeSeries] | None = None,
 ) -> ScheduleResult | ZonedScheduleResult:
     """The pipeline's schedule stage: place fleet aggregates on a target.
 
@@ -337,8 +338,16 @@ def schedule_aggregates(
     :class:`~repro.scheduling.zones.ZonedTarget` routes through
     :func:`~repro.scheduling.zones.schedule_zones` instead: aggregates are
     sharded into zones and each zone is scheduled independently.
+    ``scenarios`` is robust mode's explicit quantile fan, handed through to
+    :func:`~repro.scheduling.greedy.greedy_schedule` (plain targets only;
+    zoned targets keep point scheduling).
     """
     if isinstance(target, ZonedTarget):
+        if scenarios is not None:
+            raise SchedulingError(
+                "scenario fans apply to plain targets only; zoned targets "
+                "keep point scheduling"
+            )
         return schedule_zones(aggregates, target, config)
     config = config if config is not None else ScheduleConfig()
     # Resolve engine="auto" once for the whole stage, so the greedy pass
@@ -347,7 +356,10 @@ def schedule_aggregates(
         config, [aggregate.offer for aggregate in aggregates], target.axis
     )
     result = greedy_schedule(
-        [aggregate.offer for aggregate in aggregates], target, config=config
+        [aggregate.offer for aggregate in aggregates],
+        target,
+        config=config,
+        scenarios=scenarios,
     )
     if config.improve_iterations > 0:
         result = improve_schedule(
@@ -553,6 +565,7 @@ class FleetPipeline:
         self,
         fleet: SimulatedDataset | list[HouseholdTrace],
         target: TimeSeries | ZonedTarget | None = None,
+        scenarios: list[TimeSeries] | None = None,
     ) -> FleetResult:
         """Run the full batched pipeline over a fleet.
 
@@ -563,7 +576,8 @@ class FleetPipeline:
         aggregates against it and the result carries a
         :class:`~repro.scheduling.greedy.ScheduleResult` — or a
         :class:`~repro.scheduling.zones.ZonedScheduleResult` when the
-        target is a zoned market.
+        target is a zoned market.  ``scenarios`` is robust mode's explicit
+        quantile fan, forwarded to the schedule stage.
         """
         traces = list(fleet)
         if not traces:
@@ -603,7 +617,9 @@ class FleetPipeline:
         schedule: ScheduleResult | ZonedScheduleResult | None = None
         if target is not None:
             t0 = time.perf_counter()
-            schedule = schedule_aggregates(aggregates, target, self.schedule)
+            schedule = schedule_aggregates(
+                aggregates, target, self.schedule, scenarios=scenarios
+            )
             timings.add("schedule", time.perf_counter() - t0)
 
         return FleetResult(
@@ -694,6 +710,7 @@ def run_sequential(
     seed: int = 0,
     target: TimeSeries | ZonedTarget | None = None,
     schedule_config: ScheduleConfig | None = None,
+    scenarios: list[TimeSeries] | None = None,
 ) -> FleetResult:
     """The plain per-household loop the batched engine must reproduce.
 
@@ -733,7 +750,9 @@ def run_sequential(
     schedule: ScheduleResult | ZonedScheduleResult | None = None
     if target is not None:
         t0 = time.perf_counter()
-        schedule = schedule_aggregates(aggregates, target, schedule_config)
+        schedule = schedule_aggregates(
+            aggregates, target, schedule_config, scenarios=scenarios
+        )
         timings.add("schedule", time.perf_counter() - t0)
     return FleetResult(
         households=tuple(outputs),

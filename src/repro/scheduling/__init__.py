@@ -21,8 +21,15 @@ Subsystem contract:
   placement density (:mod:`repro.scheduling.autotune`), so autotuning is
   a wall-clock decision that can never change a schedule.
 * **Performance baselines** — the reference engines are kept runnable;
-  ``BENCH_schedule.json`` / ``BENCH_zones.json`` pin the measured
-  speedups and equivalence booleans (refresh via ``repro bench``).
+  ``BENCH_schedule.json`` / ``BENCH_zones.json`` /
+  ``BENCH_uncertainty.json`` pin the measured speedups, overheads and
+  equivalence booleans (refresh via ``repro bench``).
+* **Uncertainty** — ``ScheduleConfig(robust=RobustConfig(...))`` scores
+  every candidate placement against a quantile scenario fan
+  (:mod:`repro.scheduling.robust`) under an expected or CVaR risk
+  measure; energies stay the point-target water-fill, so robust mode
+  changes *which start wins*, never the feasibility story, and the
+  reference/vectorized bitwise pair extends to the robust paths.
 """
 
 from repro.scheduling.autotune import (
@@ -38,9 +45,24 @@ from repro.scheduling.bench import (
     build_schedule_workload,
     build_zoned_workload,
     run_schedule_benchmark,
+    run_uncertainty_benchmark,
     run_zones_benchmark,
     schedule_table_rows,
+    uncertainty_table_rows,
     zones_table_rows,
+)
+from repro.scheduling.robust import (
+    DEFAULT_ROBUST_QUANTILES,
+    RISK_MEASURES,
+    RealizedEvaluation,
+    RobustConfig,
+    cvar_count,
+    evaluate_realized,
+    quantile_weights,
+    resolve_fan,
+    risk_of,
+    risk_profile,
+    synthetic_fan,
 )
 from repro.scheduling.greedy import (
     ScheduleConfig,
@@ -79,9 +101,22 @@ __all__ = [
     "build_schedule_workload",
     "build_zoned_workload",
     "run_schedule_benchmark",
+    "run_uncertainty_benchmark",
     "run_zones_benchmark",
     "schedule_table_rows",
+    "uncertainty_table_rows",
     "zones_table_rows",
+    "DEFAULT_ROBUST_QUANTILES",
+    "RISK_MEASURES",
+    "RealizedEvaluation",
+    "RobustConfig",
+    "cvar_count",
+    "evaluate_realized",
+    "quantile_weights",
+    "resolve_fan",
+    "risk_of",
+    "risk_profile",
+    "synthetic_fan",
     "ScheduleConfig",
     "ScheduleResult",
     "greedy_schedule",

@@ -93,10 +93,15 @@ def resolve_engine(
 
     Any other engine passes through unchanged, so callers can resolve
     unconditionally.  The pipeline's schedule stage resolves *before* the
-    stochastic improver so one decision governs the whole stage.
+    stochastic improver so one decision governs the whole stage.  Robust
+    mode (``config.robust``) always resolves to vectorized: the
+    incremental engine has no scenario-fan path, so the density crossover
+    does not apply.
     """
     if config.engine != "auto":
         return config
+    if config.robust is not None:
+        return replace(config, engine="vectorized")
     return replace(config, engine=choose_engine(offers, axis))
 
 

@@ -410,6 +410,168 @@ def run_zones_benchmark(
     return report, incremental_result
 
 
+def run_uncertainty_benchmark(
+    n_aggregates: int = 220,
+    members_per_aggregate: int = 3,
+    days: int = 7,
+    seed: int = 17,
+    out_path: Path | str | None = None,
+):
+    """Benchmark robust (quantile-fan) scheduling against point scheduling.
+
+    Places the 220-aggregate suite twice on the vectorized engine — once
+    against the point target, once against the synthetic quantile fan
+    under CVaR risk — and reports the wall-time *overhead* of robust mode
+    (gated ≤2× point scheduling: scoring a 3-scenario fan must stay in
+    the same complexity class as the point path).  The equivalence block
+    proves the robust reference scan and the batched robust path place
+    bitwise identically, and that robust decisions are deterministic
+    across runs.  The realized block scores both schedules against every
+    scenario of the fan with :func:`~repro.scheduling.robust
+    .evaluate_realized` — the robust schedule should not be beaten on the
+    risk-weighted average it optimises.  Returns ``(report_dict,
+    robust_result)``; ``out_path`` writes the repository's
+    ``BENCH_uncertainty.json`` baseline.
+    """
+    from repro.scheduling.robust import (
+        RobustConfig,
+        evaluate_realized,
+        quantile_weights,
+        synthetic_fan,
+    )
+
+    #: The gate: robust placement may cost at most this many point passes.
+    overhead_gate = 2.0
+
+    aggregates, target = build_schedule_workload(
+        n_aggregates, members_per_aggregate, days, seed
+    )
+    offers = [a.offer for a in aggregates]
+    robust = RobustConfig(quantiles=(0.1, 0.5, 0.9), risk="cvar", alpha=0.3)
+    robust_config = ScheduleConfig(robust=robust)
+    scenarios = synthetic_fan(target, robust)
+    weights = quantile_weights(robust.quantiles)
+
+    # Warm-up (numpy dispatch, axis caches) before any timed pass.
+    greedy_schedule(offers[:8], target)
+    greedy_schedule(offers[:8], target, config=robust_config)
+
+    point_seconds, point_result = _timed(lambda: greedy_schedule(offers, target))
+    robust_seconds, robust_result = _timed(
+        lambda: greedy_schedule(offers, target, config=robust_config)
+    )
+    overhead = (
+        robust_seconds / point_seconds if point_seconds > 0 else float("inf")
+    )
+
+    def _placements(result):
+        return [
+            (s.offer.offer_id, s.start, s.slice_energies)
+            for s in result.schedules
+        ]
+
+    reference_result = greedy_schedule(
+        offers, target, config=ScheduleConfig(engine="reference", robust=robust)
+    )
+    reference_identical = _placements(reference_result) == _placements(
+        robust_result
+    )
+    rerun_result = greedy_schedule(offers, target, config=robust_config)
+    deterministic = _placements(rerun_result) == _placements(robust_result)
+
+    point_costs = [
+        evaluate_realized(point_result, scenario).realized_cost
+        for scenario in scenarios
+    ]
+    robust_costs = [
+        evaluate_realized(robust_result, scenario).realized_cost
+        for scenario in scenarios
+    ]
+    point_expected = float(sum(w * c for w, c in zip(weights, point_costs)))
+    robust_expected = float(sum(w * c for w, c in zip(weights, robust_costs)))
+
+    report = {
+        "workload": {
+            "aggregates": len(aggregates),
+            "member_offers": sum(a.size for a in aggregates),
+            "days": days,
+            "seed": seed,
+            "quantiles": list(robust.quantiles),
+            "risk": robust.risk,
+            "alpha": robust.alpha,
+            "sigma": robust.sigma,
+        },
+        "target": {
+            "kind": "wind",
+            "total_kwh": round(target.total(), 6),
+            "intervals": target.axis.length,
+        },
+        "greedy": {
+            "point_seconds": round(point_seconds, 4),
+            "robust_seconds": round(robust_seconds, 4),
+            "overhead": round(overhead, 2),
+            "overhead_gate": overhead_gate,
+            "meets_overhead_gate": bool(overhead <= overhead_gate),
+            "placed": len(robust_result.schedules),
+            "unplaced": len(robust_result.unplaced),
+            "point_cost": round(point_result.cost, 6),
+            "robust_cost": round(robust_result.cost, 6),
+        },
+        "realized": {
+            "levels": list(robust.quantiles),
+            "point_costs": [round(c, 6) for c in point_costs],
+            "robust_costs": [round(c, 6) for c in robust_costs],
+            "point_expected": round(point_expected, 6),
+            "robust_expected": round(robust_expected, 6),
+        },
+        "equivalence": {
+            "robust_reference_identical": reference_identical,
+            "deterministic_across_runs": deterministic,
+            "fidelity_rtol": SCHEDULE_FIDELITY_RTOL,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "generated": datetime.now().isoformat(timespec="seconds"),
+        },
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report, robust_result
+
+
+def uncertainty_table_rows(report: dict) -> list[dict]:
+    """Human-readable rows for the uncertainty CLI/bench table.
+
+    One row per quantile level (realized cost of the point vs robust
+    schedule against that scenario) plus a risk-weighted EXPECTED row.
+    """
+    realized = report["realized"]
+    rows = [
+        {
+            "scenario": f"q{level:g}",
+            "point_cost": round(point, 2),
+            "robust_cost": round(robust, 2),
+            "delta": round(robust - point, 2),
+        }
+        for level, point, robust in zip(
+            realized["levels"], realized["point_costs"], realized["robust_costs"]
+        )
+    ]
+    rows.append(
+        {
+            "scenario": "EXPECTED",
+            "point_cost": round(realized["point_expected"], 2),
+            "robust_cost": round(realized["robust_expected"], 2),
+            "delta": round(
+                realized["robust_expected"] - realized["point_expected"], 2
+            ),
+        }
+    )
+    return rows
+
+
 def zones_table_rows(report: dict) -> list[dict]:
     """Human-readable rows for the zones CLI/bench table.
 

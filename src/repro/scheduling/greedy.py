@@ -77,7 +77,10 @@ class ScheduleConfig:
     after the greedy placement (0 disables it).  ``market`` (a
     :class:`repro.market.model.MarketConfig`) enables merit-order clearing
     before placement on zoned targets; it is ignored by the single-market
-    greedy path.
+    greedy path.  ``robust`` (a
+    :class:`repro.scheduling.robust.RobustConfig`) scores placements
+    against a quantile scenario fan instead of the point target alone —
+    energies stay the point water-fill, only the winning start can change.
     """
 
     order: str = "least-flexible-first"
@@ -85,6 +88,7 @@ class ScheduleConfig:
     improve_iterations: int = 0
     improve_seed: int = 0
     market: object | None = None
+    robust: object | None = None
 
     def __post_init__(self) -> None:
         if self.order not in _ORDERS:
@@ -102,6 +106,19 @@ class ScheduleConfig:
             if not isinstance(self.market, MarketConfig):
                 raise SchedulingError(
                     f"market must be a MarketConfig or None, got {self.market!r}"
+                )
+        if self.robust is not None:
+            from repro.scheduling.robust import RobustConfig
+
+            if not isinstance(self.robust, RobustConfig):
+                raise SchedulingError(
+                    f"robust must be a RobustConfig or None, got {self.robust!r}"
+                )
+            if self.engine == "incremental":
+                raise SchedulingError(
+                    "robust mode supports the vectorized and reference engines "
+                    '(and "auto", which resolves to vectorized); the incremental '
+                    "engine's gain cache is point-target only"
                 )
 
 
@@ -299,6 +316,116 @@ def _score_windows(
         "ij,ij->i", diff, diff
     )
     return energies, gains
+
+
+# --------------------------------------------------------------------- #
+# Robust scoring (ScheduleConfig.robust): the same greedy loop, but each
+# candidate start is scored against every scenario of a quantile fan and
+# the per-scenario gains collapse through a risk measure.  Energies stay
+# the point-target water-fill, so only the winning start can differ from
+# point scheduling — wire format and validation are untouched.
+# --------------------------------------------------------------------- #
+
+
+def _robust_gain_one(
+    point_window: np.ndarray,
+    scenario_windows: np.ndarray,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    weights: np.ndarray,
+    robust,
+) -> tuple[float, np.ndarray]:
+    """One candidate's risk-aggregated gain, in reference arithmetic.
+
+    The robust counterpart of :func:`_water_fill` + :func:`_placement_gain`
+    + :func:`repro.scheduling.robust.risk_of`: the reference engine scores
+    every start through it and the vectorized engine re-scores near-tie
+    candidates through it, so both engines resolve every selection with
+    bitwise-identical numbers.  Returns ``(risk score, energies)``.
+    """
+    from repro.scheduling.robust import risk_of
+
+    energies = _water_fill(point_window, lows, highs)
+    gains = np.array(
+        [_placement_gain(window, energies) for window in scenario_windows]
+    )
+    return risk_of(gains, weights, robust.risk, robust.alpha), energies
+
+
+def _pick_best_robust(
+    scores: np.ndarray,
+    windows_of,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    weights: np.ndarray,
+    robust,
+) -> int:
+    """Robust twin of :func:`_pick_best`: near-ties re-scored exactly.
+
+    ``windows_of(rows)`` gathers ``(point windows, scenario windows)`` for
+    the candidate rows; everything within round-off of the max is re-run
+    through :func:`_robust_gain_one` with a strict-greater scan, matching
+    the reference engine's selection bit for bit.
+    """
+    best_score = float(scores.max())
+    tolerance = 1e-12 * max(1.0, abs(best_score))
+    candidates = np.flatnonzero(scores >= best_score - tolerance)
+    if candidates.size == 1:
+        return int(candidates[0])
+    point_windows, scenario_windows = windows_of(candidates)
+    best = int(candidates[0])
+    best_ref = -np.inf
+    for row, candidate in enumerate(candidates):
+        score, _ = _robust_gain_one(
+            point_windows[row],
+            scenario_windows[:, row, :],
+            lows,
+            highs,
+            weights,
+            robust,
+        )
+        if score > best_ref:
+            best, best_ref = int(candidate), score
+    return best
+
+
+def _best_start_batched_robust(
+    plan: _PlacementPlan,
+    windows_view: np.ndarray,
+    scenario_view: np.ndarray,
+    weights: np.ndarray,
+    robust,
+) -> tuple[datetime, np.ndarray] | None:
+    """All feasible starts of one offer against the whole scenario fan.
+
+    ``windows_view`` is the point residual's ``sliding_window_view`` (the
+    energies come from it, exactly as in :func:`_best_start_batched`);
+    ``scenario_view`` is ``sliding_window_view(scenario_remaining, n,
+    axis=1)`` — shape ``(scenarios, starts, n)`` over the live scenario
+    residual matrix, so placements flow through both without rebuilding.
+    """
+    from repro.scheduling.robust import risk_profile
+
+    if plan.start_indices.size == 0:
+        return None
+    windows = windows_view[plan.start_indices]
+    energies = np.clip(windows, plan.lows, plan.highs)
+    scenarios = scenario_view[:, plan.start_indices, :]
+    diff = scenarios - energies[None, :, :]
+    gains = np.einsum("sij,sij->si", scenarios, scenarios) - np.einsum(
+        "sij,sij->si", diff, diff
+    )
+    scores = risk_profile(gains, weights, robust.risk, robust.alpha)
+    best = _pick_best_robust(
+        scores,
+        lambda rows: (windows[rows], scenarios[:, rows, :]),
+        plan.lows,
+        plan.highs,
+        weights,
+        robust,
+    )
+    start = plan.offer.earliest_start + plan.offer.resolution * int(plan.steps[best])
+    return start, energies[best]
 
 
 #: Row budget of one upfront scoring call: small plans coalesce up to this
@@ -507,6 +634,7 @@ def greedy_schedule(
     order: str | None = None,
     config: ScheduleConfig | None = None,
     earliest_allowed: datetime | None = None,
+    scenarios: list[TimeSeries] | None = None,
 ) -> ScheduleResult:
     """Greedily schedule offers to soak up the target series.
 
@@ -529,10 +657,22 @@ def greedy_schedule(
         session passes its commit boundary here so re-planned offers
         cannot reach back into the frozen window.  ``None`` — the default
         — is bitwise-identical to the pre-session behaviour.
+    scenarios:
+        Robust mode's explicit scenario fan — one target series per
+        ``config.robust.quantiles`` level, all on the target axis (e.g. a
+        rescaled quantile-forecast fan).  Requires ``config.robust``;
+        when robust mode is on and ``scenarios`` is ``None``, a
+        deterministic synthetic fan is derived from the point target
+        (:func:`repro.scheduling.robust.synthetic_fan`).
     """
     config = config if config is not None else ScheduleConfig()
     if order is not None:
         config = replace(config, order=order)
+    robust = config.robust
+    if scenarios is not None and robust is None:
+        raise SchedulingError(
+            "scenarios were supplied but config.robust is not set"
+        )
     axis = target.axis
     if config.order == "least-flexible-first":
         queue = sorted(offers, key=lambda o: (o.time_flexibility, -o.profile_energy_max))
@@ -544,10 +684,17 @@ def greedy_schedule(
     if config.engine == "auto":
         # Purely a performance decision: vectorized and incremental place
         # bitwise identically, so the autotuner can never change results.
+        # Robust mode skips the tuner — its incremental engine does not
+        # exist, so vectorized is the only batched option.
         from repro.scheduling.autotune import choose_engine
 
-        config = replace(config, engine=choose_engine(queue, axis))
+        engine = "vectorized" if robust is not None else choose_engine(queue, axis)
+        config = replace(config, engine=engine)
     remaining = target.values.copy()
+    if robust is not None:
+        from repro.scheduling.robust import resolve_fan
+
+        scenario_remaining, weights = resolve_fan(target, robust, scenarios)
     if config.engine == "incremental":
         schedules, unplaced = _greedy_incremental(
             queue, axis, remaining, earliest_allowed
@@ -568,15 +715,28 @@ def greedy_schedule(
             for n in {plan.n for plan in plans}
             if n <= remaining.size
         }
+        if robust is not None:
+            scenario_views: dict[int, np.ndarray] = {
+                n: sliding_window_view(scenario_remaining, n, axis=1)
+                for n in views
+            }
     schedules: list[ScheduledFlexOffer] = []
     unplaced: list[FlexOffer] = []
     for position, offer in enumerate(queue):
         if vectorized:
             plan = plans[position]
-            placement = (
-                _best_start_batched(plan, views[plan.n])
-                if plan.n in views
-                else None
+            if plan.n not in views:
+                placement = None
+            elif robust is not None:
+                placement = _best_start_batched_robust(
+                    plan, views[plan.n], scenario_views[plan.n], weights, robust
+                )
+            else:
+                placement = _best_start_batched(plan, views[plan.n])
+        elif robust is not None:
+            placement = _best_start_robust(
+                offer, remaining, scenario_remaining, weights, robust, axis,
+                earliest_allowed,
             )
         else:
             placement = _best_start(offer, remaining, axis, earliest_allowed)
@@ -588,7 +748,10 @@ def greedy_schedule(
         schedule = ScheduledFlexOffer(offer, start, slice_energies)
         schedules.append(schedule)
         first = axis.index_of(start)
-        remaining[first : first + len(interval_energies)] -= schedule.interval_energies()
+        placed = schedule.interval_energies()
+        remaining[first : first + len(interval_energies)] -= placed
+        if robust is not None:
+            scenario_remaining[:, first : first + len(interval_energies)] -= placed
 
     demand = schedules_to_series(schedules, axis)
     return ScheduleResult(
@@ -650,6 +813,46 @@ def _best_start(
         gain = _placement_gain(window, energies)
         if best is None or gain > best[0]:
             best = (gain, start, energies)
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def _best_start_robust(
+    offer: FlexOffer,
+    remaining: np.ndarray,
+    scenario_remaining: np.ndarray,
+    weights: np.ndarray,
+    robust,
+    axis,
+    earliest_allowed: datetime | None = None,
+) -> tuple[datetime, np.ndarray] | None:
+    """The ``engine="reference"`` robust placement search.
+
+    One Python-level pass over every feasible start, scoring each window
+    through :func:`_robust_gain_one` — the arithmetic the vectorized
+    robust engine's near-tie rescoring shares.
+    """
+    expansion = offer.slice_expansion()
+    lows = np.array([lo for lo, _ in expansion])
+    highs = np.array([hi for _, hi in expansion])
+    n = len(expansion)
+    best: tuple[float, datetime, np.ndarray] | None = None
+    for start in offer.feasible_starts():
+        if earliest_allowed is not None and start < earliest_allowed:
+            continue
+        if not axis.contains(start):
+            continue
+        first = axis.index_of(start)
+        if first + n > axis.length:
+            continue
+        window = remaining[first : first + n]
+        score, energies = _robust_gain_one(
+            window, scenario_remaining[:, first : first + n], lows, highs,
+            weights, robust,
+        )
+        if best is None or score > best[0]:
+            best = (score, start, energies)
     if best is None:
         return None
     return best[1], best[2]

@@ -5,7 +5,8 @@ process crash used to lose every commitment the session had published.
 This module makes the session durable with the classic WAL recipe:
 
 * **Write-ahead log** — ``wal.jsonl`` in the journal directory holds one
-  JSON record per session event (``ingest`` / ``replan`` / ``commit``), in
+  JSON record per session event (``ingest`` / ``replan`` / ``retarget`` /
+  ``commit``), in
   order, each carrying a monotonically increasing ``seq`` and a CRC-32
   checksum over its canonical encoding.  Events are logged *before* they
   are applied (redo semantics): replaying the log through a fresh session
@@ -71,7 +72,7 @@ WAL_NAME = "wal.jsonl"
 DEFAULT_SNAPSHOT_EVERY = 4
 
 #: Event types a journal records — the session's public event surface.
-JOURNAL_EVENT_TYPES = ("ingest", "replan", "commit")
+JOURNAL_EVENT_TYPES = ("ingest", "replan", "retarget", "commit")
 
 
 # ---------------------------------------------------------------------- #
@@ -169,6 +170,17 @@ def encode_state(session: "FlexibilitySession") -> dict[str, Any]:
         ),
         "committed": [schedule_to_dict(s) for s in state.committed],
         "committed_members": sorted(state.committed_members),
+        # The target is constructor configuration *except* after a
+        # retarget; storing it keeps compaction safe when the retarget
+        # record has been pruned from the WAL.
+        "target": (
+            None
+            if session.target is None
+            else {
+                "name": session.target.name,
+                "values": [float(v) for v in session.target.values],
+            }
+        ),
     }
 
 
@@ -222,6 +234,17 @@ def decode_state(session: "FlexibilitySession", payload: dict[str, Any]) -> None
         if payload["commit_boundary"] is None
         else datetime.fromisoformat(payload["commit_boundary"])
     )
+    stored_target = payload.get("target")
+    if stored_target is not None and session.target is not None:
+        # A pre-snapshot retarget replaced the constructor target; restore
+        # the replacement (axis is fixed, only values/name can change).
+        from repro.timeseries.series import TimeSeries
+
+        session.target = TimeSeries(
+            session.target.axis,
+            np.asarray(stored_target["values"], dtype=np.float64),
+            stored_target["name"],
+        )
     if session.target is not None:
         axis = session.target.axis
         demand = np.zeros(axis.length)
@@ -522,6 +545,16 @@ def restore_session(
                 session.ingest(data["household"], data["first"], data["values"])
             elif kind == "replan":
                 session.replan()
+            elif kind == "retarget":
+                from repro.timeseries.series import TimeSeries
+
+                session.retarget(
+                    TimeSeries(
+                        session.target.axis,
+                        np.asarray(data["values"], dtype=np.float64),
+                        data["name"],
+                    )
+                )
             elif kind == "commit":
                 session.commit(datetime.fromisoformat(data["through"]))
             else:  # pragma: no cover - _scan admits only encodable records

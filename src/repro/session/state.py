@@ -234,7 +234,10 @@ class FlexibilitySession:
       given instant: its members leave the planning pool, its demand moves
       into the residual baseline, and the placement itself — re-minted
       under a stable ``commit-N`` id — reappears bitwise unchanged in
-      every later snapshot.
+      every later snapshot;
+    * :meth:`retarget` swaps in an updated target (same axis, new values —
+      a fresher forecast or the realized series), so the next replan
+      re-plans the open window against it while commitments stay frozen.
 
     With ``commit_horizon`` set, every replan auto-commits through
     ``watermark + commit_horizon`` — the standing "lock the next H hours"
@@ -442,6 +445,42 @@ class FlexibilitySession:
             self._state.version += 1
         return newly
 
+    def retarget(self, new_target: TimeSeries) -> None:
+        """Swap in an updated target for the open window.
+
+        The replacement must live on the current target's axis — a
+        retarget updates the *values* the open window is planned against
+        (a fresher forecast, or the realized series itself), never the
+        horizon.  Nothing is re-planned here: committed placements stay
+        frozen with their demand baked into the residual baseline, and the
+        next :meth:`replan` re-plans the open window against the new
+        values.  Journaled like every other event, so recovery replays it
+        (the ``replan-no-worse-realized`` conformance invariant drives
+        this path on every compatible matrix cell).
+        """
+        if self.target is None:
+            raise SessionError(
+                "cannot retarget: the session was built without a target"
+            )
+        if not isinstance(new_target, TimeSeries):
+            raise SessionError(
+                "sessions schedule against plain series targets only; "
+                "zoned markets keep the one-shot pipeline"
+            )
+        if new_target.axis != self.target.axis:
+            raise SessionError(
+                "retarget must keep the current target axis; got a series "
+                f"on {new_target.axis!r}"
+            )
+        self._journal_event(
+            "retarget",
+            {
+                "name": new_target.name,
+                "values": [float(v) for v in new_target.values],
+            },
+        )
+        self.target = new_target.copy()
+
     def snapshot(self) -> SessionSnapshot:
         """The current published state as an immutable view."""
         state = self._state
@@ -515,6 +554,7 @@ class FlexibilitySession:
             config=config,
             earliest_allowed=state.commit_boundary,
         )
+        open_result = self._better_open_plan(open_result, residual, offers)
         state.open_schedules = list(open_result.schedules)
         combined = list(state.committed) + state.open_schedules
         state.schedule = ScheduleResult(
@@ -524,6 +564,55 @@ class FlexibilitySession:
             unplaced=list(open_result.unplaced),
         )
         return
+
+    def _better_open_plan(
+        self,
+        open_result: ScheduleResult,
+        residual: TimeSeries,
+        offers: list,
+    ) -> ScheduleResult:
+        """Keep the previous open plan when it still fits and scores better.
+
+        Greedy placement is a heuristic: against updated target values (a
+        :meth:`retarget`, or simply fresher data) the fresh plan can land
+        marginally *worse* than the plan already in hand.  When the
+        previous open placements reference exactly the same live aggregate
+        offers (bitwise) as the fresh plan and every one respects the
+        commit boundary, the cheaper of the two plans — measured on the
+        current residual target — wins.  Re-planning therefore never
+        worsens the session's imbalance, which is the contract the
+        ``replan-no-worse-realized`` conformance invariant pins on every
+        compatible matrix cell.  Ties keep the fresh plan, so behaviour
+        is unchanged whenever greedy does its job.
+        """
+        state = self._state
+        previous = state.open_schedules
+        if not previous:
+            return open_result
+        if {p.offer.offer_id for p in previous} != {
+            p.offer.offer_id for p in open_result.schedules
+        }:
+            # The placeable offer set changed (new aggregates, dropped
+            # ones): the previous plan no longer covers the obligation to
+            # run every offer's minimum energy.
+            return open_result
+        by_id = {offer.offer_id: offer for offer in offers}
+        boundary = state.commit_boundary
+        for placement in previous:
+            offer = by_id.get(placement.offer.offer_id)
+            if offer is None or offer != placement.offer:
+                return open_result
+            if boundary is not None and placement.start < boundary:
+                return open_result
+        candidate = ScheduleResult(
+            schedules=list(previous),
+            demand=schedules_to_series(previous, residual.axis),
+            target=residual,
+            unplaced=list(open_result.unplaced),
+        )
+        if candidate.cost < open_result.cost:
+            return candidate
+        return open_result
 
     def _commit_through(self, through: datetime) -> int:
         state = self._state

@@ -1,12 +1,13 @@
 """Golden-schema guards for benchmark output artefacts.
 
-Six machine-readable bench artefacts are load-bearing outside this repo:
+Seven machine-readable bench artefacts are load-bearing outside this repo:
 ``BENCH_fleet.json`` (the committed fleet-pipeline speedup baseline),
 ``BENCH_schedule.json`` (the scheduling-engine speedup baseline),
 ``BENCH_zones.json`` (the zone-sharded multi-market baseline),
 ``BENCH_scale.json`` (the million-household scale-out baseline),
-``BENCH_market.json`` (the merit-order clearing baseline) and the
-``--bench-json`` table dump ``benchmarks/conftest.py`` writes for CI
+``BENCH_market.json`` (the merit-order clearing baseline),
+``BENCH_uncertainty.json`` (the robust quantile-fan scheduling baseline)
+and the ``--bench-json`` table dump ``benchmarks/conftest.py`` writes for CI
 archiving.  Their *schemas* are pinned here — a drifted key, a renamed
 stage or a silently dropped section fails loudly instead of breaking
 downstream consumers at read time.
@@ -208,6 +209,37 @@ class TestScaleBenchBaseline:
         sparse = crossover["rows"][-1]
         assert sparse["incremental_seconds"] < sparse["vectorized_seconds"]
         assert sparse["density"] < crossover["density_crossover"]
+
+
+class TestUncertaintyBenchBaseline:
+    def test_bench_uncertainty_json_schema_matches_golden(self):
+        report = json.loads((REPO_ROOT / "BENCH_uncertainty.json").read_text())
+        golden = json.loads((GOLDEN / "bench_uncertainty_schema.json").read_text())
+        assert type_schema(report) == golden
+
+    def test_bench_uncertainty_json_semantics(self):
+        report = json.loads((REPO_ROOT / "BENCH_uncertainty.json").read_text())
+        workload = report["workload"]
+        assert workload["aggregates"] >= 200
+        assert list(workload["quantiles"]) == sorted(workload["quantiles"])
+        assert workload["risk"] in ("expected", "cvar")
+        greedy = report["greedy"]
+        # The acceptance gate: robust scoring costs at most 2x point mode.
+        assert greedy["overhead_gate"] == 2.0
+        assert greedy["meets_overhead_gate"] is True
+        assert greedy["overhead"] <= greedy["overhead_gate"]
+        assert greedy["placed"] + greedy["unplaced"] == workload["aggregates"]
+        equivalence = report["equivalence"]
+        assert equivalence["robust_reference_identical"] is True
+        assert equivalence["deterministic_across_runs"] is True
+        assert equivalence["fidelity_rtol"] == 1e-9
+        # Realized-cost fan: one point/robust cost pair per quantile level,
+        # and the risk measure's hedge shows up on the lowest quantile.
+        realized = report["realized"]
+        levels = realized["levels"]
+        assert len(levels) == len(realized["point_costs"])
+        assert len(levels) == len(realized["robust_costs"])
+        assert realized["robust_costs"][0] <= realized["point_costs"][0]
 
 
 class TestBenchJsonWriter:

@@ -1,0 +1,192 @@
+"""Property tests: quantile forecast fans stay well-formed on any input.
+
+Robust scheduling trusts three structural facts about
+:class:`repro.forecasting.QuantileForecast`: the curves are monotone in
+level at every interval, the construction is a pure function of its
+inputs (bitwise identical fans on repeated calls), and the wire encoding
+round-trips exactly.  These hypothesis properties pin all three over
+arbitrary series, plus the analytic anchor that exactly sign-symmetric
+residuals put the median curve on the point forecast itself.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import DataError
+from repro.forecasting import (
+    DEFAULT_LEVELS,
+    QuantileForecast,
+    quantile_forecast,
+    quantile_forecast_from_residuals,
+    residual_blocks,
+    seasonal_naive_quantiles,
+)
+from repro.forecasting.models import drift, seasonal_naive
+from repro.timeseries.axis import axis_for_days
+from repro.timeseries.series import TimeSeries
+
+START = datetime(2012, 3, 5)
+
+energy_values = st.floats(
+    min_value=-20.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+#: Strictly increasing level tuples drawn from a plausible grid.
+level_tuples = (
+    st.lists(
+        st.sampled_from((0.05, 0.1, 0.2, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9, 0.95)),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    )
+    .map(sorted)
+    .map(tuple)
+)
+
+
+def series_of(values: np.ndarray) -> TimeSeries:
+    axis = axis_for_days(START, max(1, (len(values) + 95) // 96)).sub_axis(
+        0, len(values)
+    )
+    return TimeSeries(axis, values, "load")
+
+
+class TestFanShape:
+    @settings(deadline=None, max_examples=40)
+    @given(data=st.data(), levels=level_tuples, model=st.sampled_from(
+        (seasonal_naive, drift)
+    ))
+    def test_curves_monotone_in_level(self, data, levels, model):
+        values = data.draw(arrays(np.float64, 96 * 4, elements=energy_values))
+        forecast = quantile_forecast(
+            series_of(values), horizon=96, model=model, levels=levels
+        )
+        fan = forecast.fan()
+        assert fan.shape == (len(levels), 96)
+        assert np.all(np.diff(fan, axis=0) >= 0.0)
+        for curve in forecast.curves:
+            assert curve.axis == forecast.point.axis
+
+    @settings(deadline=None, max_examples=40)
+    @given(data=st.data(), levels=level_tuples)
+    def test_fan_from_residuals_monotone(self, data, levels):
+        point = series_of(
+            data.draw(arrays(np.float64, 24, elements=energy_values))
+        )
+        residuals = data.draw(
+            arrays(np.float64, (5, 24), elements=energy_values)
+        )
+        forecast = quantile_forecast_from_residuals(point, residuals, levels)
+        assert np.all(np.diff(forecast.fan(), axis=0) >= 0.0)
+
+    def test_non_monotone_fan_rejected_at_construction(self):
+        point = series_of(np.zeros(4))
+        lo = TimeSeries(point.axis, np.ones(4), "hi-as-lo")
+        hi = TimeSeries(point.axis, np.zeros(4), "lo-as-hi")
+        with pytest.raises(DataError):
+            QuantileForecast(point=point, levels=(0.1, 0.9), curves=(lo, hi))
+        with pytest.raises(DataError):
+            QuantileForecast(point=point, levels=(0.9, 0.1), curves=(hi, lo))
+
+
+class TestMedianAnchor:
+    @settings(deadline=None, max_examples=40)
+    @given(data=st.data())
+    def test_median_equals_point_for_symmetric_residuals(self, data):
+        """Exactly sign-symmetric residual rows pin q0.5 to the point curve."""
+        point = series_of(
+            data.draw(arrays(np.float64, 12, elements=energy_values))
+        )
+        half = data.draw(
+            arrays(
+                np.float64,
+                (4, 12),
+                elements=st.floats(
+                    min_value=0.0,
+                    max_value=10.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            )
+        )
+        residuals = np.concatenate([half, -half])
+        forecast = quantile_forecast_from_residuals(
+            point, residuals, DEFAULT_LEVELS
+        )
+        np.testing.assert_allclose(
+            forecast.curve(0.5).values, point.values, atol=1e-12
+        )
+
+
+class TestPurity:
+    @settings(deadline=None, max_examples=25)
+    @given(data=st.data())
+    def test_fan_is_bitwise_deterministic(self, data):
+        values = data.draw(arrays(np.float64, 96 * 3, elements=energy_values))
+        first = seasonal_naive_quantiles(series_of(values), horizon=48)
+        second = seasonal_naive_quantiles(series_of(values), horizon=48)
+        assert first.levels == second.levels
+        assert np.array_equal(first.point.values, second.point.values)
+        assert np.array_equal(first.fan(), second.fan())
+
+    @settings(deadline=None, max_examples=25)
+    @given(data=st.data())
+    def test_residual_blocks_pure(self, data):
+        values = data.draw(arrays(np.float64, 96 * 3, elements=energy_values))
+        series = series_of(values)
+        first = residual_blocks(series, drift, horizon=24)
+        second = residual_blocks(series, drift, horizon=24)
+        assert np.array_equal(first, second)
+
+
+class TestWireRoundTrip:
+    @settings(deadline=None, max_examples=30)
+    @given(data=st.data(), levels=level_tuples)
+    def test_round_trip_is_exact(self, data, levels):
+        values = data.draw(arrays(np.float64, 96 * 3, elements=energy_values))
+        forecast = quantile_forecast(
+            series_of(values), horizon=24, model=drift, levels=levels
+        )
+        back = QuantileForecast.from_dict(forecast.to_dict())
+        assert back.levels == forecast.levels
+        assert back.point.axis == forecast.point.axis
+        assert back.point.name == forecast.point.name
+        assert np.array_equal(back.point.values, forecast.point.values)
+        assert np.array_equal(back.fan(), forecast.fan())
+        for ours, theirs in zip(forecast.curves, back.curves):
+            assert theirs.name == ours.name
+
+    def test_missing_field_raises_data_error(self):
+        forecast = drift_fixture()
+        encoded = forecast.to_dict()
+        del encoded["levels"]
+        with pytest.raises(DataError):
+            QuantileForecast.from_dict(encoded)
+
+
+def drift_fixture() -> QuantileForecast:
+    values = 2.0 + np.sin(2 * np.pi * np.arange(96 * 3) / 96)
+    return quantile_forecast(series_of(values), horizon=24, model=drift)
+
+
+class TestLevelValidation:
+    def test_levels_must_be_strictly_increasing(self):
+        series = series_of(np.ones(96 * 3))
+        with pytest.raises(DataError):
+            quantile_forecast(series, horizon=24, levels=(0.5, 0.5))
+        with pytest.raises(DataError):
+            quantile_forecast(series, horizon=24, levels=(0.9, 0.1))
+
+    def test_levels_must_be_in_open_unit_interval(self):
+        series = series_of(np.ones(96 * 3))
+        with pytest.raises(DataError):
+            quantile_forecast(series, horizon=24, levels=(0.0, 0.5))
+        with pytest.raises(DataError):
+            quantile_forecast(series, horizon=24, levels=(0.5, 1.0))
